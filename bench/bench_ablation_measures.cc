@@ -1,0 +1,67 @@
+// Ablation: dispersion measures (Section 7.4). The paper states that the
+// pruning framework carries over to Gini (with its own lower bound) and,
+// with a restriction (no homogeneous-interval pruning), to gain ratio.
+// This harness repeats the Fig 6/7 protocol under all three measures on
+// one data set and reports time, entropy calculations, and CV accuracy.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/cross_validation.h"
+#include "eval/experiment.h"
+
+int main(int argc, char** argv) {
+  udt::BenchOptions options = udt::ParseBenchOptions(argc, argv);
+  udt::bench::PrintBanner(
+      "bench_ablation_measures: entropy vs Gini vs gain ratio",
+      "Section 7.4 (generalising the theorems)", options);
+
+  int s = udt::bench::SamplesFor(options, 20);
+  int folds = udt::bench::FoldsFor(options, 3);
+  auto spec = udt::datagen::FindUciSpec("Glass");
+  UDT_CHECK(spec.ok());
+  double scale = udt::bench::ScaleFor(*spec, options, 150);
+  auto ds = udt::PrepareUncertainDataset(*spec, scale, 0.10, s,
+                                         udt::ErrorModel::kGaussian);
+  UDT_CHECK(ds.ok());
+  std::printf("\nGlass-like data: %d tuples, s=%d, w=10%%, %d-fold CV\n\n",
+              ds->num_tuples(), s, folds);
+
+  const std::vector<udt::SplitAlgorithm> kAlgorithms = {
+      udt::SplitAlgorithm::kUdt,   udt::SplitAlgorithm::kUdtBp,
+      udt::SplitAlgorithm::kUdtLp, udt::SplitAlgorithm::kUdtGp,
+      udt::SplitAlgorithm::kUdtEs};
+
+  for (udt::DispersionMeasure measure :
+       {udt::DispersionMeasure::kEntropy, udt::DispersionMeasure::kGini,
+        udt::DispersionMeasure::kGainRatio}) {
+    std::printf("measure: %s\n", udt::DispersionMeasureToString(measure));
+    std::printf("  %-8s %10s %14s %8s %10s\n", "algo", "time",
+                "entropy calcs", "(% UDT)", "accuracy");
+    long long reference = 0;
+    for (udt::SplitAlgorithm algorithm : kAlgorithms) {
+      udt::TreeConfig config;
+      config.algorithm = algorithm;
+      config.measure = measure;
+      auto stats = udt::MeasureTreeBuild(*ds, config);
+      UDT_CHECK(stats.ok());
+      long long calcs = stats->counters.TotalEntropyCalculations();
+      if (algorithm == udt::SplitAlgorithm::kUdt) reference = calcs;
+      auto acc = udt::CvAccuracy(
+          *ds, config, udt::ClassifierKind::kDistributionBased, folds, 5);
+      UDT_CHECK(acc.ok());
+      std::printf("  %-8s %9.3fs %14lld %7.1f%% %9.2f%%\n",
+                  udt::SplitAlgorithmToString(algorithm),
+                  stats->build_seconds, calcs,
+                  reference > 0 ? 100.0 * calcs / reference : 0.0,
+                  *acc * 100);
+    }
+    std::printf("\n");
+  }
+  std::printf("reading: accuracy is constant down each column (safe "
+              "pruning); gain ratio prunes less than entropy/Gini because "
+              "Theorem 2 does not apply to it (homogeneous intervals must "
+              "be bounded instead).\n");
+  return 0;
+}

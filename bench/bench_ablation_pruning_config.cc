@@ -1,0 +1,90 @@
+// Ablation: the C4.5-style pre/post-pruning knobs the paper inherits
+// (footnote 3: "to alleviate the problem of overfitting, we apply the
+// techniques of prepruning and postpruning"). On noisy data, growing the
+// tree fully overfits; pessimistic post-pruning and minimum-weight
+// pre-pruning shrink the tree and recover test accuracy.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/classifier.h"
+#include "datagen/synthetic.h"
+#include "eval/metrics.h"
+#include "table/uncertainty_injector.h"
+
+namespace {
+
+struct Variant {
+  const char* label;
+  double min_split_weight;
+  bool post_prune;
+  double confidence;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  udt::BenchOptions options = udt::ParseBenchOptions(argc, argv);
+  udt::bench::PrintBanner(
+      "bench_ablation_pruning_config: pre/post-pruning knobs",
+      "C4.5 pruning framework the paper builds on (footnote 3)", options);
+
+  // Hard, noisy task: close clusters + strong label-independent noise.
+  udt::datagen::SyntheticConfig gen;
+  gen.name = "noisy";
+  gen.num_tuples = options.full ? 2000 : 500;
+  gen.num_attributes = 6;
+  gen.num_classes = 3;
+  gen.clusters_per_class = 2;
+  gen.cluster_stddev = 0.20;
+  gen.inherent_noise = 0.60;
+  gen.seed = 99;
+  udt::PointDataset points = udt::datagen::GenerateSynthetic(gen);
+
+  udt::UncertaintyOptions inject;
+  inject.width_fraction = 0.30;
+  inject.samples_per_pdf = udt::bench::SamplesFor(options, 16);
+  auto ds = udt::InjectUncertainty(points, inject);
+  UDT_CHECK(ds.ok());
+  udt::Rng rng(3);
+  auto [train, test] = ds->RandomSplit(0.3, &rng);
+
+  std::printf("\nnoisy data: %d train / %d test tuples, %d attributes, "
+              "%d classes\n\n",
+              train.num_tuples(), test.num_tuples(), ds->num_attributes(),
+              ds->num_classes());
+
+  // minw=0.25 for the "unpruned" variants: a weight floor four times below
+  // one tuple still lets micro-fragments of straddling tuples split
+  // (demonstrating the information explosion) without the run degenerating
+  // into hundreds of thousands of fragment-only nodes.
+  const std::vector<Variant> kVariants = {
+      {"no pruning at all", 0.25, false, 0.25},
+      {"pre-prune only (minw=4)", 4.0, false, 0.25},
+      {"post-prune only (CF=.25)", 0.25, true, 0.25},
+      {"both (default)", 4.0, true, 0.25},
+      {"both, aggressive (CF=.05)", 4.0, true, 0.05},
+      {"both, lax (CF=.50)", 4.0, true, 0.50},
+  };
+
+  std::printf("%-28s %8s %8s %10s %10s\n", "configuration", "nodes",
+              "depth", "train acc", "test acc");
+  for (const Variant& variant : kVariants) {
+    udt::TreeConfig config;
+    config.algorithm = udt::SplitAlgorithm::kUdtEs;
+    config.min_split_weight = variant.min_split_weight;
+    config.post_prune = variant.post_prune;
+    config.pruning_confidence = variant.confidence;
+    auto model = udt::UncertainTreeClassifier::Train(train, config, nullptr);
+    UDT_CHECK(model.ok());
+    std::printf("%-28s %8d %8d %9.2f%% %9.2f%%\n", variant.label,
+                model->tree().num_nodes(), model->tree().depth(),
+                udt::EvaluateAccuracy(*model, train) * 100,
+                udt::EvaluateAccuracy(*model, test) * 100);
+  }
+  std::printf("\nreading: the unpruned tree is largest and overfits (train "
+              ">> test); pruning shrinks the tree substantially while test "
+              "accuracy holds or improves.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the bench harnesses (scale selection and banner
+// printing). Every harness runs at a reduced default scale so the full
+// bench sweep finishes in minutes; pass --full for paper-scale data sets
+// (Table 2 tuple counts, s = 100).
+//
+// Resource note for --full: the widest data sets (Satellite, PenDigits)
+// put ~10^6 sample positions on each attribute axis; the global finders
+// (UDT-GP/UDT-ES) keep every attribute's scan alive, which peaks around a
+// gigabyte, and exhaustive UDT needs hours of CPU - both in line with the
+// "information explosion" the paper reports for s = 100.
+
+#ifndef UDT_BENCH_BENCH_COMMON_H_
+#define UDT_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+
+#include "datagen/uci_like.h"
+#include "eval/experiment.h"
+
+namespace udt {
+namespace bench {
+
+// Caps a data set at `max_tuples` unless --full / --scale override.
+inline double ScaleFor(const datagen::UciDatasetSpec& spec,
+                       const BenchOptions& options, int max_tuples) {
+  if (options.scale > 0.0) return options.scale;
+  if (options.full) return 1.0;
+  return std::min(1.0, static_cast<double>(max_tuples) / spec.num_tuples);
+}
+
+// Samples per pdf: paper uses s = 100; reduced default keeps runs quick.
+inline int SamplesFor(const BenchOptions& options, int default_s) {
+  if (options.samples_per_pdf > 0) return options.samples_per_pdf;
+  return options.full ? 100 : default_s;
+}
+
+inline int FoldsFor(const BenchOptions& options, int default_folds) {
+  if (options.folds > 0) return options.folds;
+  return options.full ? 10 : default_folds;
+}
+
+inline void PrintBanner(const char* title, const char* paper_ref,
+                        const BenchOptions& options) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("scale: %s (use --full for paper scale; --scale=F --s=N "
+              "--folds=N to override)\n",
+              options.full ? "FULL (paper)" : "reduced default");
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+}  // namespace bench
+}  // namespace udt
+
+#endif  // UDT_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,55 @@
+// Fig 8: "Effects of s on UDT-ES" - build time as the number of sample
+// points per pdf grows. The paper (Section 6.3) observes essentially
+// linear growth: more samples mean proportionally more work per entropy
+// calculation in heterogeneous intervals.
+//
+// As in the paper, "JapaneseVowel" is excluded (its pdfs come from raw
+// samples, so s is not a free parameter).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/experiment.h"
+
+int main(int argc, char** argv) {
+  udt::BenchOptions options = udt::ParseBenchOptions(argc, argv);
+  udt::bench::PrintBanner(
+      "bench_fig8_effect_s: UDT-ES build time vs samples per pdf",
+      "Fig 8 (Section 6.3), s in {50,100,150,200} at --full", options);
+
+  const double kW = 0.10;
+  std::vector<int> s_values =
+      options.full ? std::vector<int>{50, 100, 150, 200}
+                   : std::vector<int>{10, 20, 30, 40};
+
+  std::printf("\nUDT-ES build seconds (w=%.0f%%, Gaussian)\n\n", kW * 100);
+  std::printf("%-14s", "data set");
+  for (int s : s_values) std::printf("   s=%-5d", s);
+  std::printf("  %s\n", "t(max)/t(min)");
+
+  for (const udt::datagen::UciDatasetSpec& spec :
+       udt::datagen::UciCatalogue()) {
+    if (spec.from_raw_samples) continue;
+    double scale = udt::bench::ScaleFor(spec, options, 120);
+    std::printf("%-14s", spec.name.c_str());
+    double first = 0.0, last = 0.0;
+    for (int s : s_values) {
+      auto ds = udt::PrepareUncertainDataset(spec, scale, kW, s,
+                                             udt::ErrorModel::kGaussian);
+      UDT_CHECK(ds.ok());
+      udt::TreeConfig config;
+      config.algorithm = udt::SplitAlgorithm::kUdtEs;
+      auto stats = udt::MeasureTreeBuild(*ds, config);
+      UDT_CHECK(stats.ok());
+      std::printf(" %8.3f", stats->build_seconds);
+      if (s == s_values.front()) first = stats->build_seconds;
+      last = stats->build_seconds;
+    }
+    std::printf("  %8.2fx\n", first > 0.0 ? last / first : 0.0);
+  }
+  std::printf("\nreading: times should grow roughly linearly in s (a %zux "
+              "span of s giving a ratio of the same order).\n",
+              s_values.size());
+  return 0;
+}

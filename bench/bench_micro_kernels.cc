@@ -1,0 +1,125 @@
+// google-benchmark microbenchmarks of the kernels that dominate tree
+// construction: CDF queries, scan construction, entropy scoring, interval
+// bounding, working-set partitioning and uncertain classification.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/classifier.h"
+#include "pdf/pdf_builder.h"
+#include "split/attribute_scan.h"
+#include "split/bounds.h"
+#include "split/fractional_tuple.h"
+#include "tree/classify.h"
+
+namespace udt {
+namespace {
+
+Dataset BenchDataset(int tuples, int attributes, int s, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(Schema::Numerical(attributes, {"A", "B", "C"}));
+  for (int i = 0; i < tuples; ++i) {
+    UncertainTuple t;
+    t.label = i % 3;
+    for (int j = 0; j < attributes; ++j) {
+      auto pdf = MakeGaussianErrorPdf(
+          rng.Gaussian(static_cast<double>(t.label), 1.0), 1.0, s);
+      t.values.push_back(UncertainValue::Numerical(std::move(*pdf)));
+    }
+    UDT_CHECK(ds.AddTuple(std::move(t)).ok());
+  }
+  return ds;
+}
+
+void BM_PdfBuildGaussian(benchmark::State& state) {
+  int s = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto pdf = MakeGaussianErrorPdf(1.0, 0.5, s);
+    benchmark::DoNotOptimize(pdf);
+  }
+}
+BENCHMARK(BM_PdfBuildGaussian)->Arg(20)->Arg(100)->Arg(400);
+
+void BM_CdfQuery(benchmark::State& state) {
+  auto pdf = MakeGaussianErrorPdf(0.0, 2.0, static_cast<int>(state.range(0)));
+  UDT_CHECK(pdf.ok());
+  double z = -0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdf->CdfAtOrBelow(z));
+    z = -z;
+  }
+}
+BENCHMARK(BM_CdfQuery)->Arg(20)->Arg(100)->Arg(400);
+
+void BM_ScanBuild(benchmark::State& state) {
+  Dataset ds = BenchDataset(static_cast<int>(state.range(0)), 1, 20, 1);
+  WorkingSet set = MakeRootWorkingSet(ds);
+  for (auto _ : state) {
+    AttributeScan scan = AttributeScan::Build(ds, set, 0, 3);
+    benchmark::DoNotOptimize(scan.num_positions());
+  }
+}
+BENCHMARK(BM_ScanBuild)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_EntropyScore(benchmark::State& state) {
+  SplitScorer scorer(DispersionMeasure::kEntropy, {10.0, 20.0, 30.0});
+  std::vector<double> left = {3.0, 8.0, 5.0};
+  std::vector<double> right = {7.0, 12.0, 25.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.Score(left, right));
+  }
+}
+BENCHMARK(BM_EntropyScore);
+
+void BM_IntervalBound(benchmark::State& state) {
+  IntervalMassStats stats;
+  stats.nc = {3.0, 8.0, 5.0};
+  stats.kc = {1.0, 2.0, 0.5};
+  stats.mc = {7.0, 12.0, 25.0};
+  SplitScorer scorer(DispersionMeasure::kEntropy, {11.0, 22.0, 30.5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScoreLowerBound(scorer, stats));
+  }
+}
+BENCHMARK(BM_IntervalBound);
+
+void BM_PartitionWorkingSet(benchmark::State& state) {
+  Dataset ds = BenchDataset(static_cast<int>(state.range(0)), 1, 20, 2);
+  WorkingSet set = MakeRootWorkingSet(ds);
+  WorkingSet left, right;
+  for (auto _ : state) {
+    PartitionWorkingSet(ds, set, 0, 1.0, &left, &right);
+    benchmark::DoNotOptimize(left.size() + right.size());
+  }
+}
+BENCHMARK(BM_PartitionWorkingSet)->Arg(100)->Arg(400);
+
+void BM_ClassifyUncertainTuple(benchmark::State& state) {
+  Dataset ds = BenchDataset(200, 4, 16, 3);
+  TreeConfig config;
+  config.algorithm = SplitAlgorithm::kUdtEs;
+  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  UDT_CHECK(classifier.ok());
+  const UncertainTuple& tuple = ds.tuple(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier->ClassifyDistribution(tuple));
+  }
+}
+BENCHMARK(BM_ClassifyUncertainTuple);
+
+void BM_TreeBuild(benchmark::State& state) {
+  Dataset ds = BenchDataset(static_cast<int>(state.range(0)), 4, 16, 4);
+  TreeConfig config;
+  config.algorithm = SplitAlgorithm::kUdtEs;
+  for (auto _ : state) {
+    BuildStats stats;
+    auto tree = TreeBuilder(config).Build(ds, &stats);
+    benchmark::DoNotOptimize(tree.ok());
+  }
+}
+BENCHMARK(BM_TreeBuild)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace udt
+
+BENCHMARK_MAIN();

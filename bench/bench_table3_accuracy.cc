@@ -1,0 +1,113 @@
+// Table 2 + Table 3: "Accuracy Improvement by Considering the Distribution".
+//
+// For every Table 2 data set, reports the AVG accuracy and the UDT accuracy
+// under Gaussian error models with w in {1%, 5%, 10%, 20%} (plus the
+// uniform model for the integer-domain data sets, which the paper found to
+// favour uniform on PenDigits), and the best UDT column. "JapaneseVowel"
+// uses pdfs from raw repeated measurements, as in the paper.
+//
+// Expected shape (paper): UDT >= AVG on most rows, with the best-w column
+// clearly above AVG; for the raw-sample data set the gap is largest
+// (81.89% -> 87.30% in the paper).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/config.h"
+#include "eval/cross_validation.h"
+#include "eval/experiment.h"
+
+namespace {
+
+constexpr double kWidths[] = {0.01, 0.05, 0.10, 0.20};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  udt::BenchOptions options = udt::ParseBenchOptions(argc, argv);
+  udt::bench::PrintBanner(
+      "bench_table3_accuracy: AVG vs UDT classification accuracy",
+      "Table 2 (data-set inventory) and Table 3 (accuracy)", options);
+
+  int s = udt::bench::SamplesFor(options, 20);
+  int folds = udt::bench::FoldsFor(options, 3);
+
+  // ---- Table 2 block ----
+  std::printf("\nTable 2 - data sets (synthetic analogues, see DESIGN.md)\n");
+  std::printf("%-14s %8s %8s %8s %10s\n", "data set", "tuples", "attrs",
+              "classes", "domain");
+  for (const udt::datagen::UciDatasetSpec& spec :
+       udt::datagen::UciCatalogue()) {
+    double scale = udt::bench::ScaleFor(spec, options, 150);
+    std::printf("%-14s %8d %8d %8d %10s\n", spec.name.c_str(),
+                static_cast<int>(spec.num_tuples * scale),
+                spec.num_attributes, spec.num_classes,
+                spec.from_raw_samples ? "raw"
+                : spec.integer_domain ? "integer"
+                                      : "real");
+  }
+
+  // ---- Table 3 block ----
+  std::printf("\nTable 3 - accuracy (%d-fold CV, s=%d; * = best UDT)\n",
+              folds, s);
+  std::printf("%-14s %-9s %7s", "data set", "model", "AVG");
+  for (double w : kWidths) std::printf("  w=%3.0f%%", w * 100);
+  std::printf("  %8s\n", "best UDT");
+
+  udt::TreeConfig config;
+  config.algorithm = udt::SplitAlgorithm::kUdtEs;  // same tree as UDT
+
+  for (const udt::datagen::UciDatasetSpec& spec :
+       udt::datagen::UciCatalogue()) {
+    double scale = udt::bench::ScaleFor(spec, options, 150);
+
+    std::vector<udt::ErrorModel> models = {udt::ErrorModel::kGaussian};
+    if (spec.integer_domain) models.push_back(udt::ErrorModel::kUniform);
+    if (spec.from_raw_samples) {
+      // Raw-sample pdfs: one UDT number, no (w, model) sweep.
+      auto ds = udt::PrepareUncertainDataset(spec, scale, 0.0, s,
+                                             udt::ErrorModel::kGaussian);
+      UDT_CHECK(ds.ok());
+      auto avg = udt::CvAccuracy(*ds, config, udt::ClassifierKind::kAveraging,
+                                 folds, 100);
+      auto best = udt::CvAccuracy(
+          *ds, config, udt::ClassifierKind::kDistributionBased, folds, 100);
+      UDT_CHECK(avg.ok() && best.ok());
+      std::printf("%-14s %-9s %6.2f%%", spec.name.c_str(), "raw",
+                  *avg * 100);
+      for (size_t i = 0; i < sizeof(kWidths) / sizeof(kWidths[0]); ++i) {
+        std::printf("  %6s", "-");
+      }
+      std::printf("  %7.2f%%*\n", *best * 100);
+      continue;
+    }
+
+    for (udt::ErrorModel model : models) {
+      std::printf("%-14s %-9s", spec.name.c_str(),
+                  udt::ErrorModelToString(model));
+      // AVG is insensitive to (w, model): compute once per row from w=0.
+      auto point_ds = udt::PrepareUncertainDataset(spec, scale, 0.0, 1, model);
+      UDT_CHECK(point_ds.ok());
+      auto avg = udt::CvAccuracy(*point_ds, config,
+                                 udt::ClassifierKind::kAveraging, folds, 100);
+      UDT_CHECK(avg.ok());
+      std::printf(" %6.2f%%", *avg * 100);
+
+      double best = 0.0;
+      for (double w : kWidths) {
+        auto ds = udt::PrepareUncertainDataset(spec, scale, w, s, model);
+        UDT_CHECK(ds.ok());
+        auto acc = udt::CvAccuracy(
+            *ds, config, udt::ClassifierKind::kDistributionBased, folds, 100);
+        UDT_CHECK(acc.ok());
+        best = std::max(best, *acc);
+        std::printf(" %6.2f%%", *acc * 100);
+      }
+      std::printf("  %7.2f%%*\n", best * 100);
+    }
+  }
+  std::printf("\nnote: the UDT tree is identical across UDT/UDT-BP/LP/GP/ES "
+              "(safe pruning); UDT-ES is used for speed.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Speaker recognition from repeated measurements (Section 4.3's
+// "JapaneseVowel" pipeline).
+//
+// Each utterance yields 7-29 raw LPC-coefficient samples per attribute; the
+// empirical distribution of those samples *is* the pdf - no synthetic error
+// model involved. The example trains AVG (sample means) and UDT (full
+// empirical pdfs) on a generated speaker corpus and reports test accuracy
+// and the UDT confusion matrix. This mirrors the paper's headline result:
+// on this data set UDT improved accuracy from 81.89% to 87.30%.
+//
+// Run: build/examples/speaker_recognition
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/classifier.h"
+#include "datagen/japanese_vowel.h"
+#include "eval/metrics.h"
+
+int main() {
+  udt::datagen::JapaneseVowelConfig corpus;
+  corpus.num_tuples = 640;  // utterances, as in Table 2
+  udt::Dataset ds = udt::datagen::GenerateJapaneseVowelLike(corpus);
+
+  udt::Rng rng(7);
+  auto [train, test] = ds.RandomSplit(0.4, &rng);
+  std::printf("speaker corpus: %d speakers, %d train / %d test utterances, "
+              "%d LPC attributes, 7-29 raw samples per value\n\n",
+              ds.num_classes(), train.num_tuples(), test.num_tuples(),
+              ds.num_attributes());
+
+  udt::TreeConfig config;
+  config.algorithm = udt::SplitAlgorithm::kUdtEs;
+
+  auto avg = udt::AveragingClassifier::Train(train, config, nullptr);
+  UDT_CHECK(avg.ok());
+  double avg_accuracy = udt::EvaluateAccuracy(*avg, test);
+  std::printf("AVG (per-utterance means):       accuracy %.4f\n",
+              avg_accuracy);
+
+  udt::BuildStats stats;
+  auto dist = udt::UncertainTreeClassifier::Train(train, config, &stats);
+  UDT_CHECK(dist.ok());
+  udt::ConfusionMatrix matrix = udt::EvaluateConfusion(*dist, test);
+  std::printf("UDT (empirical sample pdfs):     accuracy %.4f\n",
+              matrix.Accuracy());
+  std::printf("paper reference on the real data set: 81.89%% -> 87.30%%\n\n");
+
+  std::printf("UDT tree: %d nodes, built with %lld entropy calculations "
+              "in %.2fs\n\n",
+              dist->tree().num_nodes(),
+              static_cast<long long>(
+                  stats.counters.TotalEntropyCalculations()),
+              stats.build_seconds);
+
+  std::printf("UDT confusion matrix (rows = true speaker):\n%s",
+              matrix.ToString(ds.schema().class_names()).c_str());
+
+  std::printf("\nper-speaker recall:\n");
+  std::vector<double> recalls = matrix.Recalls();
+  for (int c = 0; c < ds.num_classes(); ++c) {
+    std::printf("  %-10s %.3f\n", ds.schema().class_name(c).c_str(),
+                recalls[static_cast<size_t>(c)]);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Lightweight assertion and logging macros.
+//
+// The library does not throw exceptions from hot paths; recoverable errors
+// are reported through Status (see common/status.h). UDT_CHECK guards
+// conditions that indicate a programming error and aborts with a message.
+// UDT_DCHECK compiles away in release builds (NDEBUG).
+
+#ifndef UDT_COMMON_LOGGING_H_
+#define UDT_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace udt {
+namespace internal {
+
+// Prints a fatal-check failure message and aborts. Never returns.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "[udt] CHECK failed at %s:%d: %s\n", file, line,
+               condition);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace udt
+
+// Aborts the process if `condition` is false. Enabled in all build types.
+#define UDT_CHECK(condition)                                   \
+  do {                                                         \
+    if (!(condition)) {                                        \
+      ::udt::internal::CheckFailed(__FILE__, __LINE__, #condition); \
+    }                                                          \
+  } while (false)
+
+// Debug-only variant of UDT_CHECK.
+#ifdef NDEBUG
+#define UDT_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#else
+#define UDT_DCHECK(condition) UDT_CHECK(condition)
+#endif
+
+#endif  // UDT_COMMON_LOGGING_H_

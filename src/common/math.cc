@@ -1,0 +1,111 @@
+#include "common/math.h"
+
+#include "common/logging.h"
+
+namespace udt {
+
+double XLog2X(double x) {
+  UDT_DCHECK(x >= -kMassEpsilon);
+  if (x <= 0.0) return 0.0;
+  return x * std::log2(x);
+}
+
+double Log2Safe(double x) {
+  if (x <= 0.0) return 0.0;
+  return std::log2(x);
+}
+
+double EntropyFromCounts(const std::vector<double>& counts) {
+  double total = 0.0;
+  for (double c : counts) {
+    UDT_DCHECK(c >= -kMassEpsilon);
+    if (c > 0.0) total += c;
+  }
+  if (total <= 0.0) return 0.0;
+  // H = -sum p log2 p = log2(total) - (1/total) * sum c log2 c.
+  double sum_xlogx = 0.0;
+  for (double c : counts) {
+    if (c > 0.0) sum_xlogx += XLog2X(c);
+  }
+  double h = std::log2(total) - sum_xlogx / total;
+  // Clamp tiny negative rounding residue.
+  return h < 0.0 ? 0.0 : h;
+}
+
+double NormalQuantile(double p) {
+  UDT_CHECK(p > 0.0 && p < 1.0);
+  // Peter Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1.0 - p_low;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double PessimisticErrorCount(double errors, double total, double cf) {
+  UDT_CHECK(total > 0.0);
+  UDT_CHECK(errors >= -kMassEpsilon && errors <= total + kMassEpsilon);
+  UDT_CHECK(cf > 0.0 && cf < 1.0);
+  if (errors < 0.0) errors = 0.0;
+  if (errors > total) errors = total;
+  // C4.5 special-cases a clean node: the upper bound solves
+  // (1 - e)^total = cf.
+  if (errors < kMassEpsilon) {
+    return total * (1.0 - std::pow(cf, 1.0 / total));
+  }
+  // Otherwise the one-sided normal approximation to the binomial.
+  double z = NormalQuantile(1.0 - cf);
+  double f = errors / total;
+  double z2 = z * z;
+  double upper =
+      (f + z2 / (2.0 * total) +
+       z * std::sqrt(f / total - f * f / total + z2 / (4.0 * total * total))) /
+      (1.0 + z2 / total);
+  if (upper > 1.0) upper = 1.0;
+  return upper * total;
+}
+
+double GiniFromCounts(const std::vector<double>& counts) {
+  double total = 0.0;
+  for (double c : counts) {
+    UDT_DCHECK(c >= -kMassEpsilon);
+    if (c > 0.0) total += c;
+  }
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : counts) {
+    if (c > 0.0) sum_sq += (c / total) * (c / total);
+  }
+  double g = 1.0 - sum_sq;
+  return g < 0.0 ? 0.0 : g;
+}
+
+}  // namespace udt

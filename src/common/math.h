@@ -1,0 +1,73 @@
+// Small numeric helpers shared across the library: entropy-safe logarithms,
+// compensated summation and floating-point comparison utilities.
+
+#ifndef UDT_COMMON_MATH_H_
+#define UDT_COMMON_MATH_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace udt {
+
+// The tolerance used when comparing probability masses and dispersion
+// values. Masses are sums of O(10^6) doubles in [0,1], so 1e-9 absolute
+// tolerance is far above accumulated rounding error yet far below any
+// meaningful mass.
+inline constexpr double kMassEpsilon = 1e-9;
+
+// x * log2(x) with the standard convention 0 * log2(0) = 0.
+// Requires x >= 0 (negative x indicates a bookkeeping bug upstream; tiny
+// negative values from rounding are clamped).
+double XLog2X(double x);
+
+// log2 with a guard: Log2Safe(0) returns 0 instead of -inf. Only meaningful
+// in expressions of the form `count * Log2Safe(ratio)` where count == 0
+// whenever ratio == 0.
+double Log2Safe(double x);
+
+// Shannon entropy (base 2) of non-negative weights; the weights need not be
+// normalised. Returns 0 for an empty or all-zero input.
+double EntropyFromCounts(const std::vector<double>& counts);
+
+// Gini impurity 1 - sum((w_i / W)^2) of non-negative weights. Returns 0 for
+// an empty or all-zero input.
+double GiniFromCounts(const std::vector<double>& counts);
+
+// True if |a - b| <= eps.
+inline bool AlmostEqual(double a, double b, double eps = kMassEpsilon) {
+  return std::fabs(a - b) <= eps;
+}
+
+// Inverse of the standard normal CDF (Acklam's rational approximation,
+// ~1e-9 absolute error). Requires 0 < p < 1. Used by the C4.5-style
+// pessimistic-error upper bound in post-pruning.
+double NormalQuantile(double p);
+
+// C4.5's upper confidence bound on the error *count*: given `errors`
+// observed misclassifications out of `total` (weighted) cases, returns the
+// pessimistic error count at the given confidence level (C4.5's CF,
+// default 0.25). Requires total > 0, 0 <= errors <= total, 0 < cf < 1.
+double PessimisticErrorCount(double errors, double total, double cf);
+
+// Kahan compensated summation; keeps class-mass prefix sums accurate over
+// hundreds of thousands of sample points.
+class KahanSum {
+ public:
+  void Add(double value) {
+    double y = value - compensation_;
+    double t = sum_ + y;
+    compensation_ = (t - sum_) - y;
+    sum_ = t;
+  }
+
+  double value() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+}  // namespace udt
+
+#endif  // UDT_COMMON_MATH_H_

@@ -1,0 +1,44 @@
+#include "common/random.h"
+
+namespace udt {
+
+double Rng::Uniform(double lo, double hi) {
+  UDT_DCHECK(lo < hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  UDT_DCHECK(stddev >= 0.0);
+  if (stddev == 0.0) return mean;
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+int Rng::UniformInt(int n) {
+  UDT_DCHECK(n > 0);
+  std::uniform_int_distribution<int> dist(0, n - 1);
+  return dist(engine_);
+}
+
+int Rng::UniformIntRange(int lo, int hi) {
+  UDT_DCHECK(lo <= hi);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+Rng Rng::Fork() {
+  uint64_t child_seed = engine_();
+  // Avoid the degenerate all-zero seed.
+  if (child_seed == 0) child_seed = 0x9e3779b97f4a7c15ULL;
+  return Rng(child_seed);
+}
+
+}  // namespace udt

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (data generators, uncertainty
+// injection, end-point sampling experiments, cross-validation shuffles) draw
+// from an explicitly seeded Rng so that every experiment is reproducible.
+
+#ifndef UDT_COMMON_RANDOM_H_
+#define UDT_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace udt {
+
+// A seedable PRNG wrapper around std::mt19937_64 with the distribution
+// helpers the library needs. Not thread-safe; use one Rng per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniformly distributed double in [lo, hi). Requires lo < hi.
+  double Uniform(double lo, double hi);
+
+  // Standard uniform in [0, 1).
+  double Uniform01() { return Uniform(0.0, 1.0); }
+
+  // Normally distributed double with the given mean and standard deviation.
+  // Requires stddev >= 0.
+  double Gaussian(double mean, double stddev);
+
+  // Uniformly distributed integer in [0, n). Requires n > 0.
+  int UniformInt(int n);
+
+  // Uniformly distributed integer in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformIntRange(int lo, int hi);
+
+  // Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(static_cast<int>(i)));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  // Derives an independent child generator; useful for giving each
+  // data set / fold / repetition its own stream.
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace udt
+
+#endif  // UDT_COMMON_RANDOM_H_

@@ -1,0 +1,70 @@
+// StatusOr<T>: either a value of type T or an error Status.
+// Mirrors absl::StatusOr at the small scale this project needs.
+
+#ifndef UDT_COMMON_STATUSOR_H_
+#define UDT_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace udt {
+
+// Holds a T on success or a non-OK Status on failure. Accessing the value of
+// a failed StatusOr is a checked programming error.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit conversions from T and Status keep call sites readable
+  // (`return value;` / `return Status::InvalidArgument(...)`), matching the
+  // established absl::StatusOr idiom.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    UDT_CHECK(!status_.ok());  // An OK StatusOr must carry a value.
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    UDT_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    UDT_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    UDT_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace udt
+
+// Assigns the value of a StatusOr expression to `lhs`, or propagates the
+// error Status to the caller.
+#define UDT_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto UDT_CONCAT_(_statusor_, __LINE__) = (expr);            \
+  if (!UDT_CONCAT_(_statusor_, __LINE__).ok()) \
+    return UDT_CONCAT_(_statusor_, __LINE__).status();        \
+  lhs = std::move(UDT_CONCAT_(_statusor_, __LINE__)).value()
+
+#define UDT_CONCAT_INNER_(a, b) a##b
+#define UDT_CONCAT_(a, b) UDT_CONCAT_INNER_(a, b)
+
+#endif  // UDT_COMMON_STATUSOR_H_

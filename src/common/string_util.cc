@@ -1,0 +1,70 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace udt {
+
+std::vector<std::string> SplitString(std::string_view text, char delimiter) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      break;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+std::string_view TrimWhitespace(std::string_view text) {
+  const char* kWhitespace = " \t\r\n\f\v";
+  size_t begin = text.find_first_not_of(kWhitespace);
+  if (begin == std::string_view::npos) return std::string_view();
+  size_t end = text.find_last_not_of(kWhitespace);
+  return text.substr(begin, end - begin + 1);
+}
+
+std::optional<double> ParseDouble(std::string_view text) {
+  text = TrimWhitespace(text);
+  if (text.empty()) return std::nullopt;
+  std::string buffer(text);
+  char* end = nullptr;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<int> ParseInt(std::string_view text) {
+  text = TrimWhitespace(text);
+  if (text.empty()) return std::nullopt;
+  std::string buffer(text);
+  char* end = nullptr;
+  long value = std::strtol(buffer.c_str(), &end, 10);
+  if (end != buffer.c_str() + buffer.size()) return std::nullopt;
+  if (value < 0 || value > 2147483647L) return std::nullopt;
+  return static_cast<int>(value);
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int size = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  if (size < 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string result(static_cast<size_t>(size), '\0');
+  std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+}  // namespace udt

@@ -1,0 +1,32 @@
+// String helpers: splitting, trimming, printf-style formatting and number
+// parsing used by the CSV reader and the bench/report printers.
+
+#ifndef UDT_COMMON_STRING_UTIL_H_
+#define UDT_COMMON_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace udt {
+
+// Splits `text` on `delimiter`; keeps empty fields ("a,,b" -> 3 fields).
+std::vector<std::string> SplitString(std::string_view text, char delimiter);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view text);
+
+// Parses a double; returns nullopt on malformed input or trailing garbage.
+std::optional<double> ParseDouble(std::string_view text);
+
+// Parses a non-negative integer; returns nullopt on malformed input.
+std::optional<int> ParseInt(std::string_view text);
+
+// printf-style formatting into std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace udt
+
+#endif  // UDT_COMMON_STRING_UTIL_H_

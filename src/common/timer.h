@@ -1,0 +1,30 @@
+// Wall-clock timer used by the benchmark harnesses (Figs 6, 8, 9).
+
+#ifndef UDT_COMMON_TIMER_H_
+#define UDT_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace udt {
+
+// Measures elapsed wall-clock time. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  // Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace udt
+
+#endif  // UDT_COMMON_TIMER_H_

@@ -1,0 +1,196 @@
+#include "core/builder.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/math.h"
+#include "common/timer.h"
+#include "split/categorical.h"
+#include "split/fractional_tuple.h"
+#include "tree/post_prune.h"
+
+namespace udt {
+
+namespace {
+
+// Recursive construction state shared across one Build call.
+struct BuildContext {
+  const Dataset* data = nullptr;
+  const TreeConfig* config = nullptr;
+  const SplitFinder* finder = nullptr;
+  SplitOptions split_options;
+  BuildStats* stats = nullptr;
+};
+
+bool IsPure(const std::vector<double>& counts) {
+  int with_mass = 0;
+  for (double c : counts) {
+    if (c > kMassEpsilon) ++with_mass;
+  }
+  return with_mass <= 1;
+}
+
+void FillNodeStatistics(TreeNode* node, std::vector<double> counts) {
+  double total = 0.0;
+  for (double c : counts) total += c;
+  node->distribution.assign(counts.size(), 0.0);
+  if (total > 0.0) {
+    for (size_t c = 0; c < counts.size(); ++c) {
+      node->distribution[c] = counts[c] / total;
+    }
+  } else {
+    for (double& d : node->distribution) {
+      d = 1.0 / static_cast<double>(node->distribution.size());
+    }
+  }
+  node->class_counts = std::move(counts);
+}
+
+std::unique_ptr<TreeNode> BuildNode(const BuildContext& ctx,
+                                    const WorkingSet& set, int depth,
+                                    std::vector<bool>* used_categorical) {
+  const Dataset& data = *ctx.data;
+  const TreeConfig& config = *ctx.config;
+
+  auto node = std::make_unique<TreeNode>();
+  std::vector<double> counts = ClassCounts(data, set, data.num_classes());
+  double total = 0.0;
+  for (double c : counts) total += c;
+  FillNodeStatistics(node.get(), counts);
+  ++ctx.stats->nodes;
+
+  // Stopping rules (pre-pruning).
+  if (depth >= config.max_depth || total < config.min_split_weight ||
+      IsPure(node->class_counts) || set.empty()) {
+    ++ctx.stats->leaves;
+    return node;
+  }
+
+  SplitScorer scorer(config.measure, node->class_counts);
+
+  // Best numerical split.
+  SplitCandidate best = ctx.finder->FindBestSplit(
+      data, set, scorer, ctx.split_options, &ctx.stats->counters);
+
+  // Categorical candidates (Section 7.2); an attribute used by an ancestor
+  // cannot yield further gain and is skipped.
+  int best_categorical = -1;
+  for (int j = 0; j < data.num_attributes(); ++j) {
+    if (data.schema().attribute(j).kind != AttributeKind::kCategorical) {
+      continue;
+    }
+    if ((*used_categorical)[static_cast<size_t>(j)]) continue;
+    CategoricalSplitResult result = EvaluateCategoricalSplit(
+        data, set, j, scorer, ctx.split_options, &ctx.stats->counters);
+    if (!result.valid) continue;
+    SplitCandidate candidate;
+    candidate.valid = true;
+    candidate.attribute = j;
+    candidate.split_point = 0.0;
+    candidate.score = result.score;
+    if (!best.valid || candidate.BetterThan(best)) {
+      best = candidate;
+      best_categorical = j;
+    }
+  }
+
+  if (!best.valid ||
+      scorer.GainForScore(best.score) < config.min_gain) {
+    ++ctx.stats->leaves;
+    return node;
+  }
+
+  if (best_categorical >= 0) {
+    int num_categories =
+        data.schema().attribute(best_categorical).num_categories;
+    std::vector<WorkingSet> buckets;
+    PartitionWorkingSetCategorical(data, set, best_categorical,
+                                   num_categories, &buckets);
+    int populated = 0;
+    for (const WorkingSet& bucket : buckets) {
+      if (!bucket.empty()) ++populated;
+    }
+    if (populated < 2) {  // degenerate in practice; make a leaf
+      ++ctx.stats->leaves;
+      return node;
+    }
+    node->attribute = best_categorical;
+    node->is_categorical = true;
+    (*used_categorical)[static_cast<size_t>(best_categorical)] = true;
+    node->children.reserve(static_cast<size_t>(num_categories));
+    for (WorkingSet& bucket : buckets) {
+      if (bucket.empty()) {
+        // Unreached category: predict with the parent distribution.
+        auto child = std::make_unique<TreeNode>();
+        FillNodeStatistics(child.get(), node->class_counts);
+        ++ctx.stats->nodes;
+        ++ctx.stats->leaves;
+        node->children.push_back(std::move(child));
+      } else {
+        node->children.push_back(
+            BuildNode(ctx, bucket, depth + 1, used_categorical));
+      }
+    }
+    (*used_categorical)[static_cast<size_t>(best_categorical)] = false;
+    return node;
+  }
+
+  WorkingSet left, right;
+  PartitionWorkingSet(data, set, best.attribute, best.split_point, &left,
+                      &right);
+  if (left.empty() || right.empty()) {
+    // Guarded against by min_side_mass, but weight drops of micro-fragments
+    // can in principle empty a side; fall back to a leaf.
+    ++ctx.stats->leaves;
+    return node;
+  }
+
+  node->attribute = best.attribute;
+  node->is_categorical = false;
+  node->split_point = best.split_point;
+  node->left = BuildNode(ctx, left, depth + 1, used_categorical);
+  node->right = BuildNode(ctx, right, depth + 1, used_categorical);
+  return node;
+}
+
+}  // namespace
+
+TreeBuilder::TreeBuilder(TreeConfig config) : config_(std::move(config)) {}
+
+StatusOr<DecisionTree> TreeBuilder::Build(const Dataset& train,
+                                          BuildStats* stats) const {
+  UDT_RETURN_NOT_OK(config_.Validate());
+  if (train.empty()) {
+    return Status::InvalidArgument("cannot build a tree on an empty data set");
+  }
+
+  BuildStats local_stats;
+  BuildContext ctx;
+  ctx.data = &train;
+  ctx.config = &config_;
+  std::unique_ptr<SplitFinder> finder = MakeSplitFinder(config_.algorithm);
+  ctx.finder = finder.get();
+  ctx.split_options = config_.split_options;
+  ctx.split_options.measure = config_.measure;
+  ctx.stats = stats != nullptr ? stats : &local_stats;
+
+  WallTimer timer;
+  WorkingSet root_set = MakeRootWorkingSet(train);
+  std::vector<bool> used_categorical(
+      static_cast<size_t>(train.num_attributes()), false);
+  std::unique_ptr<TreeNode> root =
+      BuildNode(ctx, root_set, /*depth=*/0, &used_categorical);
+
+  DecisionTree tree(train.schema(), std::move(root));
+  if (config_.post_prune) {
+    PostPruneOptions prune_options;
+    prune_options.confidence = config_.pruning_confidence;
+    PostPruneStats prune_stats = PostPruneTree(&tree, prune_options);
+    ctx.stats->subtrees_collapsed = prune_stats.subtrees_collapsed;
+  }
+  ctx.stats->build_seconds = timer.ElapsedSeconds();
+  return tree;
+}
+
+}  // namespace udt

@@ -1,0 +1,45 @@
+// TreeBuilder: the top-down greedy construction shared by AVG and all UDT
+// variants (Sections 4.1-4.2). At each node the configured SplitFinder
+// proposes the best numerical split, categorical attributes are scored by
+// the Section 7.2 rule, the working set is partitioned into fractional
+// tuples and the children are built recursively.
+
+#ifndef UDT_CORE_BUILDER_H_
+#define UDT_CORE_BUILDER_H_
+
+#include "common/statusor.h"
+#include "core/config.h"
+#include "split/split_finder.h"
+#include "table/dataset.h"
+#include "tree/tree.h"
+
+namespace udt {
+
+// Work and structure statistics of one build.
+struct BuildStats {
+  SplitCounters counters;       // accumulated over every node
+  int nodes = 0;                // before post-pruning
+  int leaves = 0;               // before post-pruning
+  int subtrees_collapsed = 0;   // by post-pruning
+  double build_seconds = 0.0;   // wall-clock, excludes data preparation
+};
+
+// Builds decision trees from uncertain data sets under a fixed config.
+class TreeBuilder {
+ public:
+  explicit TreeBuilder(TreeConfig config);
+
+  // Trains a tree on `train`. Fails on an empty data set or invalid
+  // config. `stats` may be null.
+  StatusOr<DecisionTree> Build(const Dataset& train,
+                               BuildStats* stats) const;
+
+  const TreeConfig& config() const { return config_; }
+
+ private:
+  TreeConfig config_;
+};
+
+}  // namespace udt
+
+#endif  // UDT_CORE_BUILDER_H_

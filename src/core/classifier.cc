@@ -1,0 +1,65 @@
+#include "core/classifier.h"
+
+#include "tree/classify.h"
+
+namespace udt {
+
+UncertainTuple TupleToMeans(const UncertainTuple& tuple) {
+  UncertainTuple reduced;
+  reduced.label = tuple.label;
+  reduced.values.reserve(tuple.values.size());
+  for (const UncertainValue& v : tuple.values) {
+    if (v.is_numerical()) {
+      reduced.values.push_back(
+          UncertainValue::Numerical(SampledPdf::PointMass(v.pdf().Mean())));
+    } else {
+      reduced.values.push_back(UncertainValue::Categorical(
+          CategoricalPdf::Certain(v.categorical().MostLikely(),
+                                  v.categorical().num_categories())));
+    }
+  }
+  return reduced;
+}
+
+StatusOr<UncertainTreeClassifier> UncertainTreeClassifier::Train(
+    const Dataset& train, const TreeConfig& config, BuildStats* stats) {
+  TreeBuilder builder(config);
+  UDT_ASSIGN_OR_RETURN(DecisionTree tree, builder.Build(train, stats));
+  return UncertainTreeClassifier(std::move(tree));
+}
+
+UncertainTreeClassifier::UncertainTreeClassifier(DecisionTree tree)
+    : tree_(std::make_shared<const DecisionTree>(std::move(tree))) {}
+
+std::vector<double> UncertainTreeClassifier::ClassifyDistribution(
+    const UncertainTuple& tuple) const {
+  return udt::ClassifyDistribution(*tree_, tuple);
+}
+
+int UncertainTreeClassifier::Predict(const UncertainTuple& tuple) const {
+  return PredictLabel(*tree_, tuple);
+}
+
+StatusOr<AveragingClassifier> AveragingClassifier::Train(
+    const Dataset& train, const TreeConfig& config, BuildStats* stats) {
+  TreeConfig avg_config = config;
+  avg_config.algorithm = SplitAlgorithm::kAvg;
+  TreeBuilder builder(avg_config);
+  UDT_ASSIGN_OR_RETURN(DecisionTree tree,
+                       builder.Build(train.ToMeans(), stats));
+  return AveragingClassifier(std::move(tree));
+}
+
+AveragingClassifier::AveragingClassifier(DecisionTree tree)
+    : tree_(std::make_shared<const DecisionTree>(std::move(tree))) {}
+
+std::vector<double> AveragingClassifier::ClassifyDistribution(
+    const UncertainTuple& tuple) const {
+  return udt::ClassifyDistribution(*tree_, TupleToMeans(tuple));
+}
+
+int AveragingClassifier::Predict(const UncertainTuple& tuple) const {
+  return PredictLabel(*tree_, TupleToMeans(tuple));
+}
+
+}  // namespace udt

@@ -1,0 +1,83 @@
+// Public classifier facade: the Distribution-based classifier (UDT,
+// Section 4.2) and the Averaging baseline (AVG, Section 4.1) behind one
+// interface, so evaluation code treats them uniformly.
+
+#ifndef UDT_CORE_CLASSIFIER_H_
+#define UDT_CORE_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/builder.h"
+#include "core/config.h"
+#include "table/dataset.h"
+#include "tree/tree.h"
+
+namespace udt {
+
+// Interface shared by every trained model.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  // Probability distribution over class labels for one test tuple.
+  virtual std::vector<double> ClassifyDistribution(
+      const UncertainTuple& tuple) const = 0;
+
+  // Single-label prediction: argmax of ClassifyDistribution.
+  virtual int Predict(const UncertainTuple& tuple) const = 0;
+
+  // The underlying decision tree.
+  virtual const DecisionTree& tree() const = 0;
+};
+
+// Reduces every numerical value of `tuple` to a point mass at its mean (the
+// Averaging view of a test tuple).
+UncertainTuple TupleToMeans(const UncertainTuple& tuple);
+
+// The Distribution-based classifier: trains on the full pdfs and classifies
+// uncertain test tuples by fractional propagation.
+class UncertainTreeClassifier final : public Classifier {
+ public:
+  // Trains with the given config. `stats` may be null.
+  static StatusOr<UncertainTreeClassifier> Train(const Dataset& train,
+                                                 const TreeConfig& config,
+                                                 BuildStats* stats);
+
+  // Wraps an existing tree (e.g. parsed from tree_io).
+  explicit UncertainTreeClassifier(DecisionTree tree);
+
+  std::vector<double> ClassifyDistribution(
+      const UncertainTuple& tuple) const override;
+  int Predict(const UncertainTuple& tuple) const override;
+  const DecisionTree& tree() const override { return *tree_; }
+
+ private:
+  std::shared_ptr<const DecisionTree> tree_;
+};
+
+// The Averaging baseline: trains a classical tree on pdf means and reduces
+// test tuples to their means before traversal.
+class AveragingClassifier final : public Classifier {
+ public:
+  // Trains on train.ToMeans() with the exhaustive point search (the
+  // config's algorithm is overridden to kAvg). `stats` may be null.
+  static StatusOr<AveragingClassifier> Train(const Dataset& train,
+                                             const TreeConfig& config,
+                                             BuildStats* stats);
+
+  std::vector<double> ClassifyDistribution(
+      const UncertainTuple& tuple) const override;
+  int Predict(const UncertainTuple& tuple) const override;
+  const DecisionTree& tree() const override { return *tree_; }
+
+ private:
+  explicit AveragingClassifier(DecisionTree tree);
+
+  std::shared_ptr<const DecisionTree> tree_;
+};
+
+}  // namespace udt
+
+#endif  // UDT_CORE_CLASSIFIER_H_

@@ -1,0 +1,40 @@
+#include "core/config.h"
+
+#include "common/string_util.h"
+
+namespace udt {
+
+Status TreeConfig::Validate() const {
+  if (max_depth < 1) {
+    return Status::InvalidArgument("max_depth must be >= 1");
+  }
+  if (min_split_weight < 0.0) {
+    return Status::InvalidArgument("min_split_weight must be >= 0");
+  }
+  if (pruning_confidence <= 0.0 || pruning_confidence >= 1.0) {
+    return Status::InvalidArgument("pruning_confidence must be in (0, 1)");
+  }
+  if (split_options.es_endpoint_sample_rate <= 0.0 ||
+      split_options.es_endpoint_sample_rate > 1.0) {
+    return Status::InvalidArgument(
+        "es_endpoint_sample_rate must be in (0, 1]");
+  }
+  if (split_options.percentiles_per_class < 1) {
+    return Status::InvalidArgument("percentiles_per_class must be >= 1");
+  }
+  if (split_options.min_side_mass < 0.0) {
+    return Status::InvalidArgument("min_side_mass must be >= 0");
+  }
+  return Status::OK();
+}
+
+std::string TreeConfig::ToString() const {
+  return StrFormat(
+      "algorithm=%s measure=%s max_depth=%d min_split_weight=%.3g "
+      "min_gain=%.3g post_prune=%s cf=%.2f es_rate=%.2f",
+      SplitAlgorithmToString(algorithm), DispersionMeasureToString(measure),
+      max_depth, min_split_weight, min_gain, post_prune ? "yes" : "no",
+      pruning_confidence, split_options.es_endpoint_sample_rate);
+}
+
+}  // namespace udt

@@ -1,0 +1,48 @@
+// Configuration of the tree-building pipeline: which split-search
+// algorithm, which dispersion measure, and the pre-/post-pruning knobs of
+// the C4.5 framework the paper builds on.
+
+#ifndef UDT_CORE_CONFIG_H_
+#define UDT_CORE_CONFIG_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "split/dispersion.h"
+#include "split/split_finder.h"
+#include "tree/post_prune.h"
+
+namespace udt {
+
+struct TreeConfig {
+  // Split-search algorithm. All UDT variants build the same tree (safe
+  // pruning); they differ only in construction cost. kAvg is meaningful on
+  // means-reduced data (see AveragingClassifier).
+  SplitAlgorithm algorithm = SplitAlgorithm::kUdtEs;
+
+  DispersionMeasure measure = DispersionMeasure::kEntropy;
+
+  // Pre-pruning: stop growing when a node is deeper than max_depth, lighter
+  // than min_split_weight, or the best split gains less than min_gain.
+  int max_depth = 64;
+  double min_split_weight = 4.0;
+  double min_gain = 1e-9;
+
+  // Post-pruning (C4.5 pessimistic-error pruning).
+  bool post_prune = true;
+  double pruning_confidence = 0.25;
+
+  // Knobs forwarded to the split finders (the measure is copied in by the
+  // builder; leave split_options.measure untouched).
+  SplitOptions split_options;
+
+  // Validates parameter ranges.
+  Status Validate() const;
+
+  // One-line description for experiment logs.
+  std::string ToString() const;
+};
+
+}  // namespace udt
+
+#endif  // UDT_CORE_CONFIG_H_

@@ -1,0 +1,71 @@
+#include "datagen/japanese_vowel.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "pdf/pdf_builder.h"
+
+namespace udt {
+namespace datagen {
+
+Dataset GenerateJapaneseVowelLike(const JapaneseVowelConfig& config) {
+  UDT_CHECK(config.num_tuples > 0);
+  UDT_CHECK(config.num_speakers >= 2);
+  UDT_CHECK(config.num_attributes > 0);
+  UDT_CHECK(config.min_samples >= 1);
+  UDT_CHECK(config.max_samples >= config.min_samples);
+
+  Rng rng(config.seed);
+
+  std::vector<std::string> class_names;
+  class_names.reserve(static_cast<size_t>(config.num_speakers));
+  for (int c = 0; c < config.num_speakers; ++c) {
+    class_names.push_back(StrFormat("speaker%d", c + 1));
+  }
+  Dataset dataset(
+      Schema::Numerical(config.num_attributes, std::move(class_names)));
+
+  // Per-speaker mean LPC profile.
+  std::vector<std::vector<double>> speaker_means(
+      static_cast<size_t>(config.num_speakers));
+  for (int c = 0; c < config.num_speakers; ++c) {
+    speaker_means[static_cast<size_t>(c)].resize(
+        static_cast<size_t>(config.num_attributes));
+    for (int j = 0; j < config.num_attributes; ++j) {
+      speaker_means[static_cast<size_t>(c)][static_cast<size_t>(j)] =
+          rng.Gaussian(0.0, config.speaker_spread);
+    }
+  }
+
+  for (int i = 0; i < config.num_tuples; ++i) {
+    int speaker = i % config.num_speakers;
+    UncertainTuple tuple;
+    tuple.label = speaker;
+    tuple.values.reserve(static_cast<size_t>(config.num_attributes));
+    // One utterance: every attribute shares the utterance-level offset
+    // draw, its frames scatter independently.
+    for (int j = 0; j < config.num_attributes; ++j) {
+      double base =
+          speaker_means[static_cast<size_t>(speaker)][static_cast<size_t>(j)] +
+          rng.Gaussian(0.0, config.utterance_stddev);
+      int num_samples =
+          rng.UniformIntRange(config.min_samples, config.max_samples);
+      std::vector<double> raw(static_cast<size_t>(num_samples));
+      for (int t = 0; t < num_samples; ++t) {
+        raw[static_cast<size_t>(t)] =
+            base + rng.Gaussian(0.0, config.frame_stddev);
+      }
+      StatusOr<SampledPdf> pdf = MakePdfFromSamples(raw);
+      UDT_CHECK(pdf.ok());
+      tuple.values.push_back(UncertainValue::Numerical(std::move(*pdf)));
+    }
+    Status st = dataset.AddTuple(std::move(tuple));
+    UDT_CHECK(st.ok());
+  }
+  return dataset;
+}
+
+}  // namespace datagen
+}  // namespace udt

@@ -1,0 +1,84 @@
+#include "datagen/synthetic.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace udt {
+namespace datagen {
+
+PointDataset GenerateSynthetic(const SyntheticConfig& config) {
+  UDT_CHECK(config.num_tuples > 0);
+  UDT_CHECK(config.num_attributes > 0);
+  UDT_CHECK(config.num_classes >= 2);
+  UDT_CHECK(config.clusters_per_class >= 1);
+
+  Rng rng(config.seed);
+
+  std::vector<std::string> class_names;
+  class_names.reserve(static_cast<size_t>(config.num_classes));
+  for (int c = 0; c < config.num_classes; ++c) {
+    class_names.push_back(StrFormat("c%d", c));
+  }
+  PointDataset dataset(
+      Schema::Numerical(config.num_attributes, std::move(class_names)));
+
+  // Which attributes are informative?
+  std::vector<bool> informative(static_cast<size_t>(config.num_attributes),
+                                true);
+  int num_irrelevant = static_cast<int>(
+      config.irrelevant_fraction * config.num_attributes);
+  for (int j = 0; j < num_irrelevant; ++j) {
+    informative[static_cast<size_t>(j * config.num_attributes /
+                                    std::max(1, num_irrelevant)) %
+                static_cast<size_t>(config.num_attributes)] = false;
+  }
+
+  // Cluster centroids per class, in [0, 1] attribute space.
+  std::vector<std::vector<std::vector<double>>> centroids(
+      static_cast<size_t>(config.num_classes));
+  for (int c = 0; c < config.num_classes; ++c) {
+    centroids[static_cast<size_t>(c)].resize(
+        static_cast<size_t>(config.clusters_per_class));
+    for (int g = 0; g < config.clusters_per_class; ++g) {
+      std::vector<double>& center =
+          centroids[static_cast<size_t>(c)][static_cast<size_t>(g)];
+      center.resize(static_cast<size_t>(config.num_attributes));
+      for (int j = 0; j < config.num_attributes; ++j) {
+        center[static_cast<size_t>(j)] = rng.Uniform(0.0, 1.0);
+      }
+    }
+  }
+
+  // sigma conventions: value spreads are fractions of the unit range; the
+  // inherent noise follows the paper's sigma = (x * |Aj|) / 4 rule.
+  double cluster_sigma = config.cluster_stddev;
+  double noise_sigma = config.inherent_noise / 4.0;
+
+  for (int i = 0; i < config.num_tuples; ++i) {
+    int label = i % config.num_classes;  // balanced classes
+    int cluster = rng.UniformInt(config.clusters_per_class);
+    const std::vector<double>& center =
+        centroids[static_cast<size_t>(label)][static_cast<size_t>(cluster)];
+
+    std::vector<double> row(static_cast<size_t>(config.num_attributes));
+    for (int j = 0; j < config.num_attributes; ++j) {
+      double true_value =
+          informative[static_cast<size_t>(j)]
+              ? rng.Gaussian(center[static_cast<size_t>(j)], cluster_sigma)
+              : rng.Uniform(0.0, 1.0);
+      double recorded = true_value + rng.Gaussian(0.0, noise_sigma);
+      if (config.integer_domain) {
+        recorded = std::round(recorded * config.integer_levels);
+      }
+      row[static_cast<size_t>(j)] = recorded;
+    }
+    Status st = dataset.AddRow(std::move(row), label);
+    UDT_CHECK(st.ok());
+  }
+  return dataset;
+}
+
+}  // namespace datagen
+}  // namespace udt

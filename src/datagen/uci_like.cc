@@ -1,0 +1,80 @@
+#include "datagen/uci_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace udt {
+namespace datagen {
+
+const std::vector<UciDatasetSpec>& UciCatalogue() {
+  // Shapes follow the published UCI characteristics referenced by Table 2.
+  // "JapaneseVowel" is listed for completeness; its uncertain form is
+  // produced by datagen/japanese_vowel.h from raw samples rather than by
+  // the injector.
+  static const std::vector<UciDatasetSpec>* kCatalogue =
+      new std::vector<UciDatasetSpec>{
+          {"JapaneseVowel", 640, 12, 9, false, true},
+          {"Iris", 150, 4, 3, false, false},
+          {"BreastCancer", 569, 30, 2, false, false},
+          {"Ionosphere", 351, 32, 2, false, false},
+          {"Glass", 214, 9, 6, false, false},
+          {"Segment", 2310, 19, 7, false, false},
+          {"Satellite", 6435, 36, 6, true, false},
+          {"PenDigits", 10992, 16, 10, true, false},
+          {"Vehicle", 846, 18, 4, true, false},
+          {"PageBlock", 5473, 10, 5, false, false},
+      };
+  return *kCatalogue;
+}
+
+StatusOr<UciDatasetSpec> FindUciSpec(const std::string& name) {
+  for (const UciDatasetSpec& spec : UciCatalogue()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("no such data set: " + name);
+}
+
+namespace {
+
+// Stable 64-bit hash of the data-set name, used to give every data set its
+// own deterministic generator stream.
+uint64_t NameSeed(const std::string& name) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (unsigned char ch : name) {
+    h ^= ch;
+    h *= 0x100000001b3ULL;
+  }
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace
+
+SyntheticConfig MakeUciLikeConfig(const UciDatasetSpec& spec, double scale) {
+  UDT_CHECK(scale > 0.0 && scale <= 1.0);
+  SyntheticConfig config;
+  config.name = spec.name;
+  config.num_tuples = std::max(
+      spec.num_classes * 4,
+      static_cast<int>(std::lround(spec.num_tuples * scale)));
+  config.num_attributes = spec.num_attributes;
+  config.num_classes = spec.num_classes;
+  // More classes -> more clusters so the geometry stays non-trivial; a
+  // pinch of irrelevant attributes for the wide data sets.
+  config.clusters_per_class = spec.num_classes >= 7 ? 2 : 3;
+  config.cluster_stddev = 0.07;
+  config.inherent_noise = 0.10;
+  config.irrelevant_fraction = spec.num_attributes >= 20 ? 0.25 : 0.0;
+  config.integer_domain = spec.integer_domain;
+  config.integer_levels = 100;
+  config.seed = NameSeed(spec.name);
+  return config;
+}
+
+PointDataset MakeUciLikePointData(const UciDatasetSpec& spec, double scale) {
+  return GenerateSynthetic(MakeUciLikeConfig(spec, scale));
+}
+
+}  // namespace datagen
+}  // namespace udt

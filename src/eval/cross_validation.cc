@@ -1,0 +1,64 @@
+#include "eval/cross_validation.h"
+
+#include <cmath>
+
+#include "core/classifier.h"
+#include "eval/metrics.h"
+
+namespace udt {
+
+StatusOr<CrossValidationResult> RunCrossValidation(const Dataset& data,
+                                                   const TreeConfig& config,
+                                                   ClassifierKind kind,
+                                                   int folds, Rng* rng) {
+  if (folds < 2) return Status::InvalidArgument("folds must be >= 2");
+  if (data.num_tuples() < folds) {
+    return Status::InvalidArgument("fewer tuples than folds");
+  }
+  UDT_RETURN_NOT_OK(config.Validate());
+
+  std::vector<int> fold_of = data.StratifiedFolds(folds, rng);
+
+  CrossValidationResult result;
+  result.fold_accuracies.reserve(static_cast<size_t>(folds));
+  for (int f = 0; f < folds; ++f) {
+    auto [train, test] = data.SplitByFold(fold_of, f);
+    if (train.empty() || test.empty()) continue;
+    BuildStats stats;
+    double accuracy = 0.0;
+    if (kind == ClassifierKind::kAveraging) {
+      UDT_ASSIGN_OR_RETURN(AveragingClassifier classifier,
+                           AveragingClassifier::Train(train, config, &stats));
+      accuracy = EvaluateAccuracy(classifier, test);
+    } else {
+      UDT_ASSIGN_OR_RETURN(
+          UncertainTreeClassifier classifier,
+          UncertainTreeClassifier::Train(train, config, &stats));
+      accuracy = EvaluateAccuracy(classifier, test);
+    }
+    result.fold_accuracies.push_back(accuracy);
+    result.total_build_stats.counters += stats.counters;
+    result.total_build_stats.nodes += stats.nodes;
+    result.total_build_stats.leaves += stats.leaves;
+    result.total_build_stats.subtrees_collapsed += stats.subtrees_collapsed;
+    result.total_build_stats.build_seconds += stats.build_seconds;
+  }
+  if (result.fold_accuracies.empty()) {
+    return Status::Internal("no usable folds");
+  }
+
+  double sum = 0.0;
+  for (double a : result.fold_accuracies) sum += a;
+  result.mean_accuracy = sum / static_cast<double>(
+                                   result.fold_accuracies.size());
+  double var = 0.0;
+  for (double a : result.fold_accuracies) {
+    double d = a - result.mean_accuracy;
+    var += d * d;
+  }
+  var /= static_cast<double>(result.fold_accuracies.size());
+  result.stddev_accuracy = std::sqrt(var);
+  return result;
+}
+
+}  // namespace udt

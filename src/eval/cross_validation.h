@@ -1,0 +1,40 @@
+// k-fold cross-validation (the paper uses 10-fold for data sets without a
+// predefined train/test split, Section 4.3).
+
+#ifndef UDT_EVAL_CROSS_VALIDATION_H_
+#define UDT_EVAL_CROSS_VALIDATION_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "core/builder.h"
+#include "core/config.h"
+#include "table/dataset.h"
+
+namespace udt {
+
+// Which classifier family a cross-validation run trains.
+enum class ClassifierKind {
+  kAveraging,          // AVG (Section 4.1)
+  kDistributionBased,  // UDT (Section 4.2)
+};
+
+struct CrossValidationResult {
+  std::vector<double> fold_accuracies;
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+  // Work statistics accumulated over all folds.
+  BuildStats total_build_stats;
+};
+
+// Runs stratified k-fold cross-validation of the given classifier kind.
+// Deterministic in *rng's state.
+StatusOr<CrossValidationResult> RunCrossValidation(const Dataset& data,
+                                                   const TreeConfig& config,
+                                                   ClassifierKind kind,
+                                                   int folds, Rng* rng);
+
+}  // namespace udt
+
+#endif  // UDT_EVAL_CROSS_VALIDATION_H_

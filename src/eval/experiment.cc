@@ -1,0 +1,87 @@
+#include "eval/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "datagen/japanese_vowel.h"
+
+namespace udt {
+
+StatusOr<Dataset> PrepareUncertainDataset(const datagen::UciDatasetSpec& spec,
+                                          double scale, double w, int s,
+                                          ErrorModel model) {
+  if (spec.from_raw_samples) {
+    datagen::JapaneseVowelConfig config;
+    config.num_tuples = std::max(
+        spec.num_classes * 4,
+        static_cast<int>(spec.num_tuples * scale));
+    config.num_speakers = spec.num_classes;
+    config.num_attributes = spec.num_attributes;
+    return datagen::GenerateJapaneseVowelLike(config);
+  }
+  PointDataset points = datagen::MakeUciLikePointData(spec, scale);
+  UncertaintyOptions options;
+  options.width_fraction = w;
+  options.samples_per_pdf = s;
+  options.error_model = model;
+  return InjectUncertainty(points, options);
+}
+
+StatusOr<double> CvAccuracy(const Dataset& data, const TreeConfig& config,
+                            ClassifierKind kind, int folds, uint64_t seed) {
+  Rng rng(seed);
+  UDT_ASSIGN_OR_RETURN(CrossValidationResult result,
+                       RunCrossValidation(data, config, kind, folds, &rng));
+  return result.mean_accuracy;
+}
+
+StatusOr<BuildStats> MeasureTreeBuild(const Dataset& data,
+                                      const TreeConfig& config) {
+  TreeBuilder builder(config);
+  BuildStats stats;
+  UDT_ASSIGN_OR_RETURN(DecisionTree tree, builder.Build(data, &stats));
+  (void)tree;  // only the statistics matter here
+  return stats;
+}
+
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--full") == 0) {
+      options.full = true;
+    } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+      std::optional<double> v = ParseDouble(arg + 8);
+      if (!v.has_value() || *v <= 0.0 || *v > 1.0) {
+        std::fprintf(stderr, "bad --scale value: %s\n", arg + 8);
+        std::exit(2);
+      }
+      options.scale = *v;
+    } else if (std::strncmp(arg, "--s=", 4) == 0) {
+      std::optional<int> v = ParseInt(arg + 4);
+      if (!v.has_value() || *v < 1) {
+        std::fprintf(stderr, "bad --s value: %s\n", arg + 4);
+        std::exit(2);
+      }
+      options.samples_per_pdf = *v;
+    } else if (std::strncmp(arg, "--folds=", 8) == 0) {
+      std::optional<int> v = ParseInt(arg + 8);
+      if (!v.has_value() || *v < 2) {
+        std::fprintf(stderr, "bad --folds value: %s\n", arg + 8);
+        std::exit(2);
+      }
+      options.folds = *v;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag: %s\n"
+                   "usage: %s [--full] [--scale=F] [--s=N] [--folds=N]\n",
+                   arg, argv[0]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+}  // namespace udt

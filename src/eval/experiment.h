@@ -1,0 +1,55 @@
+// Shared experiment drivers for the bench harnesses: data-set preparation
+// (Section 4.3 pipeline over the Table 2 catalogue) and timed/counted
+// tree builds.
+
+#ifndef UDT_EVAL_EXPERIMENT_H_
+#define UDT_EVAL_EXPERIMENT_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "core/builder.h"
+#include "core/config.h"
+#include "datagen/uci_like.h"
+#include "eval/cross_validation.h"
+#include "table/uncertainty_injector.h"
+
+namespace udt {
+
+// Prepares the uncertain form of a Table 2 data set:
+//  * "JapaneseVowel" (spec.from_raw_samples): pdfs from raw repeated
+//    measurements; `w`, `s` and `model` are ignored as in the paper.
+//  * otherwise: synthetic point data (shape per spec, shrunk by `scale`)
+//    run through the Section 4.3 injector with the given parameters.
+StatusOr<Dataset> PrepareUncertainDataset(const datagen::UciDatasetSpec& spec,
+                                          double scale, double w, int s,
+                                          ErrorModel model);
+
+// Cross-validated accuracy of one classifier family on `data`.
+// Deterministic in `seed`.
+StatusOr<double> CvAccuracy(const Dataset& data, const TreeConfig& config,
+                            ClassifierKind kind, int folds, uint64_t seed);
+
+// One full tree build, returning its work statistics (wall-clock seconds
+// and entropy-calculation counters; Figs 6-9 are built from these).
+StatusOr<BuildStats> MeasureTreeBuild(const Dataset& data,
+                                      const TreeConfig& config);
+
+// Standard bench command line: every harness accepts
+//   --full          paper-scale rows (default: scaled down)
+//   --scale=F       explicit scale factor in (0,1]
+//   --s=N           samples per pdf
+//   --folds=N       cross-validation folds
+// Unknown flags abort with a usage message.
+struct BenchOptions {
+  bool full = false;
+  double scale = 0.0;  // 0 = use the bench's default
+  int samples_per_pdf = 0;
+  int folds = 0;
+};
+
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
+}  // namespace udt
+
+#endif  // UDT_EVAL_EXPERIMENT_H_

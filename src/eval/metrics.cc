@@ -1,0 +1,88 @@
+#include "eval/metrics.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace udt {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      cells_(static_cast<size_t>(num_classes) *
+                 static_cast<size_t>(num_classes),
+             0) {
+  UDT_CHECK(num_classes >= 1);
+}
+
+void ConfusionMatrix::Add(int true_label, int predicted_label) {
+  UDT_CHECK(true_label >= 0 && true_label < num_classes_);
+  UDT_CHECK(predicted_label >= 0 && predicted_label < num_classes_);
+  ++cells_[static_cast<size_t>(true_label) *
+               static_cast<size_t>(num_classes_) +
+           static_cast<size_t>(predicted_label)];
+  ++total_;
+}
+
+int64_t ConfusionMatrix::count(int true_label, int predicted_label) const {
+  return cells_[static_cast<size_t>(true_label) *
+                    static_cast<size_t>(num_classes_) +
+                static_cast<size_t>(predicted_label)];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  int64_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+std::vector<double> ConfusionMatrix::Recalls() const {
+  std::vector<double> recalls(static_cast<size_t>(num_classes_), 0.0);
+  for (int c = 0; c < num_classes_; ++c) {
+    int64_t row = 0;
+    for (int p = 0; p < num_classes_; ++p) row += count(c, p);
+    if (row > 0) {
+      recalls[static_cast<size_t>(c)] =
+          static_cast<double>(count(c, c)) / static_cast<double>(row);
+    }
+  }
+  return recalls;
+}
+
+std::string ConfusionMatrix::ToString(
+    const std::vector<std::string>& class_names) const {
+  std::string out = StrFormat("%-12s", "true\\pred");
+  for (int p = 0; p < num_classes_; ++p) {
+    out += StrFormat("%10s",
+                     p < static_cast<int>(class_names.size())
+                         ? class_names[static_cast<size_t>(p)].c_str()
+                         : "?");
+  }
+  out += "\n";
+  for (int c = 0; c < num_classes_; ++c) {
+    out += StrFormat("%-12s",
+                     c < static_cast<int>(class_names.size())
+                         ? class_names[static_cast<size_t>(c)].c_str()
+                         : "?");
+    for (int p = 0; p < num_classes_; ++p) {
+      out += StrFormat("%10lld", static_cast<long long>(count(c, p)));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+ConfusionMatrix EvaluateConfusion(const Classifier& classifier,
+                                  const Dataset& test) {
+  ConfusionMatrix matrix(test.num_classes());
+  for (int i = 0; i < test.num_tuples(); ++i) {
+    const UncertainTuple& tuple = test.tuple(i);
+    matrix.Add(tuple.label, classifier.Predict(tuple));
+  }
+  return matrix;
+}
+
+double EvaluateAccuracy(const Classifier& classifier, const Dataset& test) {
+  return EvaluateConfusion(classifier, test).Accuracy();
+}
+
+}  // namespace udt

@@ -1,0 +1,51 @@
+// Classification quality metrics: accuracy and confusion matrices over
+// uncertain test sets. Following the paper, the predicted label is the
+// class of highest probability in the classifier's output distribution.
+
+#ifndef UDT_EVAL_METRICS_H_
+#define UDT_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "table/dataset.h"
+
+namespace udt {
+
+// Row-per-true-class confusion matrix with weighted helpers.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void Add(int true_label, int predicted_label);
+
+  int num_classes() const { return num_classes_; }
+  int64_t count(int true_label, int predicted_label) const;
+  int64_t total() const { return total_; }
+
+  // Fraction of predictions on the diagonal; 0 for an empty matrix.
+  double Accuracy() const;
+
+  // Per-class recall (diagonal / row sum); 0 for empty rows.
+  std::vector<double> Recalls() const;
+
+  // Pretty table for reports.
+  std::string ToString(const std::vector<std::string>& class_names) const;
+
+ private:
+  int num_classes_;
+  int64_t total_ = 0;
+  std::vector<int64_t> cells_;  // row-major [true][predicted]
+};
+
+// Classifies every tuple of `test` and tallies the matrix.
+ConfusionMatrix EvaluateConfusion(const Classifier& classifier,
+                                  const Dataset& test);
+
+// Convenience: accuracy on `test`.
+double EvaluateAccuracy(const Classifier& classifier, const Dataset& test);
+
+}  // namespace udt
+
+#endif  // UDT_EVAL_METRICS_H_

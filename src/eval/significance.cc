@@ -1,0 +1,90 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace udt {
+
+double StudentTQuantile(double p, int dof) {
+  UDT_CHECK(p > 0.0 && p < 1.0);
+  UDT_CHECK(dof >= 1);
+  if (dof == 1) {
+    // Cauchy: F^{-1}(p) = tan(pi (p - 1/2)).
+    return std::tan(M_PI * (p - 0.5));
+  }
+  if (dof == 2) {
+    // Exact closed form: t = a sqrt(2 / (1 - a^2)), a = 2p - 1.
+    double a = 2.0 * p - 1.0;
+    return a * std::sqrt(2.0 / (1.0 - a * a));
+  }
+  // Cornish-Fisher expansion around the normal quantile.
+  double z = NormalQuantile(p);
+  double v = static_cast<double>(dof);
+  double z3 = z * z * z;
+  double z5 = z3 * z * z;
+  double z7 = z5 * z * z;
+  double t = z + (z3 + z) / (4.0 * v) +
+             (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * v * v) +
+             (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) /
+                 (384.0 * v * v * v);
+  return t;
+}
+
+StatusOr<ConfidenceInterval> MeanConfidenceInterval(
+    const std::vector<double>& values, double confidence) {
+  if (values.size() < 2) {
+    return Status::InvalidArgument(
+        "confidence interval needs at least two values");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  double n = static_cast<double>(values.size());
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= n;
+  double ss = 0.0;
+  for (double v : values) {
+    double d = v - mean;
+    ss += d * d;
+  }
+  double stderr_mean = std::sqrt(ss / (n - 1.0)) / std::sqrt(n);
+  double t = StudentTQuantile(0.5 + confidence / 2.0,
+                              static_cast<int>(values.size()) - 1);
+  ConfidenceInterval ci;
+  ci.mean = mean;
+  ci.lower = mean - t * stderr_mean;
+  ci.upper = mean + t * stderr_mean;
+  return ci;
+}
+
+StatusOr<double> EstimatePlateauMidpoint(
+    const std::vector<double>& xs,
+    const std::vector<ConfidenceInterval>& intervals) {
+  if (xs.empty() || xs.size() != intervals.size()) {
+    return Status::InvalidArgument("xs/intervals must match and be non-empty");
+  }
+  for (size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] <= xs[i - 1]) {
+      return Status::InvalidArgument("xs must be strictly ascending");
+    }
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].mean > intervals[best].mean) best = i;
+  }
+  double lo = xs[best];
+  double hi = xs[best];
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    if (intervals[i].Overlaps(intervals[best])) {
+      lo = std::min(lo, xs[i]);
+      hi = std::max(hi, xs[i]);
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace udt

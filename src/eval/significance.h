@@ -1,0 +1,49 @@
+// Confidence intervals over repeated-trial accuracies, and the paper's
+// plateau-estimation procedure (Section 4.4): "we use the accuracy values
+// measured from the repeated trials to estimate a 95% confidence interval
+// for each data point, and then find out the set of points whose confidence
+// interval overlaps with that of the point of the highest accuracy. ... We
+// take the midpoint of this range as the estimate."
+
+#ifndef UDT_EVAL_SIGNIFICANCE_H_
+#define UDT_EVAL_SIGNIFICANCE_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace udt {
+
+// Two-sided quantile of Student's t distribution with `dof` degrees of
+// freedom (exact for dof 1-2, Cornish-Fisher expansion beyond; adequate for
+// interval estimation). Requires 0 < p < 1, dof >= 1.
+double StudentTQuantile(double p, int dof);
+
+// A symmetric confidence interval around a sample mean.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+
+  bool Overlaps(const ConfidenceInterval& other) const {
+    return lower <= other.upper && other.lower <= upper;
+  }
+};
+
+// t-based confidence interval of the mean of `values` at the given level
+// (default 95%). Requires at least two values; with identical values the
+// interval collapses to a point.
+StatusOr<ConfidenceInterval> MeanConfidenceInterval(
+    const std::vector<double>& values, double confidence = 0.95);
+
+// Section 4.4's estimator: given sweep positions `xs` (e.g. values of w)
+// with a confidence interval per position, returns the midpoint of the
+// x-range whose intervals overlap the best (highest-mean) position's
+// interval. Requires matching non-empty inputs with ascending xs.
+StatusOr<double> EstimatePlateauMidpoint(
+    const std::vector<double>& xs,
+    const std::vector<ConfidenceInterval>& intervals);
+
+}  // namespace udt
+
+#endif  // UDT_EVAL_SIGNIFICANCE_H_

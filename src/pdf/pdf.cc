@@ -1,0 +1,117 @@
+#include "pdf/pdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/math.h"
+#include "common/string_util.h"
+
+namespace udt {
+
+StatusOr<SampledPdf> SampledPdf::Create(std::vector<double> points,
+                                        std::vector<double> masses) {
+  if (points.size() != masses.size()) {
+    return Status::InvalidArgument("points/masses size mismatch");
+  }
+  if (points.empty()) {
+    return Status::InvalidArgument("pdf requires at least one sample point");
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (!std::isfinite(points[i]) || !std::isfinite(masses[i])) {
+      return Status::InvalidArgument("pdf sample points must be finite");
+    }
+    if (masses[i] < 0.0) {
+      return Status::InvalidArgument("pdf masses must be non-negative");
+    }
+  }
+
+  // Sort jointly by point, then merge duplicates and drop zero masses.
+  std::vector<size_t> order(points.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return points[a] < points[b]; });
+
+  std::vector<double> sorted_points;
+  std::vector<double> sorted_masses;
+  sorted_points.reserve(points.size());
+  sorted_masses.reserve(points.size());
+  for (size_t idx : order) {
+    double x = points[idx];
+    double m = masses[idx];
+    if (m <= 0.0) continue;
+    if (!sorted_points.empty() && sorted_points.back() == x) {
+      sorted_masses.back() += m;
+    } else {
+      sorted_points.push_back(x);
+      sorted_masses.push_back(m);
+    }
+  }
+  if (sorted_points.empty()) {
+    return Status::InvalidArgument("pdf carries no positive mass");
+  }
+
+  double total = std::accumulate(sorted_masses.begin(), sorted_masses.end(), 0.0);
+  UDT_DCHECK(total > 0.0);
+
+  std::vector<double> cumulative(sorted_masses.size());
+  KahanSum running;
+  KahanSum mean_sum;
+  for (size_t i = 0; i < sorted_masses.size(); ++i) {
+    sorted_masses[i] /= total;
+    running.Add(sorted_masses[i]);
+    cumulative[i] = running.value();
+    mean_sum.Add(sorted_points[i] * sorted_masses[i]);
+  }
+  // Force exact normalisation at the top so F(support_max) == 1.
+  cumulative.back() = 1.0;
+
+  return SampledPdf(std::move(sorted_points), std::move(sorted_masses),
+                    std::move(cumulative), mean_sum.value());
+}
+
+SampledPdf SampledPdf::PointMass(double x) {
+  UDT_CHECK(std::isfinite(x));
+  return SampledPdf({x}, {1.0}, {1.0}, x);
+}
+
+double SampledPdf::Variance() const {
+  KahanSum sum;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    double d = points_[i] - mean_;
+    sum.Add(d * d * masses_[i]);
+  }
+  return sum.value();
+}
+
+double SampledPdf::CdfAtOrBelow(double z) const {
+  // Index of the last point <= z.
+  auto it = std::upper_bound(points_.begin(), points_.end(), z);
+  if (it == points_.begin()) return 0.0;
+  size_t last = static_cast<size_t>(it - points_.begin()) - 1;
+  return cumulative_[last];
+}
+
+double SampledPdf::MassInHalfOpen(double lo, double hi) const {
+  if (hi <= lo) return 0.0;
+  return CdfAtOrBelow(hi) - CdfAtOrBelow(lo);
+}
+
+int SampledPdf::FirstPointAbove(double z) const {
+  auto it = std::upper_bound(points_.begin(), points_.end(), z);
+  return static_cast<int>(it - points_.begin());
+}
+
+std::string SampledPdf::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%g:%g", points_[i], masses_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace udt

@@ -1,0 +1,134 @@
+#include "pdf/pdf_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace udt {
+
+StatusOr<SampledPdf> MixPdfs(const std::vector<SampledPdf>& pdfs,
+                             std::vector<double> weights) {
+  if (pdfs.empty()) {
+    return Status::InvalidArgument("cannot mix zero pdfs");
+  }
+  if (weights.empty()) {
+    weights.assign(pdfs.size(), 1.0);
+  }
+  if (weights.size() != pdfs.size()) {
+    return Status::InvalidArgument("weights/pdfs size mismatch");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::InvalidArgument("mixture weights must be finite, >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("mixture weights carry no mass");
+  }
+  std::vector<double> points;
+  std::vector<double> masses;
+  for (size_t i = 0; i < pdfs.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    for (int p = 0; p < pdfs[i].num_points(); ++p) {
+      points.push_back(pdfs[i].point(p));
+      masses.push_back(pdfs[i].mass(p) * weights[i]);
+    }
+  }
+  return SampledPdf::Create(std::move(points), std::move(masses));
+}
+
+double PdfQuantile(const SampledPdf& pdf, double q) {
+  UDT_CHECK(q >= 0.0 && q <= 1.0);
+  if (q <= 0.0) return pdf.support_min();
+  // Smallest index with cumulative >= q.
+  int lo = 0;
+  int hi = pdf.num_points() - 1;
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (pdf.CdfAtOrBelow(pdf.point(mid)) >= q - kMassEpsilon) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return pdf.point(lo);
+}
+
+StatusOr<SampledPdf> DownsamplePdf(const SampledPdf& pdf, int s) {
+  if (s < 1) return Status::InvalidArgument("s must be >= 1");
+  if (pdf.num_points() <= s) return pdf;
+  double lo = pdf.support_min();
+  double hi = pdf.support_max();
+  double cell = (hi - lo) / s;
+  UDT_DCHECK(cell > 0.0);
+
+  std::vector<double> points;
+  std::vector<double> masses;
+  points.reserve(static_cast<size_t>(s));
+  masses.reserve(static_cast<size_t>(s));
+  int p = 0;
+  for (int c = 0; c < s && p < pdf.num_points(); ++c) {
+    double cell_hi = c + 1 == s ? hi : lo + (c + 1) * cell;
+    KahanSum mass_sum;
+    KahanSum moment_sum;
+    while (p < pdf.num_points() &&
+           (pdf.point(p) <= cell_hi || c + 1 == s)) {
+      mass_sum.Add(pdf.mass(p));
+      moment_sum.Add(pdf.point(p) * pdf.mass(p));
+      ++p;
+    }
+    if (mass_sum.value() > 0.0) {
+      points.push_back(moment_sum.value() / mass_sum.value());
+      masses.push_back(mass_sum.value());
+    }
+  }
+  return SampledPdf::Create(std::move(points), std::move(masses));
+}
+
+StatusOr<SampledPdf> ConvolvePdfs(const SampledPdf& a, const SampledPdf& b,
+                                  int max_points) {
+  size_t result_size = static_cast<size_t>(a.num_points()) *
+                       static_cast<size_t>(b.num_points());
+  if (result_size > 4000000) {
+    return Status::InvalidArgument(
+        "convolution would exceed 4M points; downsample the inputs first");
+  }
+  std::vector<double> points;
+  std::vector<double> masses;
+  points.reserve(result_size);
+  masses.reserve(result_size);
+  for (int i = 0; i < a.num_points(); ++i) {
+    for (int j = 0; j < b.num_points(); ++j) {
+      points.push_back(a.point(i) + b.point(j));
+      masses.push_back(a.mass(i) * b.mass(j));
+    }
+  }
+  UDT_ASSIGN_OR_RETURN(SampledPdf result,
+                       SampledPdf::Create(std::move(points),
+                                          std::move(masses)));
+  if (max_points > 0 && result.num_points() > max_points) {
+    return DownsamplePdf(result, max_points);
+  }
+  return result;
+}
+
+double KsDistance(const SampledPdf& a, const SampledPdf& b) {
+  double worst = 0.0;
+  for (int i = 0; i < a.num_points(); ++i) {
+    double z = a.point(i);
+    worst = std::max(worst,
+                     std::fabs(a.CdfAtOrBelow(z) - b.CdfAtOrBelow(z)));
+  }
+  for (int i = 0; i < b.num_points(); ++i) {
+    double z = b.point(i);
+    worst = std::max(worst,
+                     std::fabs(a.CdfAtOrBelow(z) - b.CdfAtOrBelow(z)));
+  }
+  return worst;
+}
+
+}  // namespace udt

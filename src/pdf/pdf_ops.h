@@ -1,0 +1,43 @@
+// Algebra on sampled pdfs: mixtures (the "average of pdfs" used for
+// missing-value imputation, Section 2), quantiles (percentile end points,
+// Section 7.3), downsampling to a fixed s, and convolution (the sum of two
+// independent error sources, the situation analysed in Section 4.4 where
+// inherent noise and injected perturbation compose as sigma^2 + delta^2).
+
+#ifndef UDT_PDF_PDF_OPS_H_
+#define UDT_PDF_PDF_OPS_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "pdf/pdf.h"
+
+namespace udt {
+
+// Weighted mixture sum_i w_i * f_i, renormalised. Weights must be
+// non-negative with positive total; defaults to equal weights when empty.
+StatusOr<SampledPdf> MixPdfs(const std::vector<SampledPdf>& pdfs,
+                             std::vector<double> weights = {});
+
+// Smallest sample point x with P(X <= x) >= q. Requires q in [0, 1].
+double PdfQuantile(const SampledPdf& pdf, double q);
+
+// Re-bins the distribution onto `s` equal-width cells over its support
+// (mass within a cell collapses to the cell's mass-weighted mean). The
+// result has at most s points, exactly preserves total mass, and preserves
+// the mean up to rounding. Requires s >= 1.
+StatusOr<SampledPdf> DownsamplePdf(const SampledPdf& pdf, int s);
+
+// Distribution of X + Y for independent X ~ a, Y ~ b. The exact discrete
+// convolution has up to |a|*|b| points; pass `max_points` > 0 to downsample
+// the result.
+StatusOr<SampledPdf> ConvolvePdfs(const SampledPdf& a, const SampledPdf& b,
+                                  int max_points = 0);
+
+// Kolmogorov-Smirnov distance sup_z |F_a(z) - F_b(z)| between two sampled
+// pdfs; 0 iff they induce the same CDF.
+double KsDistance(const SampledPdf& a, const SampledPdf& b);
+
+}  // namespace udt
+
+#endif  // UDT_PDF_PDF_OPS_H_

@@ -1,0 +1,149 @@
+#include "split/attribute_scan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace udt {
+
+namespace {
+
+struct MassEvent {
+  double x;
+  int cls;
+  double mass;
+};
+
+}  // namespace
+
+AttributeScan AttributeScan::Build(const Dataset& data, const WorkingSet& set,
+                                   int attribute, int num_classes) {
+  size_t j = static_cast<size_t>(attribute);
+
+  // Gather one event per (tuple, effective sample point) plus the tuples'
+  // effective support boundaries.
+  std::vector<MassEvent> events;
+  std::vector<double> boundary_values;
+  size_t approx_points = 0;
+  for (const FractionalTuple& ft : set) {
+    approx_points += static_cast<size_t>(
+        data.tuple(ft.tuple_index).values[j].pdf().num_points());
+  }
+  events.reserve(approx_points);
+  boundary_values.reserve(set.size() * 2);
+
+  for (const FractionalTuple& ft : set) {
+    const UncertainTuple& tuple = data.tuple(ft.tuple_index);
+    const SampledPdf& pdf = tuple.values[j].pdf();
+    double lo = ft.lo[j];
+    double hi = ft.hi[j];
+    double constrained = ConstrainedMass(pdf, lo, hi);
+    if (constrained <= 0.0) continue;  // no mass under the constraint
+    double scale = ft.weight / constrained;
+
+    int first = pdf.FirstPointAbove(lo);
+    double support_min = std::numeric_limits<double>::quiet_NaN();
+    double support_max = std::numeric_limits<double>::quiet_NaN();
+    for (int p = first; p < pdf.num_points(); ++p) {
+      double x = pdf.point(p);
+      if (x > hi) break;
+      events.push_back(MassEvent{x, tuple.label, pdf.mass(p) * scale});
+      if (std::isnan(support_min)) support_min = x;
+      support_max = x;
+    }
+    if (!std::isnan(support_min)) {
+      boundary_values.push_back(support_min);
+      boundary_values.push_back(support_max);
+    }
+  }
+
+  AttributeScan scan;
+  scan.num_classes_ = num_classes;
+  scan.class_totals_.assign(static_cast<size_t>(num_classes), 0.0);
+  if (events.empty()) return scan;
+
+  std::sort(events.begin(), events.end(),
+            [](const MassEvent& a, const MassEvent& b) { return a.x < b.x; });
+
+  // Compress to distinct positions with running per-class cumulative mass.
+  size_t num_distinct = 1;
+  for (size_t e = 1; e < events.size(); ++e) {
+    if (events[e].x != events[e - 1].x) ++num_distinct;
+  }
+  scan.xs_.reserve(num_distinct);
+  scan.cumulative_.reserve(num_distinct * static_cast<size_t>(num_classes));
+
+  std::vector<double> running(static_cast<size_t>(num_classes), 0.0);
+  size_t e = 0;
+  while (e < events.size()) {
+    double x = events[e].x;
+    while (e < events.size() && events[e].x == x) {
+      running[static_cast<size_t>(events[e].cls)] += events[e].mass;
+      ++e;
+    }
+    scan.xs_.push_back(x);
+    scan.cumulative_.insert(scan.cumulative_.end(), running.begin(),
+                            running.end());
+  }
+  scan.class_totals_ = running;
+  scan.total_mass_ = 0.0;
+  for (double t : running) scan.total_mass_ += t;
+
+  // Map support boundaries to positions (every boundary is a sample point
+  // of some tuple, so the binary search hits exactly).
+  std::sort(boundary_values.begin(), boundary_values.end());
+  boundary_values.erase(
+      std::unique(boundary_values.begin(), boundary_values.end()),
+      boundary_values.end());
+  scan.endpoint_positions_.reserve(boundary_values.size());
+  for (double b : boundary_values) {
+    auto it = std::lower_bound(scan.xs_.begin(), scan.xs_.end(), b);
+    UDT_DCHECK(it != scan.xs_.end() && *it == b);
+    scan.endpoint_positions_.push_back(
+        static_cast<int>(it - scan.xs_.begin()));
+  }
+  UDT_DCHECK(!scan.endpoint_positions_.empty());
+  UDT_DCHECK(scan.endpoint_positions_.front() == 0);
+  UDT_DCHECK(scan.endpoint_positions_.back() == scan.num_positions() - 1);
+  return scan;
+}
+
+void AttributeScan::LeftCounts(int idx, std::vector<double>* out) const {
+  out->assign(static_cast<size_t>(num_classes_), 0.0);
+  for (int c = 0; c < num_classes_; ++c) {
+    (*out)[static_cast<size_t>(c)] = CumulativeMass(idx, c);
+  }
+}
+
+void AttributeScan::RightCounts(int idx, std::vector<double>* out) const {
+  out->assign(static_cast<size_t>(num_classes_), 0.0);
+  for (int c = 0; c < num_classes_; ++c) {
+    double v = class_totals_[static_cast<size_t>(c)] - CumulativeMass(idx, c);
+    (*out)[static_cast<size_t>(c)] = v > 0.0 ? v : 0.0;
+  }
+}
+
+void AttributeScan::IntervalStats(int a_idx, int b_idx,
+                                  std::vector<double>* nc,
+                                  std::vector<double>* kc,
+                                  std::vector<double>* mc) const {
+  UDT_DCHECK(a_idx < b_idx);
+  nc->assign(static_cast<size_t>(num_classes_), 0.0);
+  kc->assign(static_cast<size_t>(num_classes_), 0.0);
+  mc->assign(static_cast<size_t>(num_classes_), 0.0);
+  for (int c = 0; c < num_classes_; ++c) {
+    double at_a = CumulativeMass(a_idx, c);
+    double at_b = CumulativeMass(b_idx, c);
+    double total = class_totals_[static_cast<size_t>(c)];
+    (*nc)[static_cast<size_t>(c)] = at_a;
+    double k = at_b - at_a;
+    (*kc)[static_cast<size_t>(c)] = k > 0.0 ? k : 0.0;
+    double m = total - at_b;
+    (*mc)[static_cast<size_t>(c)] = m > 0.0 ? m : 0.0;
+  }
+}
+
+}  // namespace udt

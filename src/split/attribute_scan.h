@@ -1,0 +1,90 @@
+// AttributeScan: the per-(node, attribute) view all split finders share.
+//
+// It merges the effective sample points of every fractional tuple in the
+// working set into one sorted axis and precomputes, for each position, the
+// cumulative per-class probability mass (the paper's tuple-count function
+// Phi_{c,j}, Definition 6). With it:
+//   * candidate split points  = the positions (all but the last),
+//   * left/right class counts = O(#classes) lookups,
+//   * interval statistics (n_c, k_c, m_c) for the pruning bounds
+//                             = two lookups per class,
+//   * interval end points Q_j = tuple support boundaries mapped to
+//     positions.
+
+#ifndef UDT_SPLIT_ATTRIBUTE_SCAN_H_
+#define UDT_SPLIT_ATTRIBUTE_SCAN_H_
+
+#include <vector>
+
+#include "split/fractional_tuple.h"
+#include "table/dataset.h"
+
+namespace udt {
+
+// Built once per (node, numerical attribute); immutable afterwards.
+class AttributeScan {
+ public:
+  // An empty scan (no positions); Build() produces the real thing.
+  AttributeScan() = default;
+
+  // Builds the scan for `attribute` over `set`. Tuples contribute their
+  // sample points restricted to their (lo, hi] constraint, with masses
+  // scaled by weight / constrained-mass (the lazily-renormalised truncated
+  // pdf of Section 3.2).
+  static AttributeScan Build(const Dataset& data, const WorkingSet& set,
+                             int attribute, int num_classes);
+
+  // Number of distinct candidate positions (distinct sample x values).
+  int num_positions() const { return static_cast<int>(xs_.size()); }
+  bool empty() const { return xs_.empty(); }
+
+  // x value of position `idx` (ascending in idx).
+  double x(int idx) const { return xs_[static_cast<size_t>(idx)]; }
+
+  int num_classes() const { return num_classes_; }
+
+  // Total mass of class `cls` at positions <= idx.
+  double CumulativeMass(int idx, int cls) const {
+    return cumulative_[static_cast<size_t>(idx) *
+                           static_cast<size_t>(num_classes_) +
+                       static_cast<size_t>(cls)];
+  }
+
+  // Class counts of the left side for a split at x(idx): out[c] = mass of
+  // class c at positions <= idx.
+  void LeftCounts(int idx, std::vector<double>* out) const;
+
+  // Class counts of the right side: totals - left.
+  void RightCounts(int idx, std::vector<double>* out) const;
+
+  // Per-class total mass over the whole axis.
+  const std::vector<double>& class_totals() const { return class_totals_; }
+  double total_mass() const { return total_mass_; }
+
+  // Positions of the tuple support end points (the paper's Q_j), ascending
+  // and unique. Always contains position 0 and num_positions()-1 when the
+  // scan is non-empty.
+  const std::vector<int>& endpoint_positions() const {
+    return endpoint_positions_;
+  }
+
+  // Interval statistics for the half-open interval (x(a_idx), x(b_idx)]:
+  //   nc[c] = mass at positions <= a_idx        (paper: Phi_c(-inf, a])
+  //   kc[c] = mass in (a_idx, b_idx]            (paper: Phi_c(a, b])
+  //   mc[c] = mass at positions > b_idx         (paper: Phi_c(b, +inf))
+  // Requires a_idx < b_idx.
+  void IntervalStats(int a_idx, int b_idx, std::vector<double>* nc,
+                     std::vector<double>* kc, std::vector<double>* mc) const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> cumulative_;  // row-major [position][class]
+  std::vector<double> class_totals_;
+  std::vector<int> endpoint_positions_;
+  double total_mass_ = 0.0;
+  int num_classes_ = 0;
+};
+
+}  // namespace udt
+
+#endif  // UDT_SPLIT_ATTRIBUTE_SCAN_H_

@@ -1,0 +1,95 @@
+#include "split/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace udt {
+
+namespace {
+
+struct BoundTerms {
+  double n = 0.0;  // total mass left of the interval
+  double k = 0.0;  // total mass inside
+  double m = 0.0;  // total mass right
+  double total = 0.0;
+};
+
+BoundTerms Totals(const IntervalMassStats& stats) {
+  BoundTerms t;
+  for (double v : stats.nc) t.n += v;
+  for (double v : stats.kc) t.k += v;
+  for (double v : stats.mc) t.m += v;
+  t.total = t.n + t.k + t.m;
+  return t;
+}
+
+}  // namespace
+
+double EntropyLowerBound(const IntervalMassStats& stats) {
+  BoundTerms t = Totals(stats);
+  if (t.total <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (size_t c = 0; c < stats.nc.size(); ++c) {
+    double nc = stats.nc[c];
+    double kc = stats.kc[c];
+    double mc = stats.mc[c];
+    double eta = (t.n + kc) > 0.0 ? (nc + kc) / (t.n + kc) : 0.0;
+    double theta = (t.m + kc) > 0.0 ? (mc + kc) / (t.m + kc) : 0.0;
+    sum += nc * Log2Safe(eta) + mc * Log2Safe(theta) +
+           kc * Log2Safe(std::max(eta, theta));
+  }
+  double bound = -sum / t.total;
+  return bound < 0.0 ? 0.0 : bound;
+}
+
+double GiniLowerBound(const IntervalMassStats& stats) {
+  BoundTerms t = Totals(stats);
+  if (t.total <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (size_t c = 0; c < stats.nc.size(); ++c) {
+    double nc = stats.nc[c];
+    double kc = stats.kc[c];
+    double mc = stats.mc[c];
+    double eta = (t.n + kc) > 0.0 ? (nc + kc) / (t.n + kc) : 0.0;
+    double theta = (t.m + kc) > 0.0 ? (mc + kc) / (t.m + kc) : 0.0;
+    sum += nc * eta + mc * theta + kc * std::max(eta, theta);
+  }
+  double bound = 1.0 - sum / t.total;
+  return bound < 0.0 ? 0.0 : bound;
+}
+
+double ScoreLowerBound(const SplitScorer& scorer,
+                       const IntervalMassStats& stats) {
+  switch (scorer.measure()) {
+    case DispersionMeasure::kEntropy:
+      return EntropyLowerBound(stats);
+    case DispersionMeasure::kGini:
+      return GiniLowerBound(stats);
+    case DispersionMeasure::kGainRatio: {
+      // -GR(z) = -(H_parent - H(z)) / SI(z). H(z) >= entropy bound, and
+      // SI(z) is concave in |L| over [n, n+k], so SI >= min(SI(n), SI(n+k)).
+      BoundTerms t = Totals(stats);
+      double h_bound = EntropyLowerBound(stats);
+      double gain_upper = scorer.parent_impurity() - h_bound;
+      if (gain_upper <= 0.0) return 0.0;  // cannot beat "no split"
+      std::vector<double> at_a = {t.n, t.m + t.k};
+      std::vector<double> at_b = {t.n + t.k, t.m};
+      double si_min =
+          std::min(EntropyFromCounts(at_a), EntropyFromCounts(at_b));
+      if (si_min <= kMassEpsilon) {
+        // One side may be (nearly) empty somewhere in the interval: the
+        // ratio is unbounded, no pruning possible.
+        return -std::numeric_limits<double>::infinity();
+      }
+      return -(gain_upper / si_min);
+    }
+  }
+  UDT_CHECK(false);
+  return 0.0;
+}
+
+}  // namespace udt

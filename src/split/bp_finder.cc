@@ -1,0 +1,62 @@
+// UDT-BP, Basic Pruning (Section 5.1): evaluates every end point, then
+// skips the interiors of empty intervals (Theorem 1), homogeneous intervals
+// (Theorem 2) and heterogeneous intervals whose class masses grow linearly
+// (Theorem 3, the all-uniform-pdf case) - the latter two only when the
+// measure is concave under the interval parameterisation (entropy/Gini).
+// Remaining heterogeneous interiors are evaluated exhaustively.
+
+#include "split/finder_common.h"
+#include "split/finders.h"
+
+namespace udt {
+namespace split_internal {
+
+namespace {
+
+class BpFinder final : public SplitFinder {
+ public:
+  const char* name() const override { return "UDT-BP"; }
+
+  SplitCandidate FindBestSplit(const Dataset& data, const WorkingSet& set,
+                               const SplitScorer& scorer,
+                               const SplitOptions& options,
+                               SplitCounters* counters) const override {
+    SplitCandidate best;
+    EvalBuffers buffers;
+    for (int j = 0; j < data.num_attributes(); ++j) {
+      AttributeContext ctx = BuildContextForAttribute(
+          data, set, j, options, data.num_classes());
+      if (ctx.scan.empty()) continue;
+      for (int idx : ctx.endpoints) {
+        EvaluatePosition(ctx, idx, scorer, options, &best, counters,
+                         &buffers);
+      }
+      for (const EndpointInterval& interval : ctx.intervals) {
+        if (counters != nullptr) ++counters->intervals_total;
+        if (interval.num_interior() <= 0) continue;
+        if (PruneByKind(interval, scorer, counters)) continue;
+        if (scorer.SupportsHomogeneousPruning() &&
+            IntervalHasLinearGrowth(ctx.scan, interval.a_idx,
+                                    interval.b_idx)) {
+          if (counters != nullptr) {
+            ++counters->intervals_pruned_linear;
+            counters->candidates_pruned += interval.num_interior();
+          }
+          continue;
+        }
+        EvaluateInterior(ctx, interval.a_idx, interval.b_idx, scorer,
+                         options, &best, counters, &buffers);
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SplitFinder> MakeBpFinder() {
+  return std::make_unique<BpFinder>();
+}
+
+}  // namespace split_internal
+}  // namespace udt

@@ -1,0 +1,79 @@
+#include "split/categorical.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace udt {
+
+CategoricalSplitResult EvaluateCategoricalSplit(const Dataset& data,
+                                                const WorkingSet& set,
+                                                int attribute,
+                                                const SplitScorer& scorer,
+                                                const SplitOptions& options,
+                                                SplitCounters* counters) {
+  const AttributeInfo& info = data.schema().attribute(attribute);
+  UDT_CHECK(info.kind == AttributeKind::kCategorical);
+  int num_categories = info.num_categories;
+  int num_classes = data.num_classes();
+  size_t j = static_cast<size_t>(attribute);
+
+  // Bucket class-count matrix: counts[v][c].
+  std::vector<std::vector<double>> counts(
+      static_cast<size_t>(num_categories),
+      std::vector<double>(static_cast<size_t>(num_classes), 0.0));
+  for (const FractionalTuple& ft : set) {
+    const UncertainTuple& tuple = data.tuple(ft.tuple_index);
+    size_t cls = static_cast<size_t>(tuple.label);
+    if (ft.category[j] >= 0) {
+      counts[static_cast<size_t>(ft.category[j])][cls] += ft.weight;
+      continue;
+    }
+    const CategoricalPdf& dist = tuple.values[j].categorical();
+    for (int v = 0; v < num_categories; ++v) {
+      double w = ft.weight * dist.probability(v);
+      if (w > 0.0) counts[static_cast<size_t>(v)][cls] += w;
+    }
+  }
+
+  // Weighted dispersion over the buckets.
+  double total = 0.0;
+  int populated = 0;
+  std::vector<double> bucket_masses;
+  bucket_masses.reserve(static_cast<size_t>(num_categories));
+  for (const std::vector<double>& bucket : counts) {
+    double mass = 0.0;
+    for (double c : bucket) mass += c;
+    bucket_masses.push_back(mass);
+    total += mass;
+    if (mass >= options.min_side_mass) ++populated;
+  }
+
+  CategoricalSplitResult result;
+  if (populated < 2 || total <= 0.0) return result;  // nothing to separate
+
+  double weighted = 0.0;
+  for (size_t v = 0; v < counts.size(); ++v) {
+    if (bucket_masses[v] <= 0.0) continue;
+    weighted += bucket_masses[v] * scorer.Impurity(counts[v]);
+  }
+  weighted /= total;
+  if (counters != nullptr) ++counters->dispersion_evaluations;
+
+  result.valid = true;
+  if (scorer.measure() == DispersionMeasure::kGainRatio) {
+    double gain = scorer.parent_impurity() - weighted;
+    double split_info = EntropyFromCounts(bucket_masses);
+    if (split_info <= kMassEpsilon) {
+      result.valid = false;
+      return result;
+    }
+    result.score = -(gain / split_info);
+  } else {
+    result.score = weighted;
+  }
+  return result;
+}
+
+}  // namespace udt

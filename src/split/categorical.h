@@ -1,0 +1,35 @@
+// Uncertain categorical splits (Section 7.2): an internal node on a
+// categorical attribute has one child per category; a tuple is copied into
+// bucket v with weight w * f(v). The split is scored by the weighted
+// dispersion over all buckets. A categorical attribute already split on by
+// an ancestor yields no further gain and is skipped by the builder.
+
+#ifndef UDT_SPLIT_CATEGORICAL_H_
+#define UDT_SPLIT_CATEGORICAL_H_
+
+#include "split/dispersion.h"
+#include "split/fractional_tuple.h"
+#include "split/split_finder.h"
+#include "table/dataset.h"
+
+namespace udt {
+
+// Outcome of evaluating one categorical attribute at one node.
+struct CategoricalSplitResult {
+  bool valid = false;
+  double score = 0.0;  // same convention as SplitCandidate::score
+};
+
+// Scores the n-ary split of `set` on categorical attribute `attribute`.
+// Invalid if fewer than two buckets would receive at least
+// options.min_side_mass of weight. Counts one dispersion evaluation.
+CategoricalSplitResult EvaluateCategoricalSplit(const Dataset& data,
+                                                const WorkingSet& set,
+                                                int attribute,
+                                                const SplitScorer& scorer,
+                                                const SplitOptions& options,
+                                                SplitCounters* counters);
+
+}  // namespace udt
+
+#endif  // UDT_SPLIT_CATEGORICAL_H_

@@ -1,0 +1,78 @@
+#include "split/dispersion.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace udt {
+
+const char* DispersionMeasureToString(DispersionMeasure measure) {
+  switch (measure) {
+    case DispersionMeasure::kEntropy:
+      return "entropy";
+    case DispersionMeasure::kGini:
+      return "gini";
+    case DispersionMeasure::kGainRatio:
+      return "gain-ratio";
+  }
+  return "unknown";
+}
+
+SplitScorer::SplitScorer(DispersionMeasure measure,
+                         const std::vector<double>& parent_counts)
+    : measure_(measure) {
+  for (double c : parent_counts) {
+    if (c > 0.0) parent_total_ += c;
+  }
+  parent_impurity_ = Impurity(parent_counts);
+}
+
+double SplitScorer::Impurity(const std::vector<double>& counts) const {
+  if (measure_ == DispersionMeasure::kGini) {
+    return GiniFromCounts(counts);
+  }
+  return EntropyFromCounts(counts);
+}
+
+double SplitScorer::Score(const std::vector<double>& left,
+                          const std::vector<double>& right) const {
+  double left_total = 0.0;
+  double right_total = 0.0;
+  for (double c : left) {
+    if (c > 0.0) left_total += c;
+  }
+  for (double c : right) {
+    if (c > 0.0) right_total += c;
+  }
+  double total = left_total + right_total;
+  if (total <= 0.0) return 0.0;
+  double weighted = (left_total * Impurity(left) +
+                     right_total * Impurity(right)) /
+                    total;
+  if (measure_ != DispersionMeasure::kGainRatio) {
+    return weighted;
+  }
+  // Gain ratio: -(gain / split info). Degenerate splits (one empty side)
+  // have zero split info; they are invalid anyway, so return the worst
+  // possible score.
+  double gain = parent_impurity_ - weighted;
+  std::vector<double> sides = {left_total, right_total};
+  double split_info = EntropyFromCounts(sides);
+  if (split_info <= kMassEpsilon) {
+    return 0.0;  // no better than "no split"
+  }
+  return -(gain / split_info);
+}
+
+double SplitScorer::NoSplitScore() const {
+  if (measure_ == DispersionMeasure::kGainRatio) return 0.0;
+  return parent_impurity_;
+}
+
+double SplitScorer::GainForScore(double score) const {
+  if (measure_ == DispersionMeasure::kGainRatio) return -score;
+  return parent_impurity_ - score;
+}
+
+}  // namespace udt

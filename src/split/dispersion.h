@@ -1,0 +1,70 @@
+// Dispersion measures used to score candidate splits (Section 4.1 chooses
+// entropy; Section 7.4 extends the framework to Gini index and gain ratio).
+//
+// All measures are expressed as scores to MINIMISE so the finders can share
+// one optimisation loop:
+//   entropy    -> weighted post-split entropy H(z, Aj)      (eq. 1)
+//   Gini       -> weighted post-split Gini index
+//   gain ratio -> negated gain ratio -(H(S) - H(z)) / SplitInfo(z)
+
+#ifndef UDT_SPLIT_DISPERSION_H_
+#define UDT_SPLIT_DISPERSION_H_
+
+#include <vector>
+
+namespace udt {
+
+enum class DispersionMeasure {
+  kEntropy,
+  kGini,
+  kGainRatio,
+};
+
+const char* DispersionMeasureToString(DispersionMeasure measure);
+
+// Scores binary splits of one node under a fixed measure. Constructed per
+// node from the node's class counts (the parent impurity that gain ratio
+// needs). Score evaluations are counted by the callers via SplitCounters.
+class SplitScorer {
+ public:
+  SplitScorer(DispersionMeasure measure,
+              const std::vector<double>& parent_counts);
+
+  DispersionMeasure measure() const { return measure_; }
+
+  // Impurity of a single class-count vector (entropy or Gini); used for
+  // leaf decisions and categorical buckets.
+  double Impurity(const std::vector<double>& counts) const;
+
+  // The score to minimise for a binary split with the given left/right
+  // class-count vectors.
+  double Score(const std::vector<double>& left,
+               const std::vector<double>& right) const;
+
+  // Score of the degenerate "no split" outcome; any valid split must score
+  // strictly better than this to be worth taking (pre-pruning uses the
+  // difference as the gain).
+  double NoSplitScore() const;
+
+  // Information gain realised by a split with this score: parent impurity
+  // minus weighted child impurity (entropy/Gini), or the gain ratio itself.
+  double GainForScore(double score) const;
+
+  // Theorem 2 (pruning interiors of homogeneous intervals) holds for
+  // entropy and Gini but not for gain ratio (Section 7.4).
+  bool SupportsHomogeneousPruning() const {
+    return measure_ != DispersionMeasure::kGainRatio;
+  }
+
+  double parent_impurity() const { return parent_impurity_; }
+  double parent_total() const { return parent_total_; }
+
+ private:
+  DispersionMeasure measure_;
+  double parent_impurity_ = 0.0;  // entropy for kEntropy/kGainRatio, Gini for kGini
+  double parent_total_ = 0.0;
+};
+
+}  // namespace udt
+
+#endif  // UDT_SPLIT_DISPERSION_H_

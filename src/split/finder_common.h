@@ -1,0 +1,98 @@
+// Internal machinery shared by the concrete split finders: per-attribute
+// scan contexts, candidate evaluation, and interval bounding. Not part of
+// the public API.
+
+#ifndef UDT_SPLIT_FINDER_COMMON_H_
+#define UDT_SPLIT_FINDER_COMMON_H_
+
+#include <vector>
+
+#include "split/attribute_scan.h"
+#include "split/bounds.h"
+#include "split/dispersion.h"
+#include "split/intervals.h"
+#include "split/split_finder.h"
+
+namespace udt {
+namespace split_internal {
+
+// Slack used when comparing a lower bound against the pruning threshold;
+// compensates for the different rounding paths of bound and score.
+inline constexpr double kPruneSlack = 1e-12;
+
+// Everything a finder needs about one numerical attribute at one node.
+struct AttributeContext {
+  int attribute = -1;
+  AttributeScan scan;
+  // End-point positions (tuple support boundaries, or percentile
+  // pseudo-end-points in Section 7.3 mode). Ascending; first == 0 and
+  // last == scan.num_positions()-1.
+  std::vector<int> endpoints;
+  // Intervals between consecutive end points.
+  std::vector<EndpointInterval> intervals;
+};
+
+// Scratch buffers reused across candidate evaluations.
+struct EvalBuffers {
+  std::vector<double> left;
+  std::vector<double> right;
+  IntervalMassStats stats;
+};
+
+// Builds the context for one numerical attribute. Returns a context with
+// an empty scan when the attribute admits no candidate (< 2 distinct
+// positions) or is categorical. Honors the percentile-end-point option: in
+// that mode every interval is conservatively classified heterogeneous (the
+// concavity theorems assume true support boundaries).
+AttributeContext BuildContextForAttribute(const Dataset& data,
+                                          const WorkingSet& set,
+                                          int attribute,
+                                          const SplitOptions& options,
+                                          int num_classes);
+
+// Builds contexts for every numerical attribute that admits at least one
+// candidate. Used by the global finders (GP/ES), which need all end-point
+// scores before pruning; the per-attribute finders (UDT/BP/LP) call
+// BuildContextForAttribute one attribute at a time to keep peak memory at
+// a single scan.
+std::vector<AttributeContext> BuildContexts(const Dataset& data,
+                                            const WorkingSet& set,
+                                            const SplitOptions& options,
+                                            int num_classes);
+
+// Scores the split at position `idx` of `ctx` and merges it into `best`.
+// Skips (without counting) candidates that leave either side with less
+// than options.min_side_mass.
+void EvaluatePosition(const AttributeContext& ctx, int idx,
+                      const SplitScorer& scorer, const SplitOptions& options,
+                      SplitCandidate* best, SplitCounters* counters,
+                      EvalBuffers* buffers);
+
+// Scores every interior position of (a_idx, b_idx].
+void EvaluateInterior(const AttributeContext& ctx, int a_idx, int b_idx,
+                      const SplitScorer& scorer, const SplitOptions& options,
+                      SplitCandidate* best, SplitCounters* counters,
+                      EvalBuffers* buffers);
+
+// Lower bound of the score over the interior of (a_idx, b_idx].
+double IntervalBound(const AttributeContext& ctx, int a_idx, int b_idx,
+                     const SplitScorer& scorer, SplitCounters* counters,
+                     EvalBuffers* buffers);
+
+// True if the interval's interior may be skipped outright under Theorem 1
+// or Theorem 2 (measure permitting). Updates the pruning counters.
+bool PruneByKind(const EndpointInterval& interval, const SplitScorer& scorer,
+                 SplitCounters* counters);
+
+// Processes one (fine) interval the GP/ES way: kind-prune, else bound
+// against the current best, else evaluate the interior.
+void ProcessInterval(const AttributeContext& ctx,
+                     const EndpointInterval& interval,
+                     const SplitScorer& scorer, const SplitOptions& options,
+                     SplitCandidate* best, SplitCounters* counters,
+                     EvalBuffers* buffers);
+
+}  // namespace split_internal
+}  // namespace udt
+
+#endif  // UDT_SPLIT_FINDER_COMMON_H_

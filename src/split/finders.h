@@ -1,0 +1,27 @@
+// Internal factory declarations for the concrete finders; the public entry
+// point is MakeSplitFinder in split/split_finder.h.
+
+#ifndef UDT_SPLIT_FINDERS_H_
+#define UDT_SPLIT_FINDERS_H_
+
+#include <memory>
+
+#include "split/split_finder.h"
+
+namespace udt {
+namespace split_internal {
+
+// Exhaustive search; named "AVG" or "UDT" depending on how it is deployed
+// (the classical algorithm on means is the same exhaustive sweep over a
+// point-valued axis).
+std::unique_ptr<SplitFinder> MakeExhaustiveFinder(const char* name);
+
+std::unique_ptr<SplitFinder> MakeBpFinder();  // UDT-BP
+std::unique_ptr<SplitFinder> MakeLpFinder();  // UDT-LP
+std::unique_ptr<SplitFinder> MakeGpFinder();  // UDT-GP
+std::unique_ptr<SplitFinder> MakeEsFinder();  // UDT-ES
+
+}  // namespace split_internal
+}  // namespace udt
+
+#endif  // UDT_SPLIT_FINDERS_H_

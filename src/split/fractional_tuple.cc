@@ -1,0 +1,130 @@
+#include "split/fractional_tuple.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace udt {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+WorkingSet MakeRootWorkingSet(const Dataset& data) {
+  WorkingSet set;
+  set.reserve(static_cast<size_t>(data.num_tuples()));
+  size_t k = static_cast<size_t>(data.num_attributes());
+  for (int i = 0; i < data.num_tuples(); ++i) {
+    FractionalTuple ft;
+    ft.tuple_index = i;
+    ft.weight = 1.0;
+    ft.lo.assign(k, -kInf);
+    ft.hi.assign(k, kInf);
+    ft.category.assign(k, -1);
+    set.push_back(std::move(ft));
+  }
+  return set;
+}
+
+double ConstrainedMass(const SampledPdf& pdf, double lo, double hi) {
+  double upper = hi == kInf ? 1.0 : pdf.CdfAtOrBelow(hi);
+  double lower = lo == -kInf ? 0.0 : pdf.CdfAtOrBelow(lo);
+  return upper - lower;
+}
+
+double ConditionalCdf(const SampledPdf& pdf, double lo, double hi, double z) {
+  double mass = ConstrainedMass(pdf, lo, hi);
+  UDT_DCHECK(mass > 0.0);
+  if (z >= hi) return 1.0;
+  double lower = lo == -kInf ? 0.0 : pdf.CdfAtOrBelow(lo);
+  double part = pdf.CdfAtOrBelow(z) - lower;
+  if (part <= 0.0) return 0.0;
+  double p = part / mass;
+  return p > 1.0 ? 1.0 : p;
+}
+
+double ConditionalMean(const SampledPdf& pdf, double lo, double hi) {
+  double mass = ConstrainedMass(pdf, lo, hi);
+  UDT_DCHECK(mass > 0.0);
+  if (lo == -kInf && hi == kInf) return pdf.Mean();
+  KahanSum sum;
+  for (int i = 0; i < pdf.num_points(); ++i) {
+    double x = pdf.point(i);
+    if (x > lo && x <= hi) sum.Add(x * pdf.mass(i));
+  }
+  return sum.value() / mass;
+}
+
+std::vector<double> ClassCounts(const Dataset& data, const WorkingSet& set,
+                                int num_classes) {
+  std::vector<double> counts(static_cast<size_t>(num_classes), 0.0);
+  for (const FractionalTuple& ft : set) {
+    counts[static_cast<size_t>(data.tuple(ft.tuple_index).label)] += ft.weight;
+  }
+  return counts;
+}
+
+double TotalWeight(const WorkingSet& set) {
+  KahanSum sum;
+  for (const FractionalTuple& ft : set) sum.Add(ft.weight);
+  return sum.value();
+}
+
+void PartitionWorkingSet(const Dataset& data, const WorkingSet& set,
+                         int attribute, double split_point, WorkingSet* left,
+                         WorkingSet* right) {
+  UDT_CHECK(left != nullptr && right != nullptr);
+  left->clear();
+  right->clear();
+  size_t j = static_cast<size_t>(attribute);
+  for (const FractionalTuple& ft : set) {
+    const SampledPdf& pdf =
+        data.tuple(ft.tuple_index).values[j].pdf();
+    double p_left = ConditionalCdf(pdf, ft.lo[j], ft.hi[j], split_point);
+    double w_left = ft.weight * p_left;
+    double w_right = ft.weight - w_left;
+    if (w_left >= kMinFractionWeight) {
+      FractionalTuple t = ft;
+      t.weight = w_left;
+      t.hi[j] = std::min(t.hi[j], split_point);
+      left->push_back(std::move(t));
+    }
+    if (w_right >= kMinFractionWeight) {
+      FractionalTuple t = ft;
+      t.weight = w_right;
+      t.lo[j] = std::max(t.lo[j], split_point);
+      right->push_back(std::move(t));
+    }
+  }
+}
+
+void PartitionWorkingSetCategorical(const Dataset& data,
+                                    const WorkingSet& set, int attribute,
+                                    int num_categories,
+                                    std::vector<WorkingSet>* buckets) {
+  UDT_CHECK(buckets != nullptr);
+  buckets->assign(static_cast<size_t>(num_categories), WorkingSet());
+  size_t j = static_cast<size_t>(attribute);
+  for (const FractionalTuple& ft : set) {
+    const CategoricalPdf& dist =
+        data.tuple(ft.tuple_index).values[j].categorical();
+    if (ft.category[j] >= 0) {
+      // Already fixed by an ancestor split; the whole weight follows it.
+      (*buckets)[static_cast<size_t>(ft.category[j])].push_back(ft);
+      continue;
+    }
+    for (int v = 0; v < num_categories; ++v) {
+      double w = ft.weight * dist.probability(v);
+      if (w < kMinFractionWeight) continue;
+      FractionalTuple t = ft;
+      t.weight = w;
+      t.category[j] = v;
+      (*buckets)[static_cast<size_t>(v)].push_back(std::move(t));
+    }
+  }
+}
+
+}  // namespace udt

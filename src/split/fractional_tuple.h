@@ -1,0 +1,83 @@
+// Fractional tuples (Section 3.2): when a tuple's pdf straddles a split
+// point, the tuple is divided into a left and a right part carrying weights
+// w*pL and w*pR and pdfs truncated-and-renormalised to the sub-intervals.
+//
+// Instead of materialising truncated pdfs, a FractionalTuple keeps a
+// reference to the original tuple plus, per numerical attribute, the
+// half-open interval (lo, hi] its value is known to lie in. Conditional
+// probabilities are then exact ratios of the original CDF:
+//   P(X <= z | lo < X <= hi) = (F(min(z,hi)) - F(lo)) / (F(hi) - F(lo)).
+// For categorical attributes (Section 7.2) the constraint is a fixed
+// category id once an ancestor node has split on that attribute.
+
+#ifndef UDT_SPLIT_FRACTIONAL_TUPLE_H_
+#define UDT_SPLIT_FRACTIONAL_TUPLE_H_
+
+#include <vector>
+
+#include "table/dataset.h"
+
+namespace udt {
+
+// Fractional-tuple weights below this threshold are dropped during
+// partitioning: they carry no statistical information and would otherwise
+// multiply without bound down the tree.
+inline constexpr double kMinFractionWeight = 1e-9;
+
+// A (possibly fractional) training tuple in a node's working set.
+struct FractionalTuple {
+  int tuple_index = 0;  // into the Dataset
+  double weight = 1.0;  // in (0, 1]
+  // Per-attribute numerical constraints; value is conditioned to (lo, hi].
+  // Entries for categorical attributes are ignored.
+  std::vector<double> lo;
+  std::vector<double> hi;
+  // Per-attribute fixed category (-1 = unconstrained); entries for
+  // numerical attributes are ignored.
+  std::vector<int> category;
+};
+
+// The working set of a tree node.
+using WorkingSet = std::vector<FractionalTuple>;
+
+// One fractional tuple of weight 1 per data-set tuple, unconstrained.
+WorkingSet MakeRootWorkingSet(const Dataset& data);
+
+// Probability mass of `pdf` restricted to the constraint (lo, hi], i.e.
+// F(hi) - F(lo). Infinite bounds denote "unconstrained".
+double ConstrainedMass(const SampledPdf& pdf, double lo, double hi);
+
+// P(X <= z | lo < X <= hi). Requires positive constrained mass.
+double ConditionalCdf(const SampledPdf& pdf, double lo, double hi, double z);
+
+// Mean of the distribution conditioned to (lo, hi]. Requires positive
+// constrained mass. Equals pdf.Mean() when unconstrained.
+double ConditionalMean(const SampledPdf& pdf, double lo, double hi);
+
+// Weighted per-class counts of a working set (the leaf distributions and
+// stopping tests use this).
+std::vector<double> ClassCounts(const Dataset& data, const WorkingSet& set,
+                                int num_classes);
+
+// Total weight of a working set.
+double TotalWeight(const WorkingSet& set);
+
+// Splits `set` on numerical attribute `attribute` at `split_point` into the
+// tuples going left (value <= z) and right. Tuples straddling the point are
+// divided into two fractional tuples with tightened constraints; fragments
+// lighter than kMinFractionWeight are dropped.
+void PartitionWorkingSet(const Dataset& data, const WorkingSet& set,
+                         int attribute, double split_point, WorkingSet* left,
+                         WorkingSet* right);
+
+// Splits `set` on categorical attribute `attribute` into one bucket per
+// category, weighting each copy by the tuple's category probability
+// (Section 7.2).
+void PartitionWorkingSetCategorical(const Dataset& data,
+                                    const WorkingSet& set, int attribute,
+                                    int num_categories,
+                                    std::vector<WorkingSet>* buckets);
+
+}  // namespace udt
+
+#endif  // UDT_SPLIT_FRACTIONAL_TUPLE_H_

@@ -1,0 +1,54 @@
+// UDT-GP, Global Pruning (Section 5.2): first the end points of *all*
+// attributes are evaluated, and the global minimum seeds one shared pruning
+// threshold; then every heterogeneous interval of every attribute is
+// bounded against it. A single strong threshold prunes far more than the
+// per-attribute thresholds of UDT-LP.
+
+#include "split/finder_common.h"
+#include "split/finders.h"
+
+namespace udt {
+namespace split_internal {
+
+namespace {
+
+class GpFinder final : public SplitFinder {
+ public:
+  const char* name() const override { return "UDT-GP"; }
+
+  SplitCandidate FindBestSplit(const Dataset& data, const WorkingSet& set,
+                               const SplitScorer& scorer,
+                               const SplitOptions& options,
+                               SplitCounters* counters) const override {
+    SplitCandidate best;
+    EvalBuffers buffers;
+    std::vector<AttributeContext> contexts =
+        BuildContexts(data, set, options, data.num_classes());
+
+    // Phase 1: all end points of all attributes -> global threshold.
+    for (const AttributeContext& ctx : contexts) {
+      for (int idx : ctx.endpoints) {
+        EvaluatePosition(ctx, idx, scorer, options, &best, counters,
+                         &buffers);
+      }
+    }
+
+    // Phase 2: bound-and-refine every interval against the global best.
+    for (const AttributeContext& ctx : contexts) {
+      for (const EndpointInterval& interval : ctx.intervals) {
+        ProcessInterval(ctx, interval, scorer, options, &best, counters,
+                        &buffers);
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SplitFinder> MakeGpFinder() {
+  return std::make_unique<GpFinder>();
+}
+
+}  // namespace split_internal
+}  // namespace udt

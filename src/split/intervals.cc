@@ -1,0 +1,79 @@
+#include "split/intervals.h"
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace udt {
+
+const char* IntervalKindToString(IntervalKind kind) {
+  switch (kind) {
+    case IntervalKind::kEmpty:
+      return "empty";
+    case IntervalKind::kHomogeneous:
+      return "homogeneous";
+    case IntervalKind::kHeterogeneous:
+      return "heterogeneous";
+  }
+  return "unknown";
+}
+
+IntervalKind ClassifyInterval(const AttributeScan& scan, int a_idx,
+                              int b_idx) {
+  int classes_with_mass = 0;
+  for (int c = 0; c < scan.num_classes(); ++c) {
+    double k = scan.CumulativeMass(b_idx, c) - scan.CumulativeMass(a_idx, c);
+    if (k > kMassEpsilon) ++classes_with_mass;
+  }
+  if (classes_with_mass == 0) return IntervalKind::kEmpty;
+  if (classes_with_mass == 1) return IntervalKind::kHomogeneous;
+  return IntervalKind::kHeterogeneous;
+}
+
+bool IntervalHasLinearGrowth(const AttributeScan& scan, int a_idx,
+                             int b_idx) {
+  UDT_DCHECK(a_idx < b_idx);
+  double x_a = scan.x(a_idx);
+  double x_b = scan.x(b_idx);
+  double span = x_b - x_a;
+  if (span <= 0.0) return false;
+
+  int num_classes = scan.num_classes();
+  // Per-class slope implied by the interval totals: kc / span.
+  std::vector<double> slope(static_cast<size_t>(num_classes));
+  for (int c = 0; c < num_classes; ++c) {
+    slope[static_cast<size_t>(c)] =
+        (scan.CumulativeMass(b_idx, c) - scan.CumulativeMass(a_idx, c)) /
+        span;
+  }
+  // Every step inside the interval must match the slope, per class.
+  for (int idx = a_idx + 1; idx <= b_idx; ++idx) {
+    double dx = scan.x(idx) - scan.x(idx - 1);
+    for (int c = 0; c < num_classes; ++c) {
+      double increment =
+          scan.CumulativeMass(idx, c) - scan.CumulativeMass(idx - 1, c);
+      if (std::fabs(increment - slope[static_cast<size_t>(c)] * dx) >
+          kMassEpsilon) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<EndpointInterval> SegmentIntoIntervals(
+    const AttributeScan& scan, const std::vector<int>& endpoints) {
+  std::vector<EndpointInterval> intervals;
+  if (endpoints.size() < 2) return intervals;
+  intervals.reserve(endpoints.size() - 1);
+  for (size_t i = 0; i + 1 < endpoints.size(); ++i) {
+    EndpointInterval interval;
+    interval.a_idx = endpoints[i];
+    interval.b_idx = endpoints[i + 1];
+    UDT_DCHECK(interval.a_idx < interval.b_idx);
+    interval.kind = ClassifyInterval(scan, interval.a_idx, interval.b_idx);
+    intervals.push_back(interval);
+  }
+  return intervals;
+}
+
+}  // namespace udt

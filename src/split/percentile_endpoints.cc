@@ -1,0 +1,45 @@
+#include "split/percentile_endpoints.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace udt {
+
+std::vector<int> ComputePercentileEndpoints(const AttributeScan& scan,
+                                            int percentiles_per_class) {
+  UDT_CHECK(percentiles_per_class >= 1);
+  std::vector<int> positions;
+  if (scan.empty()) return positions;
+  positions.push_back(0);
+  positions.push_back(scan.num_positions() - 1);
+
+  for (int c = 0; c < scan.num_classes(); ++c) {
+    double total = scan.class_totals()[static_cast<size_t>(c)];
+    if (total <= kMassEpsilon) continue;
+    for (int p = 1; p <= percentiles_per_class; ++p) {
+      double target = total * static_cast<double>(p) /
+                      (percentiles_per_class + 1);
+      // Smallest position whose cumulative class-c mass reaches the target.
+      int lo = 0;
+      int hi = scan.num_positions() - 1;
+      while (lo < hi) {
+        int mid = lo + (hi - lo) / 2;
+        if (scan.CumulativeMass(mid, c) >= target) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      positions.push_back(lo);
+    }
+  }
+
+  std::sort(positions.begin(), positions.end());
+  positions.erase(std::unique(positions.begin(), positions.end()),
+                  positions.end());
+  return positions;
+}
+
+}  // namespace udt

@@ -1,0 +1,26 @@
+// Section 7.3: pseudo-end-points for unbounded pdfs. When supports are
+// unbounded (or simply as an alternative segmentation), the cumulative
+// per-class tuple count is treated as a frequency function and its 10%,
+// 20%, ..., 90% percentile positions serve as artificial end points. The
+// resulting intervals lack the concavity guarantees of true end-point
+// intervals, so callers must prune them by bounding only.
+
+#ifndef UDT_SPLIT_PERCENTILE_ENDPOINTS_H_
+#define UDT_SPLIT_PERCENTILE_ENDPOINTS_H_
+
+#include <vector>
+
+#include "split/attribute_scan.h"
+
+namespace udt {
+
+// Returns sorted, unique scan positions: the percentile crossings of each
+// class's cumulative mass (percentiles i/(P+1), i = 1..P, of that class's
+// total) plus the first and last positions. `percentiles_per_class` is the
+// paper's 9 (deciles); must be >= 1.
+std::vector<int> ComputePercentileEndpoints(const AttributeScan& scan,
+                                            int percentiles_per_class);
+
+}  // namespace udt
+
+#endif  // UDT_SPLIT_PERCENTILE_ENDPOINTS_H_

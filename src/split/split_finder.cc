@@ -1,0 +1,74 @@
+#include "split/split_finder.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "split/finders.h"
+
+namespace udt {
+
+namespace {
+// Scores within this distance are treated as tied and broken by attribute,
+// then split point, keeping every finder's choice deterministic.
+constexpr double kScoreTieEpsilon = 1e-12;
+}  // namespace
+
+const char* SplitAlgorithmToString(SplitAlgorithm algorithm) {
+  switch (algorithm) {
+    case SplitAlgorithm::kAvg:
+      return "AVG";
+    case SplitAlgorithm::kUdt:
+      return "UDT";
+    case SplitAlgorithm::kUdtBp:
+      return "UDT-BP";
+    case SplitAlgorithm::kUdtLp:
+      return "UDT-LP";
+    case SplitAlgorithm::kUdtGp:
+      return "UDT-GP";
+    case SplitAlgorithm::kUdtEs:
+      return "UDT-ES";
+  }
+  return "unknown";
+}
+
+SplitCounters& SplitCounters::operator+=(const SplitCounters& other) {
+  dispersion_evaluations += other.dispersion_evaluations;
+  bound_evaluations += other.bound_evaluations;
+  candidates_pruned += other.candidates_pruned;
+  intervals_total += other.intervals_total;
+  intervals_pruned_empty += other.intervals_pruned_empty;
+  intervals_pruned_homogeneous += other.intervals_pruned_homogeneous;
+  intervals_pruned_linear += other.intervals_pruned_linear;
+  intervals_pruned_by_bound += other.intervals_pruned_by_bound;
+  return *this;
+}
+
+bool SplitCandidate::BetterThan(const SplitCandidate& other) const {
+  UDT_DCHECK(valid);
+  if (!other.valid) return true;
+  if (score < other.score - kScoreTieEpsilon) return true;
+  if (score > other.score + kScoreTieEpsilon) return false;
+  if (attribute != other.attribute) return attribute < other.attribute;
+  return split_point < other.split_point;
+}
+
+std::unique_ptr<SplitFinder> MakeSplitFinder(SplitAlgorithm algorithm) {
+  switch (algorithm) {
+    case SplitAlgorithm::kAvg:
+      return split_internal::MakeExhaustiveFinder("AVG");
+    case SplitAlgorithm::kUdt:
+      return split_internal::MakeExhaustiveFinder("UDT");
+    case SplitAlgorithm::kUdtBp:
+      return split_internal::MakeBpFinder();
+    case SplitAlgorithm::kUdtLp:
+      return split_internal::MakeLpFinder();
+    case SplitAlgorithm::kUdtGp:
+      return split_internal::MakeGpFinder();
+    case SplitAlgorithm::kUdtEs:
+      return split_internal::MakeEsFinder();
+  }
+  UDT_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace udt

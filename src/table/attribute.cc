@@ -1,0 +1,66 @@
+#include "table/attribute.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace udt {
+
+StatusOr<Schema> Schema::Create(std::vector<AttributeInfo> attributes,
+                                std::vector<std::string> class_names) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("schema requires at least one attribute");
+  }
+  if (class_names.size() < 1) {
+    return Status::InvalidArgument("schema requires at least one class");
+  }
+  std::set<std::string> seen;
+  for (const AttributeInfo& info : attributes) {
+    if (info.name.empty()) {
+      return Status::InvalidArgument("attribute names must be non-empty");
+    }
+    if (!seen.insert(info.name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + info.name);
+    }
+    if (info.kind == AttributeKind::kCategorical && info.num_categories < 2) {
+      return Status::InvalidArgument(
+          "categorical attribute needs >= 2 categories: " + info.name);
+    }
+  }
+  std::set<std::string> class_seen;
+  for (const std::string& name : class_names) {
+    if (!class_seen.insert(name).second) {
+      return Status::InvalidArgument("duplicate class name: " + name);
+    }
+  }
+  return Schema(std::move(attributes), std::move(class_names));
+}
+
+Schema Schema::Numerical(int num_attributes,
+                         std::vector<std::string> class_names) {
+  std::vector<AttributeInfo> attributes;
+  attributes.reserve(static_cast<size_t>(num_attributes));
+  for (int j = 0; j < num_attributes; ++j) {
+    attributes.push_back(
+        AttributeInfo{StrFormat("A%d", j + 1), AttributeKind::kNumerical, 0});
+  }
+  auto schema = Create(std::move(attributes), std::move(class_names));
+  UDT_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+int Schema::ClassIndex(const std::string& name) const {
+  for (size_t c = 0; c < class_names_.size(); ++c) {
+    if (class_names_[c] == name) return static_cast<int>(c);
+  }
+  return -1;
+}
+
+int Schema::AttributeIndex(const std::string& name) const {
+  for (size_t j = 0; j < attributes_.size(); ++j) {
+    if (attributes_[j].name == name) return static_cast<int>(j);
+  }
+  return -1;
+}
+
+}  // namespace udt

@@ -1,0 +1,75 @@
+// Schema description for uncertain data sets: attribute names/kinds and the
+// class-label vocabulary.
+
+#ifndef UDT_TABLE_ATTRIBUTE_H_
+#define UDT_TABLE_ATTRIBUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace udt {
+
+// Attribute kinds supported by the tree builder. Numerical attributes carry
+// a SampledPdf (Section 3.2); categorical attributes carry a discrete
+// distribution over category ids (Section 7.2).
+enum class AttributeKind {
+  kNumerical,
+  kCategorical,
+};
+
+// Static description of one attribute.
+struct AttributeInfo {
+  std::string name;
+  AttributeKind kind = AttributeKind::kNumerical;
+  // Number of distinct categories; only meaningful for categorical
+  // attributes.
+  int num_categories = 0;
+};
+
+// Immutable data-set schema: the attribute list plus class-label names.
+class Schema {
+ public:
+  // Builds a schema. Fails if there are no attributes, fewer than one class,
+  // a categorical attribute has fewer than two categories, or names are
+  // duplicated.
+  static StatusOr<Schema> Create(std::vector<AttributeInfo> attributes,
+                                 std::vector<std::string> class_names);
+
+  // Convenience: k numerical attributes named A1..Ak and the given classes.
+  static Schema Numerical(int num_attributes,
+                          std::vector<std::string> class_names);
+
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  int num_classes() const { return static_cast<int>(class_names_.size()); }
+
+  const AttributeInfo& attribute(int j) const {
+    return attributes_[static_cast<size_t>(j)];
+  }
+  const std::vector<AttributeInfo>& attributes() const { return attributes_; }
+
+  const std::string& class_name(int c) const {
+    return class_names_[static_cast<size_t>(c)];
+  }
+  const std::vector<std::string>& class_names() const { return class_names_; }
+
+  // Index of the class with the given name, or -1 if absent.
+  int ClassIndex(const std::string& name) const;
+
+  // Index of the attribute with the given name, or -1 if absent.
+  int AttributeIndex(const std::string& name) const;
+
+ private:
+  Schema(std::vector<AttributeInfo> attributes,
+         std::vector<std::string> class_names)
+      : attributes_(std::move(attributes)),
+        class_names_(std::move(class_names)) {}
+
+  std::vector<AttributeInfo> attributes_;
+  std::vector<std::string> class_names_;
+};
+
+}  // namespace udt
+
+#endif  // UDT_TABLE_ATTRIBUTE_H_

@@ -1,0 +1,135 @@
+#include "table/csv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace udt {
+
+StatusOr<PointDataset> ReadCsvFromString(const std::string& text) {
+  std::vector<std::string> lines;
+  for (std::string& line : SplitString(text, '\n')) {
+    std::string_view trimmed = TrimWhitespace(line);
+    if (!trimmed.empty()) lines.emplace_back(trimmed);
+  }
+  if (lines.size() < 2) {
+    return Status::InvalidArgument("CSV needs a header and at least one row");
+  }
+
+  std::vector<std::string> header = SplitString(lines[0], ',');
+  if (header.size() < 2) {
+    return Status::InvalidArgument(
+        "CSV header needs at least one attribute and the class column");
+  }
+  int num_attributes = static_cast<int>(header.size()) - 1;
+
+  // First pass: collect the class vocabulary in order of first appearance.
+  std::vector<std::string> class_names;
+  std::vector<std::vector<std::string>> parsed_rows;
+  parsed_rows.reserve(lines.size() - 1);
+  for (size_t r = 1; r < lines.size(); ++r) {
+    std::vector<std::string> fields = SplitString(lines[r], ',');
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu fields, expected %zu", r, fields.size(),
+                    header.size()));
+    }
+    std::string label(TrimWhitespace(fields.back()));
+    if (label.empty()) {
+      return Status::InvalidArgument(StrFormat("row %zu has empty class", r));
+    }
+    bool known = false;
+    for (const std::string& name : class_names) {
+      if (name == label) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) class_names.push_back(label);
+    parsed_rows.push_back(std::move(fields));
+  }
+
+  std::vector<AttributeInfo> attributes;
+  attributes.reserve(static_cast<size_t>(num_attributes));
+  for (int j = 0; j < num_attributes; ++j) {
+    std::string name(TrimWhitespace(header[static_cast<size_t>(j)]));
+    attributes.push_back(
+        AttributeInfo{std::move(name), AttributeKind::kNumerical, 0});
+  }
+  UDT_ASSIGN_OR_RETURN(Schema schema,
+                       Schema::Create(std::move(attributes), class_names));
+
+  PointDataset dataset(std::move(schema));
+  bool any_missing = false;
+  for (size_t r = 0; r < parsed_rows.size(); ++r) {
+    const std::vector<std::string>& fields = parsed_rows[r];
+    std::vector<double> values(static_cast<size_t>(num_attributes));
+    for (int j = 0; j < num_attributes; ++j) {
+      std::string_view field =
+          TrimWhitespace(fields[static_cast<size_t>(j)]);
+      if (field == "?") {  // missing-value marker (UCI convention)
+        values[static_cast<size_t>(j)] =
+            std::numeric_limits<double>::quiet_NaN();
+        any_missing = true;
+        continue;
+      }
+      std::optional<double> v = ParseDouble(field);
+      if (!v.has_value()) {
+        return Status::InvalidArgument(
+            StrFormat("row %zu column %d is not a number", r + 1, j));
+      }
+      values[static_cast<size_t>(j)] = *v;
+    }
+    std::string label(TrimWhitespace(fields.back()));
+    int label_id = dataset.schema().ClassIndex(label);
+    UDT_RETURN_NOT_OK(any_missing
+                          ? dataset.AddRowWithMissing(std::move(values),
+                                                      label_id)
+                          : dataset.AddRow(std::move(values), label_id));
+  }
+  return dataset;
+}
+
+StatusOr<PointDataset> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsvFromString(buffer.str());
+}
+
+std::string WriteCsvToString(const PointDataset& dataset) {
+  std::string out;
+  const Schema& schema = dataset.schema();
+  for (int j = 0; j < schema.num_attributes(); ++j) {
+    out += schema.attribute(j).name;
+    out += ',';
+  }
+  out += "class\n";
+  for (int i = 0; i < dataset.num_tuples(); ++i) {
+    for (int j = 0; j < schema.num_attributes(); ++j) {
+      if (dataset.is_missing(i, j)) {
+        out += "?,";
+      } else {
+        out += StrFormat("%.17g,", dataset.value(i, j));
+      }
+    }
+    out += schema.class_name(dataset.label(i));
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const PointDataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << WriteCsvToString(dataset);
+  if (!out) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace udt

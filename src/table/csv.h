@@ -1,0 +1,34 @@
+// CSV import/export for point-valued data sets.
+//
+// Format: one header line with attribute names followed by "class"; each
+// data row holds the numerical attribute values and a class-label string in
+// the final column. The class vocabulary is inferred in order of first
+// appearance.
+
+#ifndef UDT_TABLE_CSV_H_
+#define UDT_TABLE_CSV_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "table/point_dataset.h"
+
+namespace udt {
+
+// Parses a CSV document (in-memory string). A bare "?" in an attribute
+// column marks a missing value (stored as NaN; see table/missing.h).
+// Fails on ragged rows, unparsable numbers, or an empty body.
+StatusOr<PointDataset> ReadCsvFromString(const std::string& text);
+
+// Reads a CSV file from disk.
+StatusOr<PointDataset> ReadCsvFile(const std::string& path);
+
+// Renders the data set back to CSV text.
+std::string WriteCsvToString(const PointDataset& dataset);
+
+// Writes CSV to disk.
+Status WriteCsvFile(const PointDataset& dataset, const std::string& path);
+
+}  // namespace udt
+
+#endif  // UDT_TABLE_CSV_H_

@@ -1,0 +1,137 @@
+// Uncertain data sets: tuples whose feature vector is a vector of pdfs
+// (Section 3.2), the container the tree algorithms train and test on.
+
+#ifndef UDT_TABLE_DATASET_H_
+#define UDT_TABLE_DATASET_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "pdf/pdf.h"
+#include "table/attribute.h"
+
+namespace udt {
+
+// Discrete probability distribution over category ids 0..n-1 for an
+// uncertain categorical attribute (Section 7.2).
+class CategoricalPdf {
+ public:
+  // Builds from per-category probabilities (renormalised; must have >= 2
+  // entries and positive total mass).
+  static StatusOr<CategoricalPdf> Create(std::vector<double> probabilities);
+
+  // All mass on one category.
+  static CategoricalPdf Certain(int category, int num_categories);
+
+  int num_categories() const {
+    return static_cast<int>(probabilities_.size());
+  }
+  double probability(int category) const {
+    return probabilities_[static_cast<size_t>(category)];
+  }
+  // Category with the highest probability (ties -> lowest id).
+  int MostLikely() const;
+
+ private:
+  explicit CategoricalPdf(std::vector<double> probabilities)
+      : probabilities_(std::move(probabilities)) {}
+
+  std::vector<double> probabilities_;
+};
+
+// One attribute value of an uncertain tuple: either a numerical pdf or a
+// categorical distribution.
+class UncertainValue {
+ public:
+  static UncertainValue Numerical(SampledPdf pdf) {
+    return UncertainValue(std::move(pdf));
+  }
+  static UncertainValue Categorical(CategoricalPdf pdf) {
+    return UncertainValue(std::move(pdf));
+  }
+
+  bool is_numerical() const {
+    return std::holds_alternative<SampledPdf>(value_);
+  }
+
+  // Requires is_numerical().
+  const SampledPdf& pdf() const { return std::get<SampledPdf>(value_); }
+
+  // Requires !is_numerical().
+  const CategoricalPdf& categorical() const {
+    return std::get<CategoricalPdf>(value_);
+  }
+
+ private:
+  explicit UncertainValue(SampledPdf pdf) : value_(std::move(pdf)) {}
+  explicit UncertainValue(CategoricalPdf pdf) : value_(std::move(pdf)) {}
+
+  std::variant<SampledPdf, CategoricalPdf> value_;
+};
+
+// A training/testing tuple: k uncertain values plus a class label id.
+struct UncertainTuple {
+  std::vector<UncertainValue> values;
+  int label = 0;
+};
+
+// An uncertain data set: schema plus tuples. Copyable; folds and splits
+// produce independent Dataset values sharing nothing mutable.
+class Dataset {
+ public:
+  explicit Dataset(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  int num_attributes() const { return schema_.num_attributes(); }
+  int num_classes() const { return schema_.num_classes(); }
+  int num_tuples() const { return static_cast<int>(tuples_.size()); }
+  bool empty() const { return tuples_.empty(); }
+
+  const UncertainTuple& tuple(int i) const {
+    return tuples_[static_cast<size_t>(i)];
+  }
+  const std::vector<UncertainTuple>& tuples() const { return tuples_; }
+
+  // Appends a tuple. Fails if the value count, value kinds or label do not
+  // match the schema.
+  Status AddTuple(UncertainTuple tuple);
+
+  // [min, max] over the supports of attribute j across all tuples (the
+  // attribute's observed domain |Aj|). Requires a numerical attribute and a
+  // non-empty data set.
+  std::pair<double, double> AttributeRange(int j) const;
+
+  // Number of tuples per class label.
+  std::vector<int> ClassHistogram() const;
+
+  // Replaces every numerical pdf by a point mass at its mean: the data the
+  // Averaging approach trains on (Section 4.1).
+  Dataset ToMeans() const;
+
+  // Assigns each tuple to one of `k` folds, stratified by class so every
+  // fold sees the same label mix (used for the paper's 10-fold cross
+  // validation). Returns fold id per tuple. Requires k >= 2.
+  std::vector<int> StratifiedFolds(int k, Rng* rng) const;
+
+  // Partitions into (train, test): tuples with fold_of[i] == test_fold go to
+  // test, the rest to train.
+  std::pair<Dataset, Dataset> SplitByFold(const std::vector<int>& fold_of,
+                                          int test_fold) const;
+
+  // Random split: roughly `test_fraction` of tuples (stratified by class)
+  // form the test set.
+  std::pair<Dataset, Dataset> RandomSplit(double test_fraction,
+                                          Rng* rng) const;
+
+ private:
+  Schema schema_;
+  std::vector<UncertainTuple> tuples_;
+};
+
+}  // namespace udt
+
+#endif  // UDT_TABLE_DATASET_H_

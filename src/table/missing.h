@@ -1,0 +1,54 @@
+// Missing-value handling (Section 2): "a simple method of 'filling in' the
+// missing values could be adopted ... taking advantage of the capability of
+// handling arbitrary pdfs in our approach. We can take the average of the
+// pdf of the attribute in question over the tuples where the value is
+// present. The result is a pdf which can be used as a 'guess' distribution
+// of the attribute's value in the missing tuples."
+//
+// Two levels are provided:
+//  * point imputation (classical: global or class-conditional mean) for
+//    the AVG pipeline, and
+//  * pdf imputation (the paper's mixture-of-present-pdfs) for the
+//    distribution-based pipeline, built on top of InjectUncertainty.
+
+#ifndef UDT_TABLE_MISSING_H_
+#define UDT_TABLE_MISSING_H_
+
+#include "common/statusor.h"
+#include "table/point_dataset.h"
+#include "table/uncertainty_injector.h"
+
+namespace udt {
+
+// How missing entries are guessed.
+enum class ImputeStrategy {
+  kGlobalMean,  // attribute mean over all present values
+  kClassMean,   // attribute mean over present values of the tuple's class
+                // (falls back to the global mean for classes with no
+                // present value)
+};
+
+// Returns a copy of `points` with every NaN replaced per `strategy`.
+// Fails if some attribute has no present value at all.
+StatusOr<PointDataset> ImputeMissingValues(const PointDataset& points,
+                                           ImputeStrategy strategy);
+
+// Controls pdf-level imputation.
+struct MissingPdfOptions {
+  // Present values receive pdfs from this injector configuration.
+  UncertaintyOptions inject;
+  // If true, the guess mixture uses only same-class tuples; otherwise all
+  // tuples with a present value (the paper's formulation).
+  bool class_conditional = false;
+};
+
+// The paper's approach: present values are injected as usual; each missing
+// entry receives the (optionally class-conditional) mixture of the present
+// pdfs of its attribute, downsampled to inject.samples_per_pdf points.
+// Fails if some attribute (or class slice) has no present value.
+StatusOr<Dataset> InjectUncertaintyWithMissing(
+    const PointDataset& points, const MissingPdfOptions& options);
+
+}  // namespace udt
+
+#endif  // UDT_TABLE_MISSING_H_

@@ -1,0 +1,96 @@
+#include "table/point_dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace udt {
+
+Status PointDataset::AddRow(std::vector<double> values, int label) {
+  if (static_cast<int>(values.size()) != schema_.num_attributes()) {
+    return Status::InvalidArgument(StrFormat(
+        "row has %d values, schema expects %d",
+        static_cast<int>(values.size()), schema_.num_attributes()));
+  }
+  if (label < 0 || label >= schema_.num_classes()) {
+    return Status::InvalidArgument(StrFormat("label %d out of range", label));
+  }
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("row values must be finite");
+    }
+  }
+  rows_.push_back(std::move(values));
+  labels_.push_back(label);
+  return Status::OK();
+}
+
+Status PointDataset::AddRowWithMissing(std::vector<double> values,
+                                       int label) {
+  if (static_cast<int>(values.size()) != schema_.num_attributes()) {
+    return Status::InvalidArgument(StrFormat(
+        "row has %d values, schema expects %d",
+        static_cast<int>(values.size()), schema_.num_attributes()));
+  }
+  if (label < 0 || label >= schema_.num_classes()) {
+    return Status::InvalidArgument(StrFormat("label %d out of range", label));
+  }
+  for (double v : values) {
+    if (std::isinf(v)) {
+      return Status::InvalidArgument("row values must not be infinite");
+    }
+  }
+  rows_.push_back(std::move(values));
+  labels_.push_back(label);
+  return Status::OK();
+}
+
+bool PointDataset::is_missing(int i, int j) const {
+  return std::isnan(value(i, j));
+}
+
+int PointDataset::CountMissing() const {
+  int count = 0;
+  for (const std::vector<double>& row : rows_) {
+    for (double v : row) {
+      if (std::isnan(v)) ++count;
+    }
+  }
+  return count;
+}
+
+std::pair<double, double> PointDataset::AttributeRange(int j) const {
+  UDT_CHECK(!rows_.empty());
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const std::vector<double>& row : rows_) {
+    double v = row[static_cast<size_t>(j)];
+    if (std::isnan(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  UDT_CHECK(lo <= hi);  // at least one present value required
+  return {lo, hi};
+}
+
+Dataset PointDataset::ToPointMassDataset() const {
+  UDT_CHECK(CountMissing() == 0);
+  Dataset result(schema_);
+  for (int i = 0; i < num_tuples(); ++i) {
+    UncertainTuple tuple;
+    tuple.label = labels_[static_cast<size_t>(i)];
+    tuple.values.reserve(static_cast<size_t>(num_attributes()));
+    for (int j = 0; j < num_attributes(); ++j) {
+      tuple.values.push_back(
+          UncertainValue::Numerical(SampledPdf::PointMass(value(i, j))));
+    }
+    Status st = result.AddTuple(std::move(tuple));
+    UDT_CHECK(st.ok());
+  }
+  return result;
+}
+
+}  // namespace udt

@@ -1,0 +1,67 @@
+// Point-valued data sets: the classical representation the paper starts
+// from. The ten UCI-style data sets are generated (or loaded from CSV) as
+// PointDatasets; the uncertainty injector then turns them into uncertain
+// Datasets exactly as Section 4.3 prescribes.
+
+#ifndef UDT_TABLE_POINT_DATASET_H_
+#define UDT_TABLE_POINT_DATASET_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "table/attribute.h"
+#include "table/dataset.h"
+
+namespace udt {
+
+// A data set of certain (point-valued) numerical tuples.
+class PointDataset {
+ public:
+  explicit PointDataset(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  int num_attributes() const { return schema_.num_attributes(); }
+  int num_classes() const { return schema_.num_classes(); }
+  int num_tuples() const { return static_cast<int>(labels_.size()); }
+
+  double value(int i, int j) const {
+    return rows_[static_cast<size_t>(i)][static_cast<size_t>(j)];
+  }
+  int label(int i) const { return labels_[static_cast<size_t>(i)]; }
+  const std::vector<double>& row(int i) const {
+    return rows_[static_cast<size_t>(i)];
+  }
+
+  // Appends a row. Fails on arity/label mismatch or non-finite values.
+  Status AddRow(std::vector<double> values, int label);
+
+  // Appends a row that may contain missing values, encoded as NaN
+  // (Section 2 discusses how the uncertainty framework subsumes missing
+  // values; see table/missing.h). Infinite values are still rejected.
+  Status AddRowWithMissing(std::vector<double> values, int label);
+
+  // True if entry (i, j) is missing (NaN).
+  bool is_missing(int i, int j) const;
+
+  // Number of missing entries in the whole table.
+  int CountMissing() const;
+
+  // [min, max] of attribute j over all rows, ignoring missing entries.
+  // Requires at least one present value.
+  std::pair<double, double> AttributeRange(int j) const;
+
+  // Converts to an uncertain Dataset of point masses (zero uncertainty).
+  // Requires no missing entries (impute first; see table/missing.h).
+  Dataset ToPointMassDataset() const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> labels_;
+};
+
+}  // namespace udt
+
+#endif  // UDT_TABLE_POINT_DATASET_H_

@@ -1,0 +1,85 @@
+#include "table/uncertainty_injector.h"
+
+#include <cmath>
+
+#include "pdf/pdf_builder.h"
+
+namespace udt {
+
+const char* ErrorModelToString(ErrorModel model) {
+  switch (model) {
+    case ErrorModel::kGaussian:
+      return "Gaussian";
+    case ErrorModel::kUniform:
+      return "Uniform";
+  }
+  return "Unknown";
+}
+
+StatusOr<Dataset> InjectUncertainty(const PointDataset& points,
+                                    const UncertaintyOptions& options) {
+  if (options.width_fraction < 0.0) {
+    return Status::InvalidArgument("width_fraction must be >= 0");
+  }
+  if (options.samples_per_pdf < 1) {
+    return Status::InvalidArgument("samples_per_pdf must be >= 1");
+  }
+  if (points.num_tuples() == 0) {
+    return Status::InvalidArgument("cannot inject uncertainty into an empty "
+                                   "data set");
+  }
+
+  // Pre-compute the pdf width per attribute: w * |Aj|.
+  std::vector<double> widths(static_cast<size_t>(points.num_attributes()));
+  for (int j = 0; j < points.num_attributes(); ++j) {
+    auto [lo, hi] = points.AttributeRange(j);
+    widths[static_cast<size_t>(j)] = options.width_fraction * (hi - lo);
+  }
+
+  Dataset dataset(points.schema());
+  for (int i = 0; i < points.num_tuples(); ++i) {
+    UncertainTuple tuple;
+    tuple.label = points.label(i);
+    tuple.values.reserve(static_cast<size_t>(points.num_attributes()));
+    for (int j = 0; j < points.num_attributes(); ++j) {
+      double v = points.value(i, j);
+      double width = widths[static_cast<size_t>(j)];
+      StatusOr<SampledPdf> pdf =
+          options.error_model == ErrorModel::kGaussian
+              ? MakeGaussianErrorPdf(v, width, options.samples_per_pdf)
+              : MakeUniformErrorPdf(v, width, options.samples_per_pdf);
+      if (!pdf.ok()) return pdf.status();
+      tuple.values.push_back(UncertainValue::Numerical(std::move(*pdf)));
+    }
+    UDT_RETURN_NOT_OK(dataset.AddTuple(std::move(tuple)));
+  }
+  return dataset;
+}
+
+PointDataset PerturbPointData(const PointDataset& points, double u, Rng* rng) {
+  UDT_CHECK(u >= 0.0);
+  UDT_CHECK(rng != nullptr);
+  PointDataset result(points.schema());
+  if (points.num_tuples() == 0) return result;
+
+  std::vector<double> sigmas(static_cast<size_t>(points.num_attributes()));
+  for (int j = 0; j < points.num_attributes(); ++j) {
+    auto [lo, hi] = points.AttributeRange(j);
+    sigmas[static_cast<size_t>(j)] = u * (hi - lo) / 4.0;
+  }
+
+  for (int i = 0; i < points.num_tuples(); ++i) {
+    std::vector<double> row = points.row(i);
+    for (int j = 0; j < points.num_attributes(); ++j) {
+      double sigma = sigmas[static_cast<size_t>(j)];
+      if (sigma > 0.0) {
+        row[static_cast<size_t>(j)] += rng->Gaussian(0.0, sigma);
+      }
+    }
+    Status st = result.AddRow(std::move(row), points.label(i));
+    UDT_CHECK(st.ok());
+  }
+  return result;
+}
+
+}  // namespace udt

@@ -1,0 +1,53 @@
+// The paper's data-preparation pipeline (Sections 4.3 and 4.4):
+//
+//  * InjectUncertainty — "for each tuple ti and attribute Aj, the point
+//    value vij is used as the mean of a pdf fij defined over an interval of
+//    width w * |Aj|", with either a uniform distribution or a Gaussian whose
+//    standard deviation is a quarter of the interval width, discretised
+//    into s sample points.
+//  * PerturbPointData — the controlled-noise experiment: each value is
+//    shifted by Gaussian noise with sigma = (u * |Aj|) / 4 before
+//    uncertainty is injected, so the injected pdf may or may not match the
+//    true error.
+
+#ifndef UDT_TABLE_UNCERTAINTY_INJECTOR_H_
+#define UDT_TABLE_UNCERTAINTY_INJECTOR_H_
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "table/dataset.h"
+#include "table/point_dataset.h"
+
+namespace udt {
+
+// The two error models evaluated in the paper.
+enum class ErrorModel {
+  kGaussian,  // random measurement noise
+  kUniform,   // quantisation noise
+};
+
+const char* ErrorModelToString(ErrorModel model);
+
+// Controls pdf synthesis.
+struct UncertaintyOptions {
+  // w: pdf-domain width as a fraction of the attribute's observed range.
+  double width_fraction = 0.10;
+  // s: number of sample points per pdf.
+  int samples_per_pdf = 100;
+  ErrorModel error_model = ErrorModel::kGaussian;
+};
+
+// Turns a point data set into an uncertain one: every value v becomes a pdf
+// with mean v, support width = width_fraction * |Aj| (clamped to a tiny
+// positive width if the attribute is constant). width_fraction == 0 yields
+// point masses, which makes UDT degenerate to AVG by construction.
+StatusOr<Dataset> InjectUncertainty(const PointDataset& points,
+                                    const UncertaintyOptions& options);
+
+// Section 4.4: returns a copy of `points` where each value is perturbed by
+// N(0, sigma^2) with sigma = (u * |Aj|) / 4. u == 0 returns an exact copy.
+PointDataset PerturbPointData(const PointDataset& points, double u, Rng* rng);
+
+}  // namespace udt
+
+#endif  // UDT_TABLE_UNCERTAINTY_INJECTOR_H_

@@ -1,0 +1,134 @@
+#include "tree/classify.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "split/fractional_tuple.h"
+
+namespace udt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct TraversalState {
+  // Per-attribute numerical constraints (the tuple's pdf conditioned to
+  // (lo, hi]) and fixed categories, updated along the path.
+  std::vector<double> lo;
+  std::vector<double> hi;
+  std::vector<int> category;
+};
+
+void Propagate(const TreeNode& node, const UncertainTuple& tuple,
+               double weight, TraversalState* state,
+               std::vector<double>* out) {
+  if (weight < kMinFractionWeight) return;
+  if (node.is_leaf()) {
+    for (size_t c = 0; c < out->size(); ++c) {
+      (*out)[c] += weight * node.distribution[c];
+    }
+    return;
+  }
+
+  size_t j = static_cast<size_t>(node.attribute);
+  if (node.is_categorical) {
+    const CategoricalPdf& dist = tuple.values[j].categorical();
+    if (state->category[j] >= 0) {
+      const std::unique_ptr<TreeNode>& child =
+          node.children[static_cast<size_t>(state->category[j])];
+      UDT_DCHECK(child != nullptr);
+      Propagate(*child, tuple, weight, state, out);
+      return;
+    }
+    for (size_t v = 0; v < node.children.size(); ++v) {
+      double p = dist.probability(static_cast<int>(v));
+      if (p <= 0.0 || node.children[v] == nullptr) continue;
+      state->category[j] = static_cast<int>(v);
+      Propagate(*node.children[v], tuple, weight * p, state, out);
+      state->category[j] = -1;
+    }
+    return;
+  }
+
+  const SampledPdf& pdf = tuple.values[j].pdf();
+  double mass = ConstrainedMass(pdf, state->lo[j], state->hi[j]);
+  if (mass <= 0.0) return;
+  double p_left =
+      ConditionalCdf(pdf, state->lo[j], state->hi[j], node.split_point);
+
+  double w_left = weight * p_left;
+  if (w_left >= kMinFractionWeight) {
+    double saved_hi = state->hi[j];
+    state->hi[j] = std::min(saved_hi, node.split_point);
+    Propagate(*node.left, tuple, w_left, state, out);
+    state->hi[j] = saved_hi;
+  }
+  double w_right = weight - w_left;
+  if (w_right >= kMinFractionWeight) {
+    double saved_lo = state->lo[j];
+    state->lo[j] = std::max(saved_lo, node.split_point);
+    Propagate(*node.right, tuple, w_right, state, out);
+    state->lo[j] = saved_lo;
+  }
+}
+
+}  // namespace
+
+int ArgMax(const std::vector<double>& values) {
+  UDT_CHECK(!values.empty());
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(values.size()); ++i) {
+    if (values[static_cast<size_t>(i)] > values[static_cast<size_t>(best)]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<double> ClassifyDistribution(const DecisionTree& tree,
+                                         const UncertainTuple& tuple) {
+  size_t k = static_cast<size_t>(tree.schema().num_attributes());
+  UDT_CHECK(tuple.values.size() == k);
+  TraversalState state;
+  state.lo.assign(k, -kInf);
+  state.hi.assign(k, kInf);
+  state.category.assign(k, -1);
+
+  std::vector<double> out(
+      static_cast<size_t>(tree.schema().num_classes()), 0.0);
+  Propagate(tree.root(), tuple, 1.0, &state, &out);
+
+  // Weight can evaporate only via dropped micro-fragments; renormalise so
+  // the result is a proper distribution.
+  double total = 0.0;
+  for (double v : out) total += v;
+  if (total > 0.0) {
+    for (double& v : out) v /= total;
+  } else {
+    for (double& v : out) v = 1.0 / static_cast<double>(out.size());
+  }
+  return out;
+}
+
+int PredictLabel(const DecisionTree& tree, const UncertainTuple& tuple) {
+  return ArgMax(ClassifyDistribution(tree, tuple));
+}
+
+std::vector<double> ClassifyPointDistribution(
+    const DecisionTree& tree, const std::vector<double>& values) {
+  UncertainTuple tuple;
+  tuple.values.reserve(values.size());
+  for (double v : values) {
+    tuple.values.push_back(
+        UncertainValue::Numerical(SampledPdf::PointMass(v)));
+  }
+  return ClassifyDistribution(tree, tuple);
+}
+
+int PredictPointLabel(const DecisionTree& tree,
+                      const std::vector<double>& values) {
+  return ArgMax(ClassifyPointDistribution(tree, values));
+}
+
+}  // namespace udt

@@ -1,0 +1,37 @@
+// Classifying uncertain test tuples (Section 3.2, Fig 1): a test tuple
+// enters the root with weight 1; at every internal node it splits into
+// fractional parts pL/pR (probability of its constrained pdf falling on
+// each side), and the weights reaching each leaf are combined with the
+// leaf distributions into P(c) for every class c.
+
+#ifndef UDT_TREE_CLASSIFY_H_
+#define UDT_TREE_CLASSIFY_H_
+
+#include <vector>
+
+#include "table/dataset.h"
+#include "tree/tree.h"
+
+namespace udt {
+
+// Full probabilistic classification: returns P over class labels
+// (non-negative, sums to 1).
+std::vector<double> ClassifyDistribution(const DecisionTree& tree,
+                                         const UncertainTuple& tuple);
+
+// Single-label result: argmax of ClassifyDistribution (ties -> lowest id),
+// "the class label with the highest probability as the final answer".
+int PredictLabel(const DecisionTree& tree, const UncertainTuple& tuple);
+
+// Convenience for point-valued feature vectors (traditional traversal).
+std::vector<double> ClassifyPointDistribution(const DecisionTree& tree,
+                                              const std::vector<double>& values);
+int PredictPointLabel(const DecisionTree& tree,
+                      const std::vector<double>& values);
+
+// Index of the largest probability (ties -> lowest index).
+int ArgMax(const std::vector<double>& values);
+
+}  // namespace udt
+
+#endif  // UDT_TREE_CLASSIFY_H_

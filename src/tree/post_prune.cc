@@ -1,0 +1,62 @@
+#include "tree/post_prune.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace udt {
+
+double LeafPessimisticError(const std::vector<double>& class_counts,
+                            double confidence) {
+  double total = 0.0;
+  double best = 0.0;
+  for (double c : class_counts) {
+    total += c;
+    best = std::max(best, c);
+  }
+  if (total <= 0.0) return 0.0;
+  return PessimisticErrorCount(total - best, total, confidence);
+}
+
+namespace {
+
+// Returns the pessimistic error of the (possibly pruned) subtree rooted at
+// `node`, pruning it in place when a leaf would do no worse.
+double PruneNode(TreeNode* node, const PostPruneOptions& options,
+                 PostPruneStats* stats) {
+  double leaf_error = LeafPessimisticError(node->class_counts,
+                                           options.confidence);
+  if (node->is_leaf()) return leaf_error;
+
+  double subtree_error = 0.0;
+  if (node->is_categorical) {
+    for (std::unique_ptr<TreeNode>& child : node->children) {
+      if (child != nullptr) {
+        subtree_error += PruneNode(child.get(), options, stats);
+      }
+    }
+  } else {
+    subtree_error += PruneNode(node->left.get(), options, stats);
+    subtree_error += PruneNode(node->right.get(), options, stats);
+  }
+
+  if (leaf_error <= subtree_error + kMassEpsilon) {
+    node->MakeLeaf();
+    ++stats->subtrees_collapsed;
+    return leaf_error;
+  }
+  return subtree_error;
+}
+
+}  // namespace
+
+PostPruneStats PostPruneTree(DecisionTree* tree,
+                             const PostPruneOptions& options) {
+  UDT_CHECK(tree != nullptr);
+  PostPruneStats stats;
+  PruneNode(tree->mutable_root(), options, &stats);
+  return stats;
+}
+
+}  // namespace udt

@@ -1,0 +1,35 @@
+// Post-pruning in the C4.5 style the paper adopts (footnote 3 refers to
+// [33]/[3]): bottom-up pessimistic-error pruning. A subtree is replaced by
+// a leaf when the leaf's pessimistic error estimate (an upper confidence
+// bound on the training error) does not exceed the sum of its leaves'
+// estimates. Fractional training weights are handled transparently because
+// all counts are weighted masses.
+
+#ifndef UDT_TREE_POST_PRUNE_H_
+#define UDT_TREE_POST_PRUNE_H_
+
+#include "tree/tree.h"
+
+namespace udt {
+
+struct PostPruneOptions {
+  // C4.5's CF parameter: smaller values prune more aggressively.
+  double confidence = 0.25;
+};
+
+struct PostPruneStats {
+  int subtrees_collapsed = 0;
+};
+
+// Prunes `tree` in place; returns statistics. Idempotent.
+PostPruneStats PostPruneTree(DecisionTree* tree,
+                             const PostPruneOptions& options);
+
+// The pessimistic error estimate of turning a node with the given weighted
+// class counts into a leaf (exposed for tests).
+double LeafPessimisticError(const std::vector<double>& class_counts,
+                            double confidence);
+
+}  // namespace udt
+
+#endif  // UDT_TREE_POST_PRUNE_H_

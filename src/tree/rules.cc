@@ -1,0 +1,185 @@
+#include "tree/rules.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "split/fractional_tuple.h"
+#include "tree/classify.h"
+
+namespace udt {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double Rule::MatchProbability(const UncertainTuple& tuple) const {
+  double probability = 1.0;
+  for (const RuleCondition& condition : conditions) {
+    const UncertainValue& value =
+        tuple.values[static_cast<size_t>(condition.attribute)];
+    if (condition.is_categorical) {
+      probability *= value.categorical().probability(condition.category);
+    } else {
+      probability *= value.pdf().MassInHalfOpen(condition.lower,
+                                                condition.upper);
+    }
+    if (probability <= 0.0) return 0.0;
+  }
+  return probability;
+}
+
+std::string Rule::ToString(const Schema& schema) const {
+  std::string out = "IF ";
+  if (conditions.empty()) out += "(always) ";
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    const RuleCondition& c = conditions[i];
+    if (i > 0) out += "AND ";
+    const std::string& name = schema.attribute(c.attribute).name;
+    if (c.is_categorical) {
+      out += StrFormat("%s = %d ", name.c_str(), c.category);
+    } else if (c.lower == -kInf) {
+      out += StrFormat("%s <= %g ", name.c_str(), c.upper);
+    } else if (c.upper == kInf) {
+      out += StrFormat("%s > %g ", name.c_str(), c.lower);
+    } else {
+      out += StrFormat("%g < %s <= %g ", c.lower, name.c_str(), c.upper);
+    }
+  }
+  out += StrFormat("THEN %s (conf %.3f, sup %.2f)",
+                   schema.class_name(predicted_class).c_str(), confidence,
+                   support);
+  return out;
+}
+
+namespace {
+
+struct PathState {
+  // Current numerical interval per attribute and fixed categories.
+  std::vector<double> lower;
+  std::vector<double> upper;
+  std::vector<int> category;
+};
+
+void EmitRule(const Schema& schema, const TreeNode& leaf,
+              const PathState& path, std::vector<Rule>* rules) {
+  Rule rule;
+  for (int j = 0; j < schema.num_attributes(); ++j) {
+    size_t js = static_cast<size_t>(j);
+    if (schema.attribute(j).kind == AttributeKind::kCategorical) {
+      if (path.category[js] >= 0) {
+        RuleCondition condition;
+        condition.attribute = j;
+        condition.is_categorical = true;
+        condition.category = path.category[js];
+        rule.conditions.push_back(condition);
+      }
+      continue;
+    }
+    if (path.lower[js] != -kInf || path.upper[js] != kInf) {
+      RuleCondition condition;
+      condition.attribute = j;
+      condition.lower = path.lower[js];
+      condition.upper = path.upper[js];
+      rule.conditions.push_back(condition);
+    }
+  }
+  rule.distribution = leaf.distribution;
+  rule.predicted_class = ArgMax(leaf.distribution);
+  rule.confidence =
+      leaf.distribution[static_cast<size_t>(rule.predicted_class)];
+  rule.support = 0.0;
+  for (double c : leaf.class_counts) rule.support += c;
+  rules->push_back(std::move(rule));
+}
+
+void Walk(const Schema& schema, const TreeNode& node, PathState* path,
+          std::vector<Rule>* rules) {
+  if (node.is_leaf()) {
+    EmitRule(schema, node, *path, rules);
+    return;
+  }
+  size_t j = static_cast<size_t>(node.attribute);
+  if (node.is_categorical) {
+    int saved = path->category[j];
+    for (size_t v = 0; v < node.children.size(); ++v) {
+      if (node.children[v] == nullptr) continue;
+      // A path contradicting an ancestor's category carries zero mass.
+      if (saved >= 0 && static_cast<int>(v) != saved) continue;
+      path->category[j] = static_cast<int>(v);
+      Walk(schema, *node.children[v], path, rules);
+    }
+    path->category[j] = saved;
+    return;
+  }
+  double saved_upper = path->upper[j];
+  path->upper[j] = std::min(saved_upper, node.split_point);
+  if (path->lower[j] < path->upper[j]) {  // skip zero-mass paths
+    Walk(schema, *node.left, path, rules);
+  }
+  path->upper[j] = saved_upper;
+
+  double saved_lower = path->lower[j];
+  path->lower[j] = std::max(saved_lower, node.split_point);
+  if (path->lower[j] < path->upper[j]) {
+    Walk(schema, *node.right, path, rules);
+  }
+  path->lower[j] = saved_lower;
+}
+
+}  // namespace
+
+RuleSet RuleSet::FromTree(const DecisionTree& tree) {
+  const Schema& schema = tree.schema();
+  PathState path;
+  size_t k = static_cast<size_t>(schema.num_attributes());
+  path.lower.assign(k, -kInf);
+  path.upper.assign(k, kInf);
+  path.category.assign(k, -1);
+  std::vector<Rule> rules;
+  Walk(schema, tree.root(), &path, &rules);
+  return RuleSet(schema, std::move(rules));
+}
+
+std::vector<double> RuleSet::ClassifyDistribution(
+    const UncertainTuple& tuple) const {
+  std::vector<double> out(static_cast<size_t>(schema_.num_classes()), 0.0);
+  for (const Rule& rule : rules_) {
+    double p = rule.MatchProbability(tuple);
+    if (p <= 0.0) continue;
+    for (size_t c = 0; c < out.size(); ++c) {
+      out[c] += p * rule.distribution[c];
+    }
+  }
+  double total = 0.0;
+  for (double v : out) total += v;
+  if (total > 0.0) {
+    for (double& v : out) v /= total;
+  } else {
+    for (double& v : out) v = 1.0 / static_cast<double>(out.size());
+  }
+  return out;
+}
+
+int RuleSet::Predict(const UncertainTuple& tuple) const {
+  return ArgMax(ClassifyDistribution(tuple));
+}
+
+std::string RuleSet::ToString() const {
+  std::vector<const Rule*> ordered;
+  ordered.reserve(rules_.size());
+  for (const Rule& rule : rules_) ordered.push_back(&rule);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Rule* a, const Rule* b) {
+                     return a->support > b->support;
+                   });
+  std::string out;
+  for (const Rule* rule : ordered) {
+    out += rule->ToString(schema_);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace udt

@@ -1,0 +1,80 @@
+// Rule extraction. The paper motivates decision trees partly because
+// "rules can also be extracted from decision trees easily" (Section 1);
+// this module materialises that: every root-to-leaf path becomes a rule
+//   IF  lo < Aj <= hi  AND  Ac = v  AND ...  THEN  class c
+// with support (training weight reaching the leaf) and confidence (the
+// leaf's probability for its majority class). A RuleSet classifies
+// uncertain tuples exactly like the tree it came from: each rule's body
+// is matched with the tuple's probability of satisfying it.
+
+#ifndef UDT_TREE_RULES_H_
+#define UDT_TREE_RULES_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "table/dataset.h"
+#include "tree/tree.h"
+
+namespace udt {
+
+// One conjunct of a rule body.
+struct RuleCondition {
+  int attribute = -1;
+  bool is_categorical = false;
+  // Numerical: value constrained to (lower, upper].
+  double lower = -std::numeric_limits<double>::infinity();
+  double upper = std::numeric_limits<double>::infinity();
+  // Categorical: value must equal this category.
+  int category = -1;
+};
+
+// One IF-THEN rule with the statistics of its source leaf.
+struct Rule {
+  std::vector<RuleCondition> conditions;
+  // Full class distribution at the leaf, plus the headline prediction.
+  std::vector<double> distribution;
+  int predicted_class = 0;
+  double confidence = 0.0;  // distribution[predicted_class]
+  double support = 0.0;     // training weight at the leaf
+
+  // Probability that `tuple` satisfies every condition (conditions bind
+  // independent attributes, so the probabilities multiply).
+  double MatchProbability(const UncertainTuple& tuple) const;
+
+  // Renders "IF 1.2 < A3 <= 4.5 AND color = 2 THEN c1 (conf 0.93, sup 12.5)".
+  std::string ToString(const Schema& schema) const;
+};
+
+// The complete, mutually exclusive and exhaustive rule set of a tree.
+class RuleSet {
+ public:
+  // Extracts one rule per leaf. Conditions on the same numerical attribute
+  // along a path are merged into a single interval conjunct.
+  static RuleSet FromTree(const DecisionTree& tree);
+
+  int num_rules() const { return static_cast<int>(rules_.size()); }
+  const Rule& rule(int i) const { return rules_[static_cast<size_t>(i)]; }
+  const std::vector<Rule>& rules() const { return rules_; }
+  const Schema& schema() const { return schema_; }
+
+  // Classifies like the source tree: sum over rules of
+  // match-probability * rule distribution, renormalised.
+  std::vector<double> ClassifyDistribution(const UncertainTuple& tuple) const;
+  int Predict(const UncertainTuple& tuple) const;
+
+  // All rules, one per line, ordered by descending support.
+  std::string ToString() const;
+
+ private:
+  RuleSet(Schema schema, std::vector<Rule> rules)
+      : schema_(std::move(schema)), rules_(std::move(rules)) {}
+
+  Schema schema_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace udt
+
+#endif  // UDT_TREE_RULES_H_

@@ -1,0 +1,63 @@
+#include "tree/tree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace udt {
+
+void TreeNode::MakeLeaf() {
+  attribute = kLeaf;
+  is_categorical = false;
+  split_point = 0.0;
+  left.reset();
+  right.reset();
+  children.clear();
+}
+
+DecisionTree::DecisionTree(Schema schema, std::unique_ptr<TreeNode> root)
+    : schema_(std::move(schema)), root_(std::move(root)) {
+  UDT_CHECK(root_ != nullptr);
+}
+
+namespace {
+
+void Visit(const TreeNode& node, int depth, int* nodes, int* leaves,
+           int* max_depth) {
+  ++*nodes;
+  *max_depth = std::max(*max_depth, depth);
+  if (node.is_leaf()) {
+    ++*leaves;
+    return;
+  }
+  if (node.is_categorical) {
+    for (const std::unique_ptr<TreeNode>& child : node.children) {
+      if (child != nullptr) Visit(*child, depth + 1, nodes, leaves, max_depth);
+    }
+    return;
+  }
+  Visit(*node.left, depth + 1, nodes, leaves, max_depth);
+  Visit(*node.right, depth + 1, nodes, leaves, max_depth);
+}
+
+}  // namespace
+
+int DecisionTree::num_nodes() const {
+  int nodes = 0, leaves = 0, max_depth = 0;
+  Visit(*root_, 1, &nodes, &leaves, &max_depth);
+  return nodes;
+}
+
+int DecisionTree::num_leaves() const {
+  int nodes = 0, leaves = 0, max_depth = 0;
+  Visit(*root_, 1, &nodes, &leaves, &max_depth);
+  return leaves;
+}
+
+int DecisionTree::depth() const {
+  int nodes = 0, leaves = 0, max_depth = 0;
+  Visit(*root_, 1, &nodes, &leaves, &max_depth);
+  return max_depth;
+}
+
+}  // namespace udt

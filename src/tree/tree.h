@@ -1,0 +1,65 @@
+// The decision-tree model (Section 3): binary tests "v <= z" on numerical
+// attributes, n-ary tests on categorical attributes (Section 7.2), and a
+// class-probability distribution P_m at every leaf. Internal nodes keep
+// their training class counts so post-pruning can turn them into leaves.
+
+#ifndef UDT_TREE_TREE_H_
+#define UDT_TREE_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "table/attribute.h"
+
+namespace udt {
+
+// One node. A leaf has attribute == kLeaf; a numerical internal node uses
+// left/right; a categorical internal node uses children (one per category).
+struct TreeNode {
+  static constexpr int kLeaf = -1;
+
+  int attribute = kLeaf;
+  bool is_categorical = false;
+  double split_point = 0.0;
+
+  std::unique_ptr<TreeNode> left;
+  std::unique_ptr<TreeNode> right;
+  std::vector<std::unique_ptr<TreeNode>> children;
+
+  // Weighted training class counts that reached this node, and their
+  // normalised form (the leaf distribution P_m; kept on internal nodes for
+  // pruning and diagnostics).
+  std::vector<double> class_counts;
+  std::vector<double> distribution;
+
+  bool is_leaf() const { return attribute == kLeaf; }
+
+  // Turns this node into a leaf, discarding any subtree.
+  void MakeLeaf();
+};
+
+// An immutable-after-build decision tree plus the schema it was built on.
+class DecisionTree {
+ public:
+  DecisionTree(Schema schema, std::unique_ptr<TreeNode> root);
+
+  DecisionTree(DecisionTree&&) = default;
+  DecisionTree& operator=(DecisionTree&&) = default;
+
+  const Schema& schema() const { return schema_; }
+  const TreeNode& root() const { return *root_; }
+  TreeNode* mutable_root() { return root_.get(); }
+
+  // Structure statistics.
+  int num_nodes() const;
+  int num_leaves() const;
+  int depth() const;  // a lone leaf has depth 1
+
+ private:
+  Schema schema_;
+  std::unique_ptr<TreeNode> root_;
+};
+
+}  // namespace udt
+
+#endif  // UDT_TREE_TREE_H_

@@ -1,0 +1,228 @@
+#include "tree/tree_io.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/math.h"
+#include "common/string_util.h"
+
+namespace udt {
+
+namespace {
+
+void AppendCounts(const std::vector<double>& counts, std::string* out) {
+  *out += "[";
+  for (size_t c = 0; c < counts.size(); ++c) {
+    if (c > 0) *out += ",";
+    *out += StrFormat("%.17g", counts[c]);
+  }
+  *out += "]";
+}
+
+void SerializeNode(const TreeNode& node, std::string* out) {
+  if (node.is_leaf()) {
+    *out += "(leaf ";
+    AppendCounts(node.class_counts, out);
+    *out += ")";
+    return;
+  }
+  if (node.is_categorical) {
+    *out += StrFormat("(cat %d ", node.attribute);
+    AppendCounts(node.class_counts, out);
+    for (const std::unique_ptr<TreeNode>& child : node.children) {
+      *out += " ";
+      if (child == nullptr) {
+        *out += "(none)";
+      } else {
+        SerializeNode(*child, out);
+      }
+    }
+    *out += ")";
+    return;
+  }
+  *out += StrFormat("(num %d %.17g ", node.attribute, node.split_point);
+  AppendCounts(node.class_counts, out);
+  *out += " ";
+  SerializeNode(*node.left, out);
+  *out += " ";
+  SerializeNode(*node.right, out);
+  *out += ")";
+}
+
+// Minimal recursive-descent parser.
+class Parser {
+ public:
+  Parser(const std::string& text, const Schema& schema)
+      : text_(text), schema_(schema) {}
+
+  StatusOr<std::unique_ptr<TreeNode>> ParseRoot() {
+    UDT_RETURN_NOT_OK(Expect("(udt-tree"));
+    UDT_ASSIGN_OR_RETURN(std::unique_ptr<TreeNode> root, ParseNode());
+    UDT_RETURN_NOT_OK(Expect(")"));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after tree");
+    }
+    return root;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(const std::string& token) {
+    SkipSpace();
+    if (text_.compare(pos_, token.size(), token) != 0) {
+      return Status::InvalidArgument(
+          StrFormat("expected '%s' at offset %zu", token.c_str(), pos_));
+    }
+    pos_ += token.size();
+    return Status::OK();
+  }
+
+  bool Peek(const std::string& token) {
+    SkipSpace();
+    return text_.compare(pos_, token.size(), token) == 0;
+  }
+
+  StatusOr<double> ParseNumber() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == 'n' || text_[pos_] == 'a' ||  // nan
+            text_[pos_] == 'i' || text_[pos_] == 'f')) {  // inf
+      ++pos_;
+    }
+    std::optional<double> v = ParseDouble(text_.substr(start, pos_ - start));
+    if (!v.has_value() || !std::isfinite(*v)) {
+      return Status::InvalidArgument(
+          StrFormat("bad number at offset %zu", start));
+    }
+    return *v;
+  }
+
+  StatusOr<std::vector<double>> ParseCounts() {
+    UDT_RETURN_NOT_OK(Expect("["));
+    std::vector<double> counts;
+    while (true) {
+      UDT_ASSIGN_OR_RETURN(double v, ParseNumber());
+      if (v < 0.0) return Status::InvalidArgument("negative class count");
+      counts.push_back(v);
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    UDT_RETURN_NOT_OK(Expect("]"));
+    if (static_cast<int>(counts.size()) != schema_.num_classes()) {
+      return Status::InvalidArgument("class-count arity mismatch");
+    }
+    return counts;
+  }
+
+  void FinishNode(TreeNode* node, std::vector<double> counts) {
+    node->class_counts = std::move(counts);
+    double total = 0.0;
+    for (double c : node->class_counts) total += c;
+    node->distribution.assign(node->class_counts.size(), 0.0);
+    if (total > 0.0) {
+      for (size_t c = 0; c < node->class_counts.size(); ++c) {
+        node->distribution[c] = node->class_counts[c] / total;
+      }
+    } else {
+      for (double& d : node->distribution) {
+        d = 1.0 / static_cast<double>(node->distribution.size());
+      }
+    }
+  }
+
+  StatusOr<std::unique_ptr<TreeNode>> ParseNode() {
+    if (Peek("(leaf")) {
+      UDT_RETURN_NOT_OK(Expect("(leaf"));
+      UDT_ASSIGN_OR_RETURN(std::vector<double> counts, ParseCounts());
+      UDT_RETURN_NOT_OK(Expect(")"));
+      auto node = std::make_unique<TreeNode>();
+      FinishNode(node.get(), std::move(counts));
+      return node;
+    }
+    if (Peek("(num")) {
+      UDT_RETURN_NOT_OK(Expect("(num"));
+      UDT_ASSIGN_OR_RETURN(double attr, ParseNumber());
+      UDT_ASSIGN_OR_RETURN(double split, ParseNumber());
+      UDT_ASSIGN_OR_RETURN(std::vector<double> counts, ParseCounts());
+      UDT_ASSIGN_OR_RETURN(std::unique_ptr<TreeNode> left, ParseNode());
+      UDT_ASSIGN_OR_RETURN(std::unique_ptr<TreeNode> right, ParseNode());
+      UDT_RETURN_NOT_OK(Expect(")"));
+      int j = static_cast<int>(attr);
+      if (j < 0 || j >= schema_.num_attributes() ||
+          schema_.attribute(j).kind != AttributeKind::kNumerical) {
+        return Status::InvalidArgument("bad numerical attribute index");
+      }
+      auto node = std::make_unique<TreeNode>();
+      node->attribute = j;
+      node->split_point = split;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      FinishNode(node.get(), std::move(counts));
+      return node;
+    }
+    if (Peek("(cat")) {
+      UDT_RETURN_NOT_OK(Expect("(cat"));
+      UDT_ASSIGN_OR_RETURN(double attr, ParseNumber());
+      UDT_ASSIGN_OR_RETURN(std::vector<double> counts, ParseCounts());
+      int j = static_cast<int>(attr);
+      if (j < 0 || j >= schema_.num_attributes() ||
+          schema_.attribute(j).kind != AttributeKind::kCategorical) {
+        return Status::InvalidArgument("bad categorical attribute index");
+      }
+      auto node = std::make_unique<TreeNode>();
+      node->attribute = j;
+      node->is_categorical = true;
+      for (int v = 0; v < schema_.attribute(j).num_categories; ++v) {
+        if (Peek("(none)")) {
+          UDT_RETURN_NOT_OK(Expect("(none)"));
+          node->children.push_back(nullptr);
+        } else {
+          UDT_ASSIGN_OR_RETURN(std::unique_ptr<TreeNode> child, ParseNode());
+          node->children.push_back(std::move(child));
+        }
+      }
+      UDT_RETURN_NOT_OK(Expect(")"));
+      FinishNode(node.get(), std::move(counts));
+      return node;
+    }
+    return Status::InvalidArgument(
+        StrFormat("unknown node form at offset %zu", pos_));
+  }
+
+  const std::string& text_;
+  const Schema& schema_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeTree(const DecisionTree& tree) {
+  std::string out = "(udt-tree ";
+  SerializeNode(tree.root(), &out);
+  out += ")";
+  return out;
+}
+
+StatusOr<DecisionTree> ParseTree(const std::string& text,
+                                 const Schema& schema) {
+  Parser parser(text, schema);
+  UDT_ASSIGN_OR_RETURN(std::unique_ptr<TreeNode> root, parser.ParseRoot());
+  return DecisionTree(schema, std::move(root));
+}
+
+}  // namespace udt

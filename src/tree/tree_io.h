@@ -1,0 +1,33 @@
+// Text serialisation of decision trees: a compact parenthesised format that
+// round-trips exactly (used for model persistence and determinism tests).
+//
+// Grammar:
+//   tree    := "(udt-tree" node ")"
+//   node    := leaf | numeric | categorical
+//   leaf    := "(leaf" counts ")"
+//   numeric := "(num" attr split counts node node ")"
+//   categorical := "(cat" attr counts node... ")"
+//   counts  := "[" value ("," value)* "]"
+
+#ifndef UDT_TREE_TREE_IO_H_
+#define UDT_TREE_TREE_IO_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "table/attribute.h"
+#include "tree/tree.h"
+
+namespace udt {
+
+// Serialises `tree` (schema is not embedded; supply it when parsing).
+std::string SerializeTree(const DecisionTree& tree);
+
+// Parses a serialised tree. Fails on malformed input or when attribute or
+// class indices do not fit `schema`.
+StatusOr<DecisionTree> ParseTree(const std::string& text,
+                                 const Schema& schema);
+
+}  // namespace udt
+
+#endif  // UDT_TREE_TREE_IO_H_

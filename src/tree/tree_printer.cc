@@ -1,0 +1,110 @@
+#include "tree/tree_printer.h"
+
+#include "common/string_util.h"
+
+namespace udt {
+
+namespace {
+
+void AppendDistribution(const Schema& schema, const TreeNode& node,
+                        std::string* out) {
+  *out += "{";
+  for (int c = 0; c < schema.num_classes(); ++c) {
+    if (c > 0) *out += ", ";
+    *out += StrFormat("%s: %.3f", schema.class_name(c).c_str(),
+                      node.distribution[static_cast<size_t>(c)]);
+  }
+  *out += "}";
+}
+
+void Render(const Schema& schema, const TreeNode& node,
+            const std::string& indent, std::string* out) {
+  if (node.is_leaf()) {
+    *out += "leaf ";
+    AppendDistribution(schema, node, out);
+    *out += "\n";
+    return;
+  }
+  const std::string& name =
+      schema.attribute(node.attribute).name;
+  if (node.is_categorical) {
+    *out += StrFormat("%s = ?\n", name.c_str());
+    for (size_t v = 0; v < node.children.size(); ++v) {
+      bool last = (v + 1 == node.children.size());
+      *out += indent + StrFormat("+-%zu: ", v);
+      if (node.children[v] == nullptr) {
+        *out += "(unreached)\n";
+        continue;
+      }
+      Render(schema, *node.children[v], indent + (last ? "   " : "|  "),
+             out);
+    }
+    return;
+  }
+  *out += StrFormat("%s <= %g ?\n", name.c_str(), node.split_point);
+  *out += indent + "+-yes: ";
+  Render(schema, *node.left, indent + "|      ", out);
+  *out += indent + "+-no : ";
+  Render(schema, *node.right, indent + "       ", out);
+}
+
+}  // namespace
+
+std::string TreeToString(const DecisionTree& tree) {
+  std::string out;
+  Render(tree.schema(), tree.root(), "", &out);
+  return out;
+}
+
+std::string TreeSummary(const DecisionTree& tree) {
+  return StrFormat("nodes=%d leaves=%d depth=%d", tree.num_nodes(),
+                   tree.num_leaves(), tree.depth());
+}
+
+namespace {
+
+// Emits node `id` and its subtree; returns the next free id.
+int RenderDot(const Schema& schema, const TreeNode& node, int id,
+              std::string* out) {
+  int my_id = id;
+  if (node.is_leaf()) {
+    std::string label;
+    AppendDistribution(schema, node, &label);
+    *out += StrFormat("  n%d [shape=box, label=\"%s\"];\n", my_id,
+                      label.c_str());
+    return my_id + 1;
+  }
+  const std::string& name = schema.attribute(node.attribute).name;
+  int next = my_id + 1;
+  if (node.is_categorical) {
+    *out += StrFormat("  n%d [label=\"%s = ?\"];\n", my_id, name.c_str());
+    for (size_t v = 0; v < node.children.size(); ++v) {
+      if (node.children[v] == nullptr) continue;
+      int child_id = next;
+      next = RenderDot(schema, *node.children[v], child_id, out);
+      *out += StrFormat("  n%d -> n%d [label=\"%zu\"];\n", my_id, child_id,
+                        v);
+    }
+    return next;
+  }
+  *out += StrFormat("  n%d [label=\"%s <= %g\"];\n", my_id, name.c_str(),
+                    node.split_point);
+  int left_id = next;
+  next = RenderDot(schema, *node.left, left_id, out);
+  int right_id = next;
+  next = RenderDot(schema, *node.right, right_id, out);
+  *out += StrFormat("  n%d -> n%d [label=\"yes\"];\n", my_id, left_id);
+  *out += StrFormat("  n%d -> n%d [label=\"no\"];\n", my_id, right_id);
+  return next;
+}
+
+}  // namespace
+
+std::string TreeToDot(const DecisionTree& tree) {
+  std::string out = "digraph udt_tree {\n";
+  RenderDot(tree.schema(), tree.root(), 0, &out);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace udt

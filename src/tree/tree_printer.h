@@ -1,0 +1,28 @@
+// Human-readable rendering of decision trees, in the style of the paper's
+// Fig 2/Fig 3 examples.
+
+#ifndef UDT_TREE_TREE_PRINTER_H_
+#define UDT_TREE_TREE_PRINTER_H_
+
+#include <string>
+
+#include "tree/tree.h"
+
+namespace udt {
+
+// Multi-line ASCII rendering. Example:
+//   A1 <= -1 ?
+//   +-yes: leaf {A: 0.80, B: 0.20}
+//   +-no : leaf {A: 0.21, B: 0.79}
+std::string TreeToString(const DecisionTree& tree);
+
+// One-line structural summary, e.g. "nodes=7 leaves=4 depth=3".
+std::string TreeSummary(const DecisionTree& tree);
+
+// Graphviz DOT rendering ("dot -Tpng tree.dot -o tree.png"): internal
+// nodes labelled with their test, leaves with their class distribution.
+std::string TreeToDot(const DecisionTree& tree);
+
+}  // namespace udt
+
+#endif  // UDT_TREE_TREE_PRINTER_H_

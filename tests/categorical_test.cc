@@ -1,0 +1,149 @@
+// Tests for uncertain categorical attributes (Section 7.2): bucket scoring
+// and end-to-end tree building on mixed numerical/categorical schemas.
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "eval/metrics.h"
+#include "split/categorical.h"
+#include "split/fractional_tuple.h"
+
+namespace udt {
+namespace {
+
+// Categorical attribute with 3 values; value id predicts the class
+// perfectly (categories 0,1 -> class A; category 2 -> class B).
+Dataset CategoricalDataset(double certainty) {
+  auto schema = Schema::Create({{"tld", AttributeKind::kCategorical, 3}},
+                               {"A", "B"});
+  EXPECT_TRUE(schema.ok());
+  Dataset ds(*schema);
+  for (int i = 0; i < 30; ++i) {
+    int category = i % 3;
+    int label = category == 2 ? 1 : 0;
+    std::vector<double> probs(3, (1.0 - certainty) / 2.0);
+    probs[static_cast<size_t>(category)] = certainty;
+    auto dist = CategoricalPdf::Create(std::move(probs));
+    EXPECT_TRUE(dist.ok());
+    UncertainTuple t{{UncertainValue::Categorical(std::move(*dist))}, label};
+    EXPECT_TRUE(ds.AddTuple(t).ok());
+  }
+  return ds;
+}
+
+TEST(CategoricalSplitTest, PerfectAttributeScoresZeroEntropy) {
+  Dataset ds = CategoricalDataset(1.0);
+  WorkingSet set = MakeRootWorkingSet(ds);
+  SplitScorer scorer(DispersionMeasure::kEntropy,
+                     ClassCounts(ds, set, ds.num_classes()));
+  SplitCounters counters;
+  CategoricalSplitResult result = EvaluateCategoricalSplit(
+      ds, set, 0, scorer, SplitOptions{}, &counters);
+  ASSERT_TRUE(result.valid);
+  EXPECT_NEAR(result.score, 0.0, 1e-9);
+  EXPECT_EQ(counters.dispersion_evaluations, 1);
+}
+
+TEST(CategoricalSplitTest, UncertainCategoriesBlurTheScore) {
+  Dataset certain = CategoricalDataset(1.0);
+  Dataset fuzzy = CategoricalDataset(0.6);
+  WorkingSet set_c = MakeRootWorkingSet(certain);
+  WorkingSet set_f = MakeRootWorkingSet(fuzzy);
+  SplitScorer scorer_c(DispersionMeasure::kEntropy,
+                       ClassCounts(certain, set_c, 2));
+  SplitScorer scorer_f(DispersionMeasure::kEntropy,
+                       ClassCounts(fuzzy, set_f, 2));
+  double score_c = EvaluateCategoricalSplit(certain, set_c, 0, scorer_c,
+                                            SplitOptions{}, nullptr)
+                       .score;
+  double score_f = EvaluateCategoricalSplit(fuzzy, set_f, 0, scorer_f,
+                                            SplitOptions{}, nullptr)
+                       .score;
+  EXPECT_GT(score_f, score_c);  // uncertainty raises post-split entropy
+}
+
+TEST(CategoricalSplitTest, SingleBucketInvalid) {
+  auto schema = Schema::Create({{"c", AttributeKind::kCategorical, 2}},
+                               {"A", "B"});
+  ASSERT_TRUE(schema.ok());
+  Dataset ds(*schema);
+  for (int i = 0; i < 6; ++i) {
+    UncertainTuple t{
+        {UncertainValue::Categorical(CategoricalPdf::Certain(0, 2))}, i % 2};
+    ASSERT_TRUE(ds.AddTuple(t).ok());
+  }
+  WorkingSet set = MakeRootWorkingSet(ds);
+  SplitScorer scorer(DispersionMeasure::kEntropy, ClassCounts(ds, set, 2));
+  CategoricalSplitResult result =
+      EvaluateCategoricalSplit(ds, set, 0, scorer, SplitOptions{}, nullptr);
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(CategoricalSplitTest, GainRatioVariant) {
+  Dataset ds = CategoricalDataset(1.0);
+  WorkingSet set = MakeRootWorkingSet(ds);
+  SplitScorer scorer(DispersionMeasure::kGainRatio,
+                     ClassCounts(ds, set, ds.num_classes()));
+  CategoricalSplitResult result =
+      EvaluateCategoricalSplit(ds, set, 0, scorer, SplitOptions{}, nullptr);
+  ASSERT_TRUE(result.valid);
+  EXPECT_LT(result.score, 0.0);  // positive gain ratio
+}
+
+TEST(CategoricalTreeTest, BuildsAndClassifiesPerfectly) {
+  Dataset ds = CategoricalDataset(1.0);
+  TreeConfig config;
+  config.post_prune = false;
+  config.min_split_weight = 1.0;
+  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  ASSERT_TRUE(classifier.ok());
+  EXPECT_TRUE(classifier->tree().root().is_categorical);
+  EXPECT_NEAR(EvaluateAccuracy(*classifier, ds), 1.0, 1e-9);
+}
+
+TEST(CategoricalTreeTest, MixedSchemaPrefersStrongerAttribute) {
+  // Numerical attribute is pure noise; categorical is perfect.
+  auto schema = Schema::Create({{"x", AttributeKind::kNumerical, 0},
+                                {"c", AttributeKind::kCategorical, 2}},
+                               {"A", "B"});
+  ASSERT_TRUE(schema.ok());
+  Dataset ds(*schema);
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    int label = i % 2;
+    UncertainTuple t;
+    t.label = label;
+    t.values.push_back(
+        UncertainValue::Numerical(SampledPdf::PointMass(rng.Uniform01())));
+    t.values.push_back(
+        UncertainValue::Categorical(CategoricalPdf::Certain(label, 2)));
+    ASSERT_TRUE(ds.AddTuple(t).ok());
+  }
+  TreeConfig config;
+  config.post_prune = false;
+  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  ASSERT_TRUE(classifier.ok());
+  EXPECT_TRUE(classifier->tree().root().is_categorical);
+  EXPECT_EQ(classifier->tree().root().attribute, 1);
+}
+
+TEST(CategoricalTreeTest, FuzzyCategoriesStillLearnable) {
+  Dataset ds = CategoricalDataset(0.8);
+  TreeConfig config;
+  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  ASSERT_TRUE(classifier.ok());
+  // With 80% category certainty the Bayes-optimal decision still matches
+  // the majority category, so training accuracy should be high.
+  EXPECT_GT(EvaluateAccuracy(*classifier, ds), 0.9);
+}
+
+TEST(CategoricalTreeTest, AveragingUsesMostLikelyCategory) {
+  Dataset ds = CategoricalDataset(0.7);
+  TreeConfig config;
+  auto classifier = AveragingClassifier::Train(ds, config, nullptr);
+  ASSERT_TRUE(classifier.ok());
+  EXPECT_GT(EvaluateAccuracy(*classifier, ds), 0.9);
+}
+
+}  // namespace
+}  // namespace udt

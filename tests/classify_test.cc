@@ -1,0 +1,170 @@
+// Tests for uncertain-tuple classification (Section 3.2, Fig 1): fractional
+// weight propagation, constraint tightening down the tree and distribution
+// normalisation.
+
+#include <gtest/gtest.h>
+
+#include "pdf/pdf_builder.h"
+#include "tree/classify.h"
+#include "tree/tree.h"
+
+namespace udt {
+namespace {
+
+std::unique_ptr<TreeNode> Leaf(std::vector<double> distribution) {
+  auto node = std::make_unique<TreeNode>();
+  node->class_counts = distribution;
+  node->distribution = std::move(distribution);
+  return node;
+}
+
+std::unique_ptr<TreeNode> Split(int attribute, double z,
+                                std::unique_ptr<TreeNode> left,
+                                std::unique_ptr<TreeNode> right) {
+  auto node = std::make_unique<TreeNode>();
+  node->attribute = attribute;
+  node->split_point = z;
+  node->left = std::move(left);
+  node->right = std::move(right);
+  node->class_counts = {0.0, 0.0};
+  node->distribution = {0.5, 0.5};
+  return node;
+}
+
+UncertainTuple Tuple1D(SampledPdf pdf) {
+  UncertainTuple t;
+  t.values.push_back(UncertainValue::Numerical(std::move(pdf)));
+  return t;
+}
+
+TEST(ClassifyTest, WeightSplitsAtRoot) {
+  // Mirrors Fig 1: a pdf with 30% of its mass at or below the split point
+  // sends weight 0.3 left and 0.7 right.
+  DecisionTree tree(Schema::Numerical(1, {"A", "B"}),
+                    Split(0, -1.0, Leaf({0.8, 0.2}), Leaf({0.2, 0.8})));
+  auto pdf = SampledPdf::Create({-2.0, 1.0}, {0.3, 0.7});
+  ASSERT_TRUE(pdf.ok());
+  std::vector<double> p = ClassifyDistribution(tree, Tuple1D(*pdf));
+  EXPECT_NEAR(p[0], 0.3 * 0.8 + 0.7 * 0.2, 1e-12);  // 0.38
+  EXPECT_NEAR(p[1], 0.3 * 0.2 + 0.7 * 0.8, 1e-12);  // 0.62
+  EXPECT_EQ(PredictLabel(tree, Tuple1D(*pdf)), 1);
+}
+
+TEST(ClassifyTest, DistributionSumsToOne) {
+  DecisionTree tree(Schema::Numerical(1, {"A", "B"}),
+                    Split(0, 0.0, Leaf({0.9, 0.1}), Leaf({0.1, 0.9})));
+  auto pdf = MakeGaussianErrorPdf(0.0, 4.0, 51);
+  ASSERT_TRUE(pdf.ok());
+  std::vector<double> p = ClassifyDistribution(tree, Tuple1D(*pdf));
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+  EXPECT_GT(p[0], 0.0);
+  EXPECT_GT(p[1], 0.0);
+}
+
+TEST(ClassifyTest, PointTupleFollowsOnePath) {
+  DecisionTree tree(Schema::Numerical(1, {"A", "B"}),
+                    Split(0, 2.0, Leaf({1.0, 0.0}), Leaf({0.0, 1.0})));
+  EXPECT_EQ(PredictLabel(tree, Tuple1D(SampledPdf::PointMass(2.0))), 0);
+  EXPECT_EQ(PredictLabel(tree, Tuple1D(SampledPdf::PointMass(2.0001))), 1);
+}
+
+TEST(ClassifyTest, ConstraintsTightenDownTheTree) {
+  // Two-level tree splitting the same attribute at 0 then at -1.
+  // A tuple uniform on {-2,-1,1} with equal masses: P(x<=0)=2/3; inside the
+  // left branch the conditional P(x<=-1) = 1 (both remaining points <= -1)
+  // ... actually {-2,-1} -> both <= -1, so all left-weight reaches the
+  // deepest left leaf.
+  auto deep = Split(0, -1.0, Leaf({1.0, 0.0}), Leaf({0.5, 0.5}));
+  DecisionTree tree(Schema::Numerical(1, {"A", "B"}),
+                    Split(0, 0.0, std::move(deep), Leaf({0.0, 1.0})));
+  auto pdf = SampledPdf::Create({-2.0, -1.0, 1.0}, {1.0, 1.0, 1.0});
+  ASSERT_TRUE(pdf.ok());
+  std::vector<double> p = ClassifyDistribution(tree, Tuple1D(*pdf));
+  // 2/3 weight -> left subtree, all of it <= -1 -> leaf {1,0};
+  // 1/3 weight -> right leaf {0,1}.
+  EXPECT_NEAR(p[0], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(p[1], 1.0 / 3.0, 1e-9);
+}
+
+TEST(ClassifyTest, MultiAttributeTraversal) {
+  // Root on A1, children test A2.
+  auto left = Split(1, 0.0, Leaf({1.0, 0.0}), Leaf({0.0, 1.0}));
+  auto right = Split(1, 0.0, Leaf({0.0, 1.0}), Leaf({1.0, 0.0}));
+  DecisionTree tree(Schema::Numerical(2, {"A", "B"}),
+                    Split(0, 0.0, std::move(left), std::move(right)));
+  UncertainTuple t;
+  t.values.push_back(UncertainValue::Numerical(SampledPdf::PointMass(-1.0)));
+  auto pdf2 = SampledPdf::Create({-1.0, 1.0}, {0.25, 0.75});
+  ASSERT_TRUE(pdf2.ok());
+  t.values.push_back(UncertainValue::Numerical(*pdf2));
+  std::vector<double> p = ClassifyDistribution(tree, t);
+  // A1 = -1 -> left subtree. There A2 <= 0 with prob 0.25 -> {1,0}.
+  EXPECT_NEAR(p[0], 0.25, 1e-12);
+  EXPECT_NEAR(p[1], 0.75, 1e-12);
+}
+
+TEST(ClassifyTest, SingleLeafTree) {
+  DecisionTree tree(Schema::Numerical(1, {"A", "B"}), Leaf({0.7, 0.3}));
+  std::vector<double> p =
+      ClassifyDistribution(tree, Tuple1D(SampledPdf::PointMass(42.0)));
+  EXPECT_NEAR(p[0], 0.7, 1e-12);
+  EXPECT_EQ(PredictLabel(tree, Tuple1D(SampledPdf::PointMass(42.0))), 0);
+}
+
+TEST(ClassifyTest, PointHelpers) {
+  DecisionTree tree(Schema::Numerical(2, {"A", "B"}),
+                    Split(1, 5.0, Leaf({1.0, 0.0}), Leaf({0.0, 1.0})));
+  EXPECT_EQ(PredictPointLabel(tree, {0.0, 4.0}), 0);
+  EXPECT_EQ(PredictPointLabel(tree, {0.0, 6.0}), 1);
+  std::vector<double> p = ClassifyPointDistribution(tree, {0.0, 4.0});
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+}
+
+TEST(ClassifyTest, CategoricalNodePropagation) {
+  auto schema = Schema::Create({{"color", AttributeKind::kCategorical, 3}},
+                               {"A", "B"});
+  ASSERT_TRUE(schema.ok());
+  auto node = std::make_unique<TreeNode>();
+  node->attribute = 0;
+  node->is_categorical = true;
+  node->class_counts = {1.0, 1.0};
+  node->distribution = {0.5, 0.5};
+  node->children.push_back(Leaf({1.0, 0.0}));
+  node->children.push_back(Leaf({0.0, 1.0}));
+  node->children.push_back(Leaf({0.5, 0.5}));
+  DecisionTree tree(*schema, std::move(node));
+
+  auto dist = CategoricalPdf::Create({0.5, 0.3, 0.2});
+  ASSERT_TRUE(dist.ok());
+  UncertainTuple t;
+  t.values.push_back(UncertainValue::Categorical(*dist));
+  std::vector<double> p = ClassifyDistribution(tree, t);
+  EXPECT_NEAR(p[0], 0.5 * 1.0 + 0.3 * 0.0 + 0.2 * 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.5 * 0.0 + 0.3 * 1.0 + 0.2 * 0.5, 1e-12);
+}
+
+TEST(ClassifyTest, ArgMaxTieBreaksLow) {
+  EXPECT_EQ(ArgMax({0.5, 0.5}), 0);
+  EXPECT_EQ(ArgMax({0.1, 0.2, 0.7}), 2);
+  EXPECT_EQ(ArgMax({1.0}), 0);
+}
+
+TEST(TreeStructureTest, CountsAndDepth) {
+  auto deep = Split(0, -1.0, Leaf({1.0, 0.0}), Leaf({0.5, 0.5}));
+  DecisionTree tree(Schema::Numerical(1, {"A", "B"}),
+                    Split(0, 0.0, std::move(deep), Leaf({0.0, 1.0})));
+  EXPECT_EQ(tree.num_nodes(), 5);
+  EXPECT_EQ(tree.num_leaves(), 3);
+  EXPECT_EQ(tree.depth(), 3);
+}
+
+TEST(TreeStructureTest, MakeLeafDiscardsSubtree) {
+  auto root = Split(0, 0.0, Leaf({1.0, 0.0}), Leaf({0.0, 1.0}));
+  root->MakeLeaf();
+  EXPECT_TRUE(root->is_leaf());
+  EXPECT_EQ(root->left, nullptr);
+  EXPECT_EQ(root->right, nullptr);
+}
+
+}  // namespace
+}  // namespace udt

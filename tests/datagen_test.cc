@@ -1,0 +1,208 @@
+// Tests for the synthetic data generators that stand in for the UCI data
+// sets (see DESIGN.md "Substitutions").
+
+#include <gtest/gtest.h>
+
+#include "datagen/japanese_vowel.h"
+#include "datagen/synthetic.h"
+#include "datagen/uci_like.h"
+
+namespace udt {
+namespace {
+
+using datagen::GenerateJapaneseVowelLike;
+using datagen::GenerateSynthetic;
+using datagen::JapaneseVowelConfig;
+using datagen::SyntheticConfig;
+using datagen::UciCatalogue;
+using datagen::UciDatasetSpec;
+
+TEST(SyntheticTest, ShapeMatchesConfig) {
+  SyntheticConfig config;
+  config.num_tuples = 120;
+  config.num_attributes = 5;
+  config.num_classes = 3;
+  PointDataset ds = GenerateSynthetic(config);
+  EXPECT_EQ(ds.num_tuples(), 120);
+  EXPECT_EQ(ds.num_attributes(), 5);
+  EXPECT_EQ(ds.num_classes(), 3);
+}
+
+TEST(SyntheticTest, ClassesBalanced) {
+  SyntheticConfig config;
+  config.num_tuples = 99;
+  config.num_classes = 3;
+  PointDataset ds = GenerateSynthetic(config);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < ds.num_tuples(); ++i) {
+    ++counts[static_cast<size_t>(ds.label(i))];
+  }
+  EXPECT_EQ(counts[0], 33);
+  EXPECT_EQ(counts[1], 33);
+  EXPECT_EQ(counts[2], 33);
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  SyntheticConfig config;
+  config.seed = 42;
+  PointDataset a = GenerateSynthetic(config);
+  PointDataset b = GenerateSynthetic(config);
+  ASSERT_EQ(a.num_tuples(), b.num_tuples());
+  for (int i = 0; i < a.num_tuples(); ++i) {
+    EXPECT_EQ(a.value(i, 0), b.value(i, 0));
+  }
+  config.seed = 43;
+  PointDataset c = GenerateSynthetic(config);
+  bool any_diff = false;
+  for (int i = 0; i < a.num_tuples() && !any_diff; ++i) {
+    any_diff = a.value(i, 0) != c.value(i, 0);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, IntegerDomainQuantises) {
+  SyntheticConfig config;
+  config.integer_domain = true;
+  config.integer_levels = 50;
+  PointDataset ds = GenerateSynthetic(config);
+  for (int i = 0; i < ds.num_tuples(); ++i) {
+    for (int j = 0; j < ds.num_attributes(); ++j) {
+      double v = ds.value(i, j);
+      EXPECT_DOUBLE_EQ(v, std::round(v));
+    }
+  }
+}
+
+TEST(SyntheticTest, ClassSignalPresent) {
+  // Class-conditional means must differ noticeably on informative columns:
+  // check that at least one attribute separates class means by more than
+  // the within-class noise would explain.
+  SyntheticConfig config;
+  config.num_tuples = 600;
+  config.num_attributes = 4;
+  config.num_classes = 2;
+  config.clusters_per_class = 1;
+  config.cluster_stddev = 0.05;
+  config.inherent_noise = 0.05;
+  PointDataset ds = GenerateSynthetic(config);
+  double best_separation = 0.0;
+  for (int j = 0; j < ds.num_attributes(); ++j) {
+    double mean0 = 0.0, mean1 = 0.0;
+    int n0 = 0, n1 = 0;
+    for (int i = 0; i < ds.num_tuples(); ++i) {
+      if (ds.label(i) == 0) {
+        mean0 += ds.value(i, j);
+        ++n0;
+      } else {
+        mean1 += ds.value(i, j);
+        ++n1;
+      }
+    }
+    mean0 /= n0;
+    mean1 /= n1;
+    best_separation = std::max(best_separation, std::abs(mean0 - mean1));
+  }
+  EXPECT_GT(best_separation, 0.05);
+}
+
+TEST(UciLikeTest, CatalogueMatchesTable2Shapes) {
+  const std::vector<UciDatasetSpec>& catalogue = UciCatalogue();
+  ASSERT_EQ(catalogue.size(), 10u);
+  EXPECT_EQ(catalogue[0].name, "JapaneseVowel");
+  EXPECT_TRUE(catalogue[0].from_raw_samples);
+  EXPECT_EQ(catalogue[0].num_classes, 9);
+
+  auto iris = datagen::FindUciSpec("Iris");
+  ASSERT_TRUE(iris.ok());
+  EXPECT_EQ(iris->num_tuples, 150);
+  EXPECT_EQ(iris->num_attributes, 4);
+  EXPECT_EQ(iris->num_classes, 3);
+
+  auto pen = datagen::FindUciSpec("PenDigits");
+  ASSERT_TRUE(pen.ok());
+  EXPECT_TRUE(pen->integer_domain);
+  EXPECT_EQ(pen->num_classes, 10);
+
+  EXPECT_FALSE(datagen::FindUciSpec("NoSuchSet").ok());
+}
+
+TEST(UciLikeTest, ScaleShrinksTuples) {
+  auto spec = datagen::FindUciSpec("Segment");
+  ASSERT_TRUE(spec.ok());
+  PointDataset full = datagen::MakeUciLikePointData(*spec, 1.0);
+  PointDataset small = datagen::MakeUciLikePointData(*spec, 0.1);
+  EXPECT_EQ(full.num_tuples(), 2310);
+  EXPECT_EQ(small.num_tuples(), 231);
+  EXPECT_EQ(small.num_attributes(), full.num_attributes());
+}
+
+TEST(UciLikeTest, DistinctDatasetsDiffer) {
+  auto a = datagen::FindUciSpec("Iris");
+  auto b = datagen::FindUciSpec("Glass");
+  ASSERT_TRUE(a.ok() && b.ok());
+  PointDataset da = datagen::MakeUciLikePointData(*a, 1.0);
+  PointDataset db = datagen::MakeUciLikePointData(*b, 1.0);
+  EXPECT_NE(da.num_attributes(), db.num_attributes());
+}
+
+TEST(JapaneseVowelTest, ShapeAndRawSampleCounts) {
+  JapaneseVowelConfig config;
+  config.num_tuples = 90;
+  Dataset ds = GenerateJapaneseVowelLike(config);
+  EXPECT_EQ(ds.num_tuples(), 90);
+  EXPECT_EQ(ds.num_attributes(), 12);
+  EXPECT_EQ(ds.num_classes(), 9);
+  for (int i = 0; i < ds.num_tuples(); ++i) {
+    for (int j = 0; j < ds.num_attributes(); ++j) {
+      const SampledPdf& pdf = ds.tuple(i).values[static_cast<size_t>(j)].pdf();
+      // 7..29 raw samples (duplicates across draws are measure-zero).
+      EXPECT_GE(pdf.num_points(), 7);
+      EXPECT_LE(pdf.num_points(), 29);
+    }
+  }
+}
+
+TEST(JapaneseVowelTest, SpeakersBalanced) {
+  JapaneseVowelConfig config;
+  config.num_tuples = 90;
+  Dataset ds = GenerateJapaneseVowelLike(config);
+  std::vector<int> hist = ds.ClassHistogram();
+  for (int c = 0; c < 9; ++c) {
+    EXPECT_EQ(hist[static_cast<size_t>(c)], 10);
+  }
+}
+
+TEST(JapaneseVowelTest, DeterministicInSeed) {
+  JapaneseVowelConfig config;
+  config.num_tuples = 18;
+  Dataset a = GenerateJapaneseVowelLike(config);
+  Dataset b = GenerateJapaneseVowelLike(config);
+  EXPECT_DOUBLE_EQ(a.tuple(3).values[2].pdf().Mean(),
+                   b.tuple(3).values[2].pdf().Mean());
+}
+
+TEST(JapaneseVowelTest, SpeakerSignalPresent) {
+  // Means of the same attribute should differ across speakers more than
+  // within a speaker.
+  JapaneseVowelConfig config;
+  config.num_tuples = 180;
+  Dataset ds = GenerateJapaneseVowelLike(config);
+  std::vector<double> speaker_mean(9, 0.0);
+  std::vector<int> speaker_n(9, 0);
+  for (int i = 0; i < ds.num_tuples(); ++i) {
+    speaker_mean[static_cast<size_t>(ds.tuple(i).label)] +=
+        ds.tuple(i).values[0].pdf().Mean();
+    ++speaker_n[static_cast<size_t>(ds.tuple(i).label)];
+  }
+  double lo = 1e9, hi = -1e9;
+  for (int c = 0; c < 9; ++c) {
+    double m = speaker_mean[static_cast<size_t>(c)] /
+               speaker_n[static_cast<size_t>(c)];
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  EXPECT_GT(hi - lo, 0.5);  // speaker spread is 1.0 sigma
+}
+
+}  // namespace
+}  // namespace udt

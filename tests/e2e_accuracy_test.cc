@@ -1,0 +1,177 @@
+// End-to-end accuracy tests reproducing the *direction* of the paper's
+// findings at test scale: when the injected pdf models the measurement
+// error, the Distribution-based classifier beats Averaging (Table 3 /
+// Fig 4); and on raw-repeated-measurement data (JapaneseVowel-like) UDT
+// beats AVG without any synthetic error model.
+
+#include <gtest/gtest.h>
+
+#include "datagen/japanese_vowel.h"
+#include "datagen/synthetic.h"
+#include "eval/cross_validation.h"
+#include "eval/experiment.h"
+#include "table/uncertainty_injector.h"
+
+namespace udt {
+namespace {
+
+// Noisy two-cluster data where the recorded values carry substantial
+// measurement error; matched-width pdfs let UDT smooth it out.
+PointDataset NoisyPointData(int tuples, double inherent_noise,
+                            uint64_t seed) {
+  datagen::SyntheticConfig config;
+  config.name = "e2e";
+  config.num_tuples = tuples;
+  config.num_attributes = 4;
+  config.num_classes = 2;
+  config.clusters_per_class = 2;
+  config.cluster_stddev = 0.05;
+  config.inherent_noise = inherent_noise;
+  config.seed = seed;
+  return datagen::GenerateSynthetic(config);
+}
+
+TEST(EndToEndAccuracyTest, UdtBeatsAvgWithMatchedErrorModel) {
+  // Average the AVG-vs-UDT gap over several generator seeds; any single
+  // noisy draw can go either way, the signal is the mean improvement.
+  double total_avg = 0.0, total_udt = 0.0;
+  const int kRepeats = 3;
+  for (uint64_t seed = 1; seed <= kRepeats; ++seed) {
+    PointDataset points = NoisyPointData(240, 0.25, seed);
+    UncertaintyOptions options;
+    options.width_fraction = 0.25;  // matches the inherent noise
+    options.samples_per_pdf = 48;
+    options.error_model = ErrorModel::kGaussian;
+    auto ds = InjectUncertainty(points, options);
+    ASSERT_TRUE(ds.ok());
+
+    TreeConfig config;
+    config.algorithm = SplitAlgorithm::kUdtEs;
+    auto avg = CvAccuracy(*ds, config, ClassifierKind::kAveraging, 4, seed);
+    auto udt =
+        CvAccuracy(*ds, config, ClassifierKind::kDistributionBased, 4, seed);
+    ASSERT_TRUE(avg.ok() && udt.ok());
+    total_avg += *avg;
+    total_udt += *udt;
+  }
+  EXPECT_GT(total_udt / kRepeats, total_avg / kRepeats)
+      << "UDT should beat AVG when the pdf models the error";
+}
+
+TEST(EndToEndAccuracyTest, ZeroWidthDegeneratesToAvg) {
+  // With w = 0 every pdf is a point mass, so the distribution-based tree
+  // *is* the averaging tree and accuracies must coincide exactly.
+  PointDataset points = NoisyPointData(160, 0.2, 11);
+  UncertaintyOptions options;
+  options.width_fraction = 0.0;
+  options.samples_per_pdf = 1;
+  auto ds = InjectUncertainty(points, options);
+  ASSERT_TRUE(ds.ok());
+  TreeConfig config;
+  config.algorithm = SplitAlgorithm::kUdt;
+  auto avg = CvAccuracy(*ds, config, ClassifierKind::kAveraging, 4, 7);
+  auto udt = CvAccuracy(*ds, config, ClassifierKind::kDistributionBased, 4, 7);
+  ASSERT_TRUE(avg.ok() && udt.ok());
+  EXPECT_DOUBLE_EQ(*avg, *udt);
+}
+
+TEST(EndToEndAccuracyTest, GrossOverWideningHurts) {
+  // Fig 4's right tail: a pdf far wider than the true error ultimately
+  // degrades accuracy relative to the well-matched model.
+  PointDataset points = NoisyPointData(240, 0.1, 13);
+
+  auto accuracy_for_width = [&](double w) {
+    UncertaintyOptions options;
+    options.width_fraction = w;
+    options.samples_per_pdf = 32;
+    auto ds = InjectUncertainty(points, options);
+    EXPECT_TRUE(ds.ok());
+    TreeConfig config;
+    config.algorithm = SplitAlgorithm::kUdtEs;
+    auto acc =
+        CvAccuracy(*ds, config, ClassifierKind::kDistributionBased, 4, 3);
+    EXPECT_TRUE(acc.ok());
+    return *acc;
+  };
+  double matched = accuracy_for_width(0.1);
+  double extreme = accuracy_for_width(3.0);
+  EXPECT_GE(matched, extreme - 0.02);
+}
+
+TEST(EndToEndAccuracyTest, JapaneseVowelUdtBeatsAvg) {
+  datagen::JapaneseVowelConfig config;
+  config.num_tuples = 270;
+  Dataset ds = datagen::GenerateJapaneseVowelLike(config);
+  TreeConfig tree_config;
+  tree_config.algorithm = SplitAlgorithm::kUdtEs;
+  auto avg = CvAccuracy(ds, tree_config, ClassifierKind::kAveraging, 3, 31);
+  auto udt =
+      CvAccuracy(ds, tree_config, ClassifierKind::kDistributionBased, 3, 31);
+  ASSERT_TRUE(avg.ok() && udt.ok());
+  // The paper reports 81.89% -> 87.30%; at our reduced scale we assert the
+  // direction with a small tolerance for fold noise.
+  EXPECT_GT(*udt, *avg - 0.01);
+}
+
+TEST(EndToEndAccuracyTest, AllUdtAlgorithmsSameAccuracy) {
+  // Safe pruning end-to-end: every UDT variant must produce the same
+  // cross-validated accuracy (identical trees).
+  PointDataset points = NoisyPointData(120, 0.2, 17);
+  UncertaintyOptions options;
+  options.width_fraction = 0.15;
+  options.samples_per_pdf = 24;
+  auto ds = InjectUncertainty(points, options);
+  ASSERT_TRUE(ds.ok());
+
+  double reference = -1.0;
+  for (SplitAlgorithm algorithm :
+       {SplitAlgorithm::kUdt, SplitAlgorithm::kUdtBp, SplitAlgorithm::kUdtLp,
+        SplitAlgorithm::kUdtGp, SplitAlgorithm::kUdtEs}) {
+    TreeConfig config;
+    config.algorithm = algorithm;
+    auto acc =
+        CvAccuracy(*ds, config, ClassifierKind::kDistributionBased, 3, 23);
+    ASSERT_TRUE(acc.ok());
+    if (reference < 0.0) {
+      reference = *acc;
+    } else {
+      EXPECT_NEAR(*acc, reference, 1e-9)
+          << SplitAlgorithmToString(algorithm);
+    }
+  }
+}
+
+TEST(EndToEndAccuracyTest, GiniMeasureAlsoLearns) {
+  PointDataset points = NoisyPointData(160, 0.15, 29);
+  UncertaintyOptions options;
+  options.width_fraction = 0.15;
+  options.samples_per_pdf = 24;
+  auto ds = InjectUncertainty(points, options);
+  ASSERT_TRUE(ds.ok());
+  TreeConfig config;
+  config.algorithm = SplitAlgorithm::kUdtEs;
+  config.measure = DispersionMeasure::kGini;
+  auto acc =
+      CvAccuracy(*ds, config, ClassifierKind::kDistributionBased, 4, 41);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.7);
+}
+
+TEST(EndToEndAccuracyTest, GainRatioMeasureAlsoLearns) {
+  PointDataset points = NoisyPointData(160, 0.15, 37);
+  UncertaintyOptions options;
+  options.width_fraction = 0.15;
+  options.samples_per_pdf = 24;
+  auto ds = InjectUncertainty(points, options);
+  ASSERT_TRUE(ds.ok());
+  TreeConfig config;
+  config.algorithm = SplitAlgorithm::kUdtGp;
+  config.measure = DispersionMeasure::kGainRatio;
+  auto acc =
+      CvAccuracy(*ds, config, ClassifierKind::kDistributionBased, 4, 43);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.7);
+}
+
+}  // namespace
+}  // namespace udt

@@ -1,0 +1,162 @@
+// Tests for the evaluation substrate: confusion matrices, accuracy and
+// cross-validation.
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "eval/cross_validation.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "pdf/pdf_builder.h"
+
+namespace udt {
+namespace {
+
+TEST(ConfusionMatrixTest, AccumulatesAndScores) {
+  ConfusionMatrix m(2);
+  m.Add(0, 0);
+  m.Add(0, 0);
+  m.Add(0, 1);
+  m.Add(1, 1);
+  EXPECT_EQ(m.total(), 4);
+  EXPECT_EQ(m.count(0, 0), 2);
+  EXPECT_EQ(m.count(0, 1), 1);
+  EXPECT_NEAR(m.Accuracy(), 0.75, 1e-12);
+  std::vector<double> recalls = m.Recalls();
+  EXPECT_NEAR(recalls[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(recalls[1], 1.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, EmptyMatrix) {
+  ConfusionMatrix m(3);
+  EXPECT_EQ(m.total(), 0);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.0);
+  for (double r : m.Recalls()) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsNames) {
+  ConfusionMatrix m(2);
+  m.Add(0, 1);
+  std::string text = m.ToString({"cat", "dog"});
+  EXPECT_NE(text.find("cat"), std::string::npos);
+  EXPECT_NE(text.find("dog"), std::string::npos);
+}
+
+Dataset EasyDataset(int n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(Schema::Numerical(1, {"A", "B"}));
+  for (int i = 0; i < n; ++i) {
+    int label = i % 2;
+    double center = label == 0 ? rng.Uniform(0.0, 1.0) : rng.Uniform(3.0, 4.0);
+    auto pdf = MakeGaussianErrorPdf(center, 0.5, 10);
+    UncertainTuple t{{UncertainValue::Numerical(std::move(*pdf))}, label};
+    EXPECT_TRUE(ds.AddTuple(t).ok());
+  }
+  return ds;
+}
+
+TEST(EvaluateTest, PerfectClassifierScoresOne) {
+  Dataset ds = EasyDataset(40, 1);
+  TreeConfig config;
+  config.algorithm = SplitAlgorithm::kUdtEs;
+  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  ASSERT_TRUE(classifier.ok());
+  EXPECT_NEAR(EvaluateAccuracy(*classifier, ds), 1.0, 1e-9);
+  ConfusionMatrix m = EvaluateConfusion(*classifier, ds);
+  EXPECT_EQ(m.count(0, 1) + m.count(1, 0), 0);
+}
+
+TEST(CrossValidationTest, SeparableDataScoresHigh) {
+  Dataset ds = EasyDataset(80, 2);
+  TreeConfig config;
+  config.algorithm = SplitAlgorithm::kUdtGp;
+  Rng rng(3);
+  auto result = RunCrossValidation(ds, config,
+                                   ClassifierKind::kDistributionBased, 5,
+                                   &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->fold_accuracies.size(), 5u);
+  EXPECT_GT(result->mean_accuracy, 0.9);
+  EXPECT_GE(result->stddev_accuracy, 0.0);
+  EXPECT_GT(result->total_build_stats.nodes, 0);
+}
+
+TEST(CrossValidationTest, AveragingKindRuns) {
+  Dataset ds = EasyDataset(60, 4);
+  TreeConfig config;
+  Rng rng(5);
+  auto result = RunCrossValidation(ds, config, ClassifierKind::kAveraging, 4,
+                                   &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->mean_accuracy, 0.8);
+}
+
+TEST(CrossValidationTest, RejectsBadArguments) {
+  Dataset ds = EasyDataset(10, 6);
+  TreeConfig config;
+  Rng rng(1);
+  EXPECT_FALSE(RunCrossValidation(ds, config,
+                                  ClassifierKind::kDistributionBased, 1,
+                                  &rng)
+                   .ok());
+  EXPECT_FALSE(RunCrossValidation(ds, config,
+                                  ClassifierKind::kDistributionBased, 11,
+                                  &rng)
+                   .ok());
+}
+
+TEST(CrossValidationTest, DeterministicInSeed) {
+  Dataset ds = EasyDataset(50, 7);
+  TreeConfig config;
+  Rng rng_a(9), rng_b(9);
+  auto a = RunCrossValidation(ds, config, ClassifierKind::kDistributionBased,
+                              5, &rng_a);
+  auto b = RunCrossValidation(ds, config, ClassifierKind::kDistributionBased,
+                              5, &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->mean_accuracy, b->mean_accuracy);
+}
+
+TEST(ExperimentTest, PrepareUncertainDatasetInjector) {
+  auto spec = datagen::FindUciSpec("Iris");
+  ASSERT_TRUE(spec.ok());
+  auto ds = PrepareUncertainDataset(*spec, 0.5, 0.1, 16,
+                                    ErrorModel::kGaussian);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_tuples(), 75);
+  EXPECT_EQ(ds->num_attributes(), 4);
+  EXPECT_EQ(ds->tuple(0).values[0].pdf().num_points(), 16);
+}
+
+TEST(ExperimentTest, PrepareUncertainDatasetRawSamples) {
+  auto spec = datagen::FindUciSpec("JapaneseVowel");
+  ASSERT_TRUE(spec.ok());
+  auto ds = PrepareUncertainDataset(*spec, 0.1, 0.0, 1,
+                                    ErrorModel::kGaussian);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_classes(), 9);
+  // Raw-sample pdfs, not injector grids.
+  EXPECT_GE(ds->tuple(0).values[0].pdf().num_points(), 7);
+}
+
+TEST(ExperimentTest, MeasureTreeBuildReportsWork) {
+  Dataset ds = EasyDataset(40, 8);
+  TreeConfig config;
+  config.algorithm = SplitAlgorithm::kUdtBp;
+  auto stats = MeasureTreeBuild(ds, config);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->counters.TotalEntropyCalculations(), 0);
+  EXPECT_GE(stats->build_seconds, 0.0);
+}
+
+TEST(ExperimentTest, CvAccuracyHelper) {
+  Dataset ds = EasyDataset(60, 10);
+  TreeConfig config;
+  auto acc = CvAccuracy(ds, config, ClassifierKind::kDistributionBased, 4,
+                        123);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.85);
+}
+
+}  // namespace
+}  // namespace udt

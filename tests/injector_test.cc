@@ -1,0 +1,152 @@
+// Tests for the Section 4.3/4.4 data-preparation pipeline: uncertainty
+// injection (w, s, error model) and controlled perturbation (u).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "table/uncertainty_injector.h"
+
+namespace udt {
+namespace {
+
+PointDataset MakeGrid(int n) {
+  PointDataset ds(Schema::Numerical(2, {"A", "B"}));
+  for (int i = 0; i < n; ++i) {
+    // Attribute ranges: A1 in [0, n-1], A2 in [0, 10*(n-1)].
+    EXPECT_TRUE(ds.AddRow({double(i), 10.0 * i}, i % 2).ok());
+  }
+  return ds;
+}
+
+TEST(InjectorTest, PdfMeansMatchPointValues) {
+  PointDataset points = MakeGrid(11);
+  UncertaintyOptions options;
+  options.width_fraction = 0.1;
+  options.samples_per_pdf = 64;
+  options.error_model = ErrorModel::kGaussian;
+  auto ds = InjectUncertainty(points, options);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->num_tuples(), 11);
+  for (int i = 0; i < ds->num_tuples(); ++i) {
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_NEAR(ds->tuple(i).values[static_cast<size_t>(j)].pdf().Mean(),
+                  points.value(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(InjectorTest, WidthScalesWithAttributeRange) {
+  PointDataset points = MakeGrid(11);  // ranges 10 and 100
+  UncertaintyOptions options;
+  options.width_fraction = 0.2;
+  options.samples_per_pdf = 50;
+  options.error_model = ErrorModel::kUniform;
+  auto ds = InjectUncertainty(points, options);
+  ASSERT_TRUE(ds.ok());
+  const SampledPdf& a = ds->tuple(5).values[0].pdf();
+  const SampledPdf& b = ds->tuple(5).values[1].pdf();
+  double width_a = a.support_max() - a.support_min();
+  double width_b = b.support_max() - b.support_min();
+  // w * |A1| = 2.0, w * |A2| = 20.0 (minus one grid cell of midpointing).
+  EXPECT_NEAR(width_a, 2.0, 0.1);
+  EXPECT_NEAR(width_b, 20.0, 1.0);
+}
+
+TEST(InjectorTest, ZeroWidthYieldsPointMasses) {
+  PointDataset points = MakeGrid(5);
+  UncertaintyOptions options;
+  options.width_fraction = 0.0;
+  options.samples_per_pdf = 32;
+  auto ds = InjectUncertainty(points, options);
+  ASSERT_TRUE(ds.ok());
+  for (int i = 0; i < ds->num_tuples(); ++i) {
+    EXPECT_TRUE(ds->tuple(i).values[0].pdf().is_point());
+  }
+}
+
+TEST(InjectorTest, SampleCountRespected) {
+  PointDataset points = MakeGrid(5);
+  UncertaintyOptions options;
+  options.width_fraction = 0.1;
+  options.samples_per_pdf = 33;
+  auto ds = InjectUncertainty(points, options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->tuple(0).values[0].pdf().num_points(), 33);
+}
+
+TEST(InjectorTest, GaussianVersusUniformShape) {
+  PointDataset points = MakeGrid(3);
+  UncertaintyOptions options;
+  options.width_fraction = 0.5;
+  options.samples_per_pdf = 101;
+  options.error_model = ErrorModel::kGaussian;
+  auto gaussian = InjectUncertainty(points, options);
+  options.error_model = ErrorModel::kUniform;
+  auto uniform = InjectUncertainty(points, options);
+  ASSERT_TRUE(gaussian.ok() && uniform.ok());
+  const SampledPdf& g = gaussian->tuple(1).values[0].pdf();
+  const SampledPdf& u = uniform->tuple(1).values[0].pdf();
+  // Same support width, but Gaussian concentrates mass centrally:
+  // its variance is strictly smaller than the uniform's.
+  EXPECT_NEAR(g.support_max() - g.support_min(),
+              u.support_max() - u.support_min(), 1e-9);
+  EXPECT_LT(g.Variance(), u.Variance());
+}
+
+TEST(InjectorTest, RejectsBadOptions) {
+  PointDataset points = MakeGrid(3);
+  UncertaintyOptions options;
+  options.width_fraction = -0.1;
+  EXPECT_FALSE(InjectUncertainty(points, options).ok());
+  options.width_fraction = 0.1;
+  options.samples_per_pdf = 0;
+  EXPECT_FALSE(InjectUncertainty(points, options).ok());
+  PointDataset empty(Schema::Numerical(1, {"A", "B"}));
+  EXPECT_FALSE(InjectUncertainty(empty, UncertaintyOptions{}).ok());
+}
+
+TEST(PerturbTest, ZeroUIsIdentity) {
+  PointDataset points = MakeGrid(7);
+  Rng rng(1);
+  PointDataset perturbed = PerturbPointData(points, 0.0, &rng);
+  for (int i = 0; i < points.num_tuples(); ++i) {
+    EXPECT_DOUBLE_EQ(perturbed.value(i, 0), points.value(i, 0));
+    EXPECT_DOUBLE_EQ(perturbed.value(i, 1), points.value(i, 1));
+  }
+}
+
+TEST(PerturbTest, NoiseScalesWithUAndRange) {
+  // sigma = u * |Aj| / 4; measure the empirical deviation.
+  PointDataset points(Schema::Numerical(1, {"A", "B"}));
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(points.AddRow({double(i % 101)}, i % 2).ok());  // range 100
+  }
+  Rng rng(5);
+  double u = 0.2;  // sigma should be 0.2 * 100 / 4 = 5.0
+  PointDataset perturbed = PerturbPointData(points, u, &rng);
+  double sum_sq = 0.0;
+  for (int i = 0; i < points.num_tuples(); ++i) {
+    double d = perturbed.value(i, 0) - points.value(i, 0);
+    sum_sq += d * d;
+  }
+  double sd = std::sqrt(sum_sq / points.num_tuples());
+  EXPECT_NEAR(sd, 5.0, 0.3);
+}
+
+TEST(PerturbTest, LabelsUnchanged) {
+  PointDataset points = MakeGrid(9);
+  Rng rng(2);
+  PointDataset perturbed = PerturbPointData(points, 0.3, &rng);
+  for (int i = 0; i < points.num_tuples(); ++i) {
+    EXPECT_EQ(perturbed.label(i), points.label(i));
+  }
+}
+
+TEST(ErrorModelTest, Names) {
+  EXPECT_STREQ(ErrorModelToString(ErrorModel::kGaussian), "Gaussian");
+  EXPECT_STREQ(ErrorModelToString(ErrorModel::kUniform), "Uniform");
+}
+
+}  // namespace
+}  // namespace udt

@@ -1,0 +1,166 @@
+// Tests for missing-value handling (Section 2): CSV "?" markers, point
+// imputation, and the paper's mixture-of-present-pdfs guess distribution.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "eval/metrics.h"
+#include "table/csv.h"
+#include "table/missing.h"
+
+namespace udt {
+namespace {
+
+PointDataset WithMissing() {
+  PointDataset ds(Schema::Numerical(2, {"A", "B"}));
+  double nan = std::nan("");
+  EXPECT_TRUE(ds.AddRowWithMissing({1.0, 10.0}, 0).ok());
+  EXPECT_TRUE(ds.AddRowWithMissing({3.0, nan}, 0).ok());
+  EXPECT_TRUE(ds.AddRowWithMissing({nan, 30.0}, 1).ok());
+  EXPECT_TRUE(ds.AddRowWithMissing({7.0, 40.0}, 1).ok());
+  return ds;
+}
+
+TEST(PointDatasetMissingTest, TracksMissingEntries) {
+  PointDataset ds = WithMissing();
+  EXPECT_EQ(ds.CountMissing(), 2);
+  EXPECT_FALSE(ds.is_missing(0, 0));
+  EXPECT_TRUE(ds.is_missing(1, 1));
+  EXPECT_TRUE(ds.is_missing(2, 0));
+}
+
+TEST(PointDatasetMissingTest, AddRowStillRejectsNan) {
+  PointDataset ds(Schema::Numerical(1, {"A", "B"}));
+  EXPECT_FALSE(ds.AddRow({std::nan("")}, 0).ok());
+  EXPECT_FALSE(ds.AddRowWithMissing({INFINITY}, 0).ok());
+}
+
+TEST(PointDatasetMissingTest, RangeIgnoresMissing) {
+  PointDataset ds = WithMissing();
+  auto [lo, hi] = ds.AttributeRange(0);
+  EXPECT_DOUBLE_EQ(lo, 1.0);
+  EXPECT_DOUBLE_EQ(hi, 7.0);
+}
+
+TEST(CsvMissingTest, QuestionMarkParsesAsMissing) {
+  auto ds = ReadCsvFromString(
+      "x,y,class\n"
+      "1.0,?,a\n"
+      "?,2.0,b\n"
+      "3.0,4.0,a\n");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->CountMissing(), 2);
+  EXPECT_TRUE(ds->is_missing(0, 1));
+  EXPECT_TRUE(ds->is_missing(1, 0));
+  EXPECT_FALSE(ds->is_missing(2, 0));
+}
+
+TEST(CsvMissingTest, RoundTripsMissing) {
+  auto ds = ReadCsvFromString("x,class\n?,a\n2.0,b\n");
+  ASSERT_TRUE(ds.ok());
+  std::string text = WriteCsvToString(*ds);
+  EXPECT_NE(text.find("?,a"), std::string::npos);
+  auto again = ReadCsvFromString(text);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->CountMissing(), 1);
+}
+
+TEST(ImputeTest, GlobalMean) {
+  PointDataset ds = WithMissing();
+  auto imputed = ImputeMissingValues(ds, ImputeStrategy::kGlobalMean);
+  ASSERT_TRUE(imputed.ok());
+  EXPECT_EQ(imputed->CountMissing(), 0);
+  // Attribute 0 present values: 1, 3, 7 -> mean 11/3.
+  EXPECT_NEAR(imputed->value(2, 0), 11.0 / 3.0, 1e-12);
+  // Attribute 1 present values: 10, 30, 40 -> mean 80/3.
+  EXPECT_NEAR(imputed->value(1, 1), 80.0 / 3.0, 1e-12);
+  // Present values untouched.
+  EXPECT_DOUBLE_EQ(imputed->value(0, 0), 1.0);
+}
+
+TEST(ImputeTest, ClassMean) {
+  PointDataset ds = WithMissing();
+  auto imputed = ImputeMissingValues(ds, ImputeStrategy::kClassMean);
+  ASSERT_TRUE(imputed.ok());
+  // Tuple 2 is class B; attribute 0 present in class B: only 7.0.
+  EXPECT_NEAR(imputed->value(2, 0), 7.0, 1e-12);
+  // Tuple 1 is class A; attribute 1 present in class A: only 10.0.
+  EXPECT_NEAR(imputed->value(1, 1), 10.0, 1e-12);
+}
+
+TEST(ImputeTest, FailsWhenAttributeFullyMissing) {
+  PointDataset ds(Schema::Numerical(1, {"A", "B"}));
+  double nan = std::nan("");
+  ASSERT_TRUE(ds.AddRowWithMissing({nan}, 0).ok());
+  ASSERT_TRUE(ds.AddRowWithMissing({nan}, 1).ok());
+  EXPECT_FALSE(ImputeMissingValues(ds, ImputeStrategy::kGlobalMean).ok());
+}
+
+TEST(GuessPdfTest, MissingEntryGetsMixturePdf) {
+  PointDataset ds = WithMissing();
+  MissingPdfOptions options;
+  options.inject.width_fraction = 0.2;
+  options.inject.samples_per_pdf = 16;
+  auto uncertain = InjectUncertaintyWithMissing(ds, options);
+  ASSERT_TRUE(uncertain.ok());
+  ASSERT_EQ(uncertain->num_tuples(), 4);
+
+  // The guessed pdf for the missing (2, 0) entry spans the present values'
+  // pdfs (1, 3 and 7 +- width), not a single reading.
+  const SampledPdf& guess = uncertain->tuple(2).values[0].pdf();
+  EXPECT_LE(guess.num_points(), 16);
+  EXPECT_GT(guess.num_points(), 1);
+  // Mixture mean = mean of present means.
+  EXPECT_NEAR(guess.Mean(), 11.0 / 3.0, 0.2);
+  // Spans the spread of the present values.
+  EXPECT_LT(guess.support_min(), 2.0);
+  EXPECT_GT(guess.support_max(), 6.0);
+
+  // Present entries get ordinary injected pdfs centred at the reading.
+  const SampledPdf& present = uncertain->tuple(0).values[0].pdf();
+  EXPECT_NEAR(present.Mean(), 1.0, 1e-9);
+}
+
+TEST(GuessPdfTest, ClassConditionalUsesOwnClass) {
+  PointDataset ds = WithMissing();
+  MissingPdfOptions options;
+  options.inject.width_fraction = 0.05;
+  options.inject.samples_per_pdf = 16;
+  options.class_conditional = true;
+  auto uncertain = InjectUncertaintyWithMissing(ds, options);
+  ASSERT_TRUE(uncertain.ok());
+  // Tuple 2 (class B): attribute 0 present in B only at 7.0.
+  const SampledPdf& guess = uncertain->tuple(2).values[0].pdf();
+  EXPECT_NEAR(guess.Mean(), 7.0, 0.2);
+}
+
+TEST(GuessPdfTest, EndToEndTrainingWithMissingValues) {
+  // 20% of entries missing; the pipeline should still learn the concept.
+  Rng rng(5);
+  PointDataset ds(Schema::Numerical(2, {"A", "B"}));
+  for (int i = 0; i < 120; ++i) {
+    int label = i % 2;
+    double x = rng.Gaussian(label == 0 ? 0.0 : 3.0, 0.6);
+    double y = rng.Gaussian(label == 0 ? 3.0 : 0.0, 0.6);
+    if (rng.Bernoulli(0.2)) x = std::nan("");
+    if (rng.Bernoulli(0.2)) y = std::nan("");
+    ASSERT_TRUE(ds.AddRowWithMissing({x, y}, label).ok());
+  }
+  MissingPdfOptions options;
+  options.inject.width_fraction = 0.1;
+  options.inject.samples_per_pdf = 12;
+  auto uncertain = InjectUncertaintyWithMissing(ds, options);
+  ASSERT_TRUE(uncertain.ok());
+
+  TreeConfig config;
+  config.algorithm = SplitAlgorithm::kUdtEs;
+  auto classifier = UncertainTreeClassifier::Train(*uncertain, config,
+                                                   nullptr);
+  ASSERT_TRUE(classifier.ok());
+  EXPECT_GT(EvaluateAccuracy(*classifier, *uncertain), 0.85);
+}
+
+}  // namespace
+}  // namespace udt

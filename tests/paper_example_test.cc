@@ -1,0 +1,166 @@
+// Reproduction of the paper's worked example (Table 1, Figs 2-3).
+//
+// The OCR of Table 1 preserves only tuple 3's pdf ({-1: 5/8, +1: 1/8,
+// +10: 2/8}, mean +2.0) and the documented behaviour: all even-numbered
+// tuples share one mean and all odd-numbered tuples another, so Averaging
+// can only separate the two parity groups and misclassifies exactly
+// tuples 2 and 5 (accuracy 2/3), while the Distribution-based tree
+// classifies all six training tuples correctly (Fig 3, accuracy 1.0).
+// The data set below is handcrafted to satisfy every one of those
+// documented properties (see DESIGN.md "Substitutions").
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "eval/metrics.h"
+#include "tree/classify.h"
+#include "tree/tree_printer.h"
+
+namespace udt {
+namespace {
+
+// Classes: A = tuples 1-3, B = tuples 4-6 (1-indexed as in the paper).
+// Odd tuples (1, 3, 5) have mean +2, even tuples (2, 4, 6) mean -2.
+Dataset PaperExampleDataset() {
+  Dataset ds(Schema::Numerical(1, {"A", "B"}));
+  auto add = [&ds](std::vector<double> xs, std::vector<double> ps,
+                   int label) {
+    auto pdf = SampledPdf::Create(std::move(xs), std::move(ps));
+    ASSERT_TRUE(pdf.ok());
+    UncertainTuple t{{UncertainValue::Numerical(std::move(*pdf))}, label};
+    ASSERT_TRUE(ds.AddTuple(t).ok());
+  };
+  add({1.0, 5.0}, {3.0 / 4, 1.0 / 4}, 0);                  // t1 A, mean +2
+  add({-1.0, -5.0}, {3.0 / 4, 1.0 / 4}, 0);                // t2 A, mean -2
+  add({-1.0, 1.0, 10.0}, {5.0 / 8, 1.0 / 8, 2.0 / 8}, 0);  // t3 A, mean +2
+  add({-5.0, 7.0}, {3.0 / 4, 1.0 / 4}, 1);                 // t4 B, mean -2
+  add({-5.0, 9.0}, {1.0 / 2, 1.0 / 2}, 1);                 // t5 B, mean +2
+  // Masses are kept dyadic throughout so every mean is exactly +-2.0 in
+  // floating point (the two-means structure is what forces AVG's hand).
+  add({-6.0, 2.0}, {1.0 / 2, 1.0 / 2}, 1);                 // t6 B, mean -2
+  return ds;
+}
+
+TreeConfig ExampleConfig(SplitAlgorithm algorithm) {
+  TreeConfig config;
+  config.algorithm = algorithm;
+  // The paper's Fig 3 tree is shown *before* pre/post-pruning.
+  config.min_split_weight = 1e-6;
+  config.min_gain = 1e-9;
+  config.post_prune = false;
+  return config;
+}
+
+TEST(PaperExampleTest, MeansMatchTable1Structure) {
+  Dataset ds = PaperExampleDataset();
+  // Odd tuples (paper numbering 1,3,5 -> indices 0,2,4): mean +2.
+  for (int i : {0, 2, 4}) {
+    EXPECT_NEAR(ds.tuple(i).values[0].pdf().Mean(), 2.0, 1e-9) << i;
+  }
+  for (int i : {1, 3, 5}) {
+    EXPECT_NEAR(ds.tuple(i).values[0].pdf().Mean(), -2.0, 1e-9) << i;
+  }
+}
+
+TEST(PaperExampleTest, Tuple3MatchesPublishedPdf) {
+  Dataset ds = PaperExampleDataset();
+  const SampledPdf& pdf = ds.tuple(2).values[0].pdf();
+  ASSERT_EQ(pdf.num_points(), 3);
+  EXPECT_DOUBLE_EQ(pdf.point(0), -1.0);
+  EXPECT_NEAR(pdf.mass(0), 0.625, 1e-12);
+  EXPECT_DOUBLE_EQ(pdf.point(1), 1.0);
+  EXPECT_NEAR(pdf.mass(1), 0.125, 1e-12);
+  EXPECT_DOUBLE_EQ(pdf.point(2), 10.0);
+  EXPECT_NEAR(pdf.mass(2), 0.25, 1e-12);
+  EXPECT_NEAR(pdf.Mean(), 2.0, 1e-12);
+}
+
+TEST(PaperExampleTest, AveragingAccuracyIsTwoThirds) {
+  Dataset ds = PaperExampleDataset();
+  auto classifier =
+      AveragingClassifier::Train(ds, ExampleConfig(SplitAlgorithm::kAvg),
+                                 nullptr);
+  ASSERT_TRUE(classifier.ok());
+  // "In this handcrafted example we use the same tuples for both training
+  // and testing just for illustration."
+  EXPECT_NEAR(EvaluateAccuracy(*classifier, ds), 2.0 / 3.0, 1e-9);
+}
+
+TEST(PaperExampleTest, AveragingMisclassifiesTuples2And5) {
+  Dataset ds = PaperExampleDataset();
+  auto classifier =
+      AveragingClassifier::Train(ds, ExampleConfig(SplitAlgorithm::kAvg),
+                                 nullptr);
+  ASSERT_TRUE(classifier.ok());
+  // Paper numbering: tuples 2 and 5 are the two errors (indices 1, 4).
+  EXPECT_NE(classifier->Predict(ds.tuple(1)), ds.tuple(1).label);
+  EXPECT_NE(classifier->Predict(ds.tuple(4)), ds.tuple(4).label);
+  for (int i : {0, 2, 3, 5}) {
+    EXPECT_EQ(classifier->Predict(ds.tuple(i)), ds.tuple(i).label) << i;
+  }
+}
+
+TEST(PaperExampleTest, AveragingLeafDistributionsMatchFig2a) {
+  Dataset ds = PaperExampleDataset();
+  auto classifier =
+      AveragingClassifier::Train(ds, ExampleConfig(SplitAlgorithm::kAvg),
+                                 nullptr);
+  ASSERT_TRUE(classifier.ok());
+  const TreeNode& root = classifier->tree().root();
+  ASSERT_FALSE(root.is_leaf());
+  // Fig 2a: left leaf P(A) = 1/3, P(B) = 2/3; right leaf mirrored.
+  EXPECT_NEAR(root.left->distribution[0], 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(root.left->distribution[1], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(root.right->distribution[0], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(root.right->distribution[1], 1.0 / 3.0, 1e-9);
+}
+
+TEST(PaperExampleTest, DistributionBasedTreeIsPerfect) {
+  Dataset ds = PaperExampleDataset();
+  auto classifier = UncertainTreeClassifier::Train(
+      ds, ExampleConfig(SplitAlgorithm::kUdt), nullptr);
+  ASSERT_TRUE(classifier.ok());
+  EXPECT_NEAR(EvaluateAccuracy(*classifier, ds), 1.0, 1e-9)
+      << TreeToString(classifier->tree());
+}
+
+TEST(PaperExampleTest, DistributionTreeIsMoreElaborate) {
+  // "This tree is much more elaborate than the tree shown in Fig 2a
+  // because we are using more information."
+  Dataset ds = PaperExampleDataset();
+  auto avg = AveragingClassifier::Train(
+      ds, ExampleConfig(SplitAlgorithm::kAvg), nullptr);
+  auto dist = UncertainTreeClassifier::Train(
+      ds, ExampleConfig(SplitAlgorithm::kUdt), nullptr);
+  ASSERT_TRUE(avg.ok() && dist.ok());
+  EXPECT_GT(dist->tree().num_nodes(), avg->tree().num_nodes());
+}
+
+TEST(PaperExampleTest, Tuple3ClassifiedAsAWithMajorityProbability) {
+  // The paper's Section 4.2 walk-through concludes P(A) > P(B) for
+  // tuple 3; the exact values depend on the post-pruned tree, which Table 1
+  // does not fully determine, so assert the decision, not the decimals.
+  Dataset ds = PaperExampleDataset();
+  auto classifier = UncertainTreeClassifier::Train(
+      ds, ExampleConfig(SplitAlgorithm::kUdt), nullptr);
+  ASSERT_TRUE(classifier.ok());
+  std::vector<double> p = classifier->ClassifyDistribution(ds.tuple(2));
+  EXPECT_GT(p[0], 0.5);
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(PaperExampleTest, AllPrunedAlgorithmsReproduceThePerfectTree) {
+  Dataset ds = PaperExampleDataset();
+  for (SplitAlgorithm algorithm :
+       {SplitAlgorithm::kUdtBp, SplitAlgorithm::kUdtLp, SplitAlgorithm::kUdtGp,
+        SplitAlgorithm::kUdtEs}) {
+    auto classifier = UncertainTreeClassifier::Train(
+        ds, ExampleConfig(algorithm), nullptr);
+    ASSERT_TRUE(classifier.ok());
+    EXPECT_NEAR(EvaluateAccuracy(*classifier, ds), 1.0, 1e-9)
+        << SplitAlgorithmToString(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace udt

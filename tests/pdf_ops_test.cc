@@ -1,0 +1,153 @@
+// Tests for pdf algebra: mixtures, quantiles, downsampling, convolution
+// and KS distance.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "pdf/pdf_builder.h"
+#include "pdf/pdf_ops.h"
+
+namespace udt {
+namespace {
+
+TEST(MixPdfsTest, EqualWeightMixture) {
+  auto a = SampledPdf::PointMass(0.0);
+  auto b = SampledPdf::PointMass(2.0);
+  auto mix = MixPdfs({a, b});
+  ASSERT_TRUE(mix.ok());
+  EXPECT_EQ(mix->num_points(), 2);
+  EXPECT_NEAR(mix->mass(0), 0.5, 1e-12);
+  EXPECT_NEAR(mix->Mean(), 1.0, 1e-12);
+}
+
+TEST(MixPdfsTest, WeightedMixture) {
+  auto a = SampledPdf::PointMass(0.0);
+  auto b = SampledPdf::PointMass(4.0);
+  auto mix = MixPdfs({a, b}, {3.0, 1.0});
+  ASSERT_TRUE(mix.ok());
+  EXPECT_NEAR(mix->Mean(), 1.0, 1e-12);
+}
+
+TEST(MixPdfsTest, MixtureMeanIsWeightedMeanOfMeans) {
+  auto a = MakeGaussianErrorPdf(1.0, 0.5, 21);
+  auto b = MakeUniformErrorPdf(5.0, 2.0, 30);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto mix = MixPdfs({*a, *b}, {0.25, 0.75});
+  ASSERT_TRUE(mix.ok());
+  EXPECT_NEAR(mix->Mean(), 0.25 * 1.0 + 0.75 * 5.0, 1e-9);
+}
+
+TEST(MixPdfsTest, RejectsBadInput) {
+  EXPECT_FALSE(MixPdfs({}).ok());
+  auto a = SampledPdf::PointMass(0.0);
+  EXPECT_FALSE(MixPdfs({a}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(MixPdfs({a}, {-1.0}).ok());
+  EXPECT_FALSE(MixPdfs({a}, {0.0}).ok());
+}
+
+TEST(PdfQuantileTest, MatchesCdf) {
+  auto pdf = SampledPdf::Create({0.0, 1.0, 2.0, 3.0}, {0.1, 0.4, 0.3, 0.2});
+  ASSERT_TRUE(pdf.ok());
+  EXPECT_DOUBLE_EQ(PdfQuantile(*pdf, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(PdfQuantile(*pdf, 0.05), 0.0);
+  EXPECT_DOUBLE_EQ(PdfQuantile(*pdf, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(PdfQuantile(*pdf, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(PdfQuantile(*pdf, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(PdfQuantile(*pdf, 0.75), 2.0);
+  EXPECT_DOUBLE_EQ(PdfQuantile(*pdf, 1.0), 3.0);
+}
+
+TEST(DownsampleTest, PreservesMassAndMean) {
+  auto pdf = MakeGaussianErrorPdf(3.0, 2.0, 200);
+  ASSERT_TRUE(pdf.ok());
+  auto small = DownsamplePdf(*pdf, 20);
+  ASSERT_TRUE(small.ok());
+  EXPECT_LE(small->num_points(), 20);
+  double total = 0.0;
+  for (int i = 0; i < small->num_points(); ++i) total += small->mass(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(small->Mean(), pdf->Mean(), 1e-6);
+}
+
+TEST(DownsampleTest, NoOpWhenAlreadySmall) {
+  auto pdf = SampledPdf::Create({0.0, 1.0}, {0.5, 0.5});
+  ASSERT_TRUE(pdf.ok());
+  auto same = DownsamplePdf(*pdf, 10);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->num_points(), 2);
+}
+
+TEST(DownsampleTest, CdfStaysClose) {
+  auto pdf = MakeUniformPdf(0.0, 10.0, 500);
+  ASSERT_TRUE(pdf.ok());
+  auto small = DownsamplePdf(*pdf, 25);
+  ASSERT_TRUE(small.ok());
+  // Re-binning moves each point by at most one cell width.
+  EXPECT_LT(KsDistance(*pdf, *small), 0.05);
+}
+
+TEST(DownsampleTest, RejectsBadS) {
+  auto pdf = SampledPdf::PointMass(1.0);
+  EXPECT_FALSE(DownsamplePdf(pdf, 0).ok());
+}
+
+TEST(ConvolveTest, PointMassesAdd) {
+  auto a = SampledPdf::PointMass(2.0);
+  auto b = SampledPdf::PointMass(3.0);
+  auto sum = ConvolvePdfs(a, b);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_TRUE(sum->is_point());
+  EXPECT_DOUBLE_EQ(sum->Mean(), 5.0);
+}
+
+TEST(ConvolveTest, MeansAndVariancesAdd) {
+  // The Section 4.4 situation: two independent error sources compose with
+  // sigma^2 = sigma1^2 + sigma2^2.
+  auto a = MakeGaussianErrorPdf(1.0, 2.0, 41);
+  auto b = MakeGaussianErrorPdf(-0.5, 1.5, 41);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto sum = ConvolvePdfs(*a, *b);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_NEAR(sum->Mean(), a->Mean() + b->Mean(), 1e-9);
+  EXPECT_NEAR(sum->Variance(), a->Variance() + b->Variance(), 1e-9);
+}
+
+TEST(ConvolveTest, DownsamplesOnRequest) {
+  auto a = MakeUniformPdf(0.0, 1.0, 60);
+  auto b = MakeUniformPdf(0.0, 1.0, 60);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto sum = ConvolvePdfs(*a, *b, 50);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_LE(sum->num_points(), 50);
+  EXPECT_NEAR(sum->Mean(), 1.0, 1e-6);
+}
+
+TEST(ConvolveTest, RefusesExplosiveInputs) {
+  auto a = MakeUniformPdf(0.0, 1.0, 3000);
+  auto b = MakeUniformPdf(0.0, 1.0, 3000);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(ConvolvePdfs(*a, *b).ok());
+}
+
+TEST(KsDistanceTest, ZeroForIdentical) {
+  auto a = MakeGaussianErrorPdf(0.0, 1.0, 50);
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(KsDistance(*a, *a), 0.0);
+}
+
+TEST(KsDistanceTest, OneForDisjoint) {
+  auto a = SampledPdf::PointMass(0.0);
+  auto b = SampledPdf::PointMass(10.0);
+  EXPECT_DOUBLE_EQ(KsDistance(a, b), 1.0);
+}
+
+TEST(KsDistanceTest, Symmetric) {
+  auto a = MakeGaussianErrorPdf(0.0, 1.0, 30);
+  auto b = MakeUniformErrorPdf(0.5, 2.0, 40);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(KsDistance(*a, *b), KsDistance(*b, *a));
+}
+
+}  // namespace
+}  // namespace udt

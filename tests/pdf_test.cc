@@ -1,0 +1,222 @@
+// Unit and property tests for the SampledPdf substrate and its builders.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "pdf/pdf.h"
+#include "pdf/pdf_builder.h"
+
+namespace udt {
+namespace {
+
+TEST(SampledPdfTest, CreateSortsAndNormalises) {
+  auto pdf = SampledPdf::Create({3.0, 1.0, 2.0}, {2.0, 1.0, 1.0});
+  ASSERT_TRUE(pdf.ok());
+  EXPECT_EQ(pdf->num_points(), 3);
+  EXPECT_DOUBLE_EQ(pdf->point(0), 1.0);
+  EXPECT_DOUBLE_EQ(pdf->point(2), 3.0);
+  EXPECT_NEAR(pdf->mass(0), 0.25, 1e-12);
+  EXPECT_NEAR(pdf->mass(2), 0.5, 1e-12);
+}
+
+TEST(SampledPdfTest, CreateMergesDuplicatePoints) {
+  auto pdf = SampledPdf::Create({1.0, 1.0, 2.0}, {1.0, 1.0, 2.0});
+  ASSERT_TRUE(pdf.ok());
+  EXPECT_EQ(pdf->num_points(), 2);
+  EXPECT_NEAR(pdf->mass(0), 0.5, 1e-12);
+}
+
+TEST(SampledPdfTest, CreateDropsZeroMass) {
+  auto pdf = SampledPdf::Create({1.0, 2.0, 3.0}, {1.0, 0.0, 1.0});
+  ASSERT_TRUE(pdf.ok());
+  EXPECT_EQ(pdf->num_points(), 2);
+  EXPECT_DOUBLE_EQ(pdf->point(1), 3.0);
+}
+
+TEST(SampledPdfTest, CreateRejectsBadInput) {
+  EXPECT_FALSE(SampledPdf::Create({}, {}).ok());
+  EXPECT_FALSE(SampledPdf::Create({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(SampledPdf::Create({1.0}, {-1.0}).ok());
+  EXPECT_FALSE(SampledPdf::Create({1.0, 2.0}, {0.0, 0.0}).ok());
+  double nan = std::nan("");
+  EXPECT_FALSE(SampledPdf::Create({nan}, {1.0}).ok());
+  double inf = INFINITY;
+  EXPECT_FALSE(SampledPdf::Create({inf}, {1.0}).ok());
+}
+
+TEST(SampledPdfTest, PointMass) {
+  SampledPdf pdf = SampledPdf::PointMass(4.5);
+  EXPECT_TRUE(pdf.is_point());
+  EXPECT_EQ(pdf.num_points(), 1);
+  EXPECT_DOUBLE_EQ(pdf.Mean(), 4.5);
+  EXPECT_DOUBLE_EQ(pdf.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.CdfAtOrBelow(4.5), 1.0);
+  EXPECT_DOUBLE_EQ(pdf.CdfAtOrBelow(4.4999), 0.0);
+}
+
+TEST(SampledPdfTest, PaperTuple3Distribution) {
+  // Tuple 3 of Table 1: values -1, +1, +10 with probabilities 5/8, 1/8, 2/8;
+  // the paper quotes its mean as +2.0.
+  auto pdf = SampledPdf::Create({-1.0, 1.0, 10.0},
+                                {5.0 / 8, 1.0 / 8, 2.0 / 8});
+  ASSERT_TRUE(pdf.ok());
+  EXPECT_NEAR(pdf->Mean(), 2.0, 1e-12);
+  EXPECT_NEAR(pdf->CdfAtOrBelow(-1.0), 0.625, 1e-12);
+  EXPECT_NEAR(pdf->CdfAtOrBelow(0.0), 0.625, 1e-12);
+  EXPECT_NEAR(pdf->CdfAtOrBelow(1.0), 0.75, 1e-12);
+  EXPECT_NEAR(pdf->CdfAtOrBelow(10.0), 1.0, 1e-12);
+}
+
+TEST(SampledPdfTest, CdfIsMonotoneStepFunction) {
+  auto pdf = SampledPdf::Create({0.0, 1.0, 2.0}, {0.2, 0.3, 0.5});
+  ASSERT_TRUE(pdf.ok());
+  EXPECT_DOUBLE_EQ(pdf->CdfAtOrBelow(-0.5), 0.0);
+  EXPECT_NEAR(pdf->CdfAtOrBelow(0.0), 0.2, 1e-12);
+  EXPECT_NEAR(pdf->CdfAtOrBelow(0.99), 0.2, 1e-12);
+  EXPECT_NEAR(pdf->CdfAtOrBelow(1.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(pdf->CdfAtOrBelow(5.0), 1.0);
+}
+
+TEST(SampledPdfTest, MassInHalfOpen) {
+  auto pdf = SampledPdf::Create({0.0, 1.0, 2.0}, {0.2, 0.3, 0.5});
+  ASSERT_TRUE(pdf.ok());
+  EXPECT_NEAR(pdf->MassInHalfOpen(0.0, 1.0), 0.3, 1e-12);
+  EXPECT_NEAR(pdf->MassInHalfOpen(-1.0, 2.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pdf->MassInHalfOpen(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(pdf->MassInHalfOpen(2.0, 1.0), 0.0);  // hi < lo
+}
+
+TEST(SampledPdfTest, FirstPointAbove) {
+  auto pdf = SampledPdf::Create({0.0, 1.0, 2.0}, {0.2, 0.3, 0.5});
+  ASSERT_TRUE(pdf.ok());
+  EXPECT_EQ(pdf->FirstPointAbove(-1.0), 0);
+  EXPECT_EQ(pdf->FirstPointAbove(0.0), 1);
+  EXPECT_EQ(pdf->FirstPointAbove(1.5), 2);
+  EXPECT_EQ(pdf->FirstPointAbove(2.0), 3);
+}
+
+TEST(SampledPdfTest, VarianceMatchesHandComputation) {
+  auto pdf = SampledPdf::Create({0.0, 2.0}, {0.5, 0.5});
+  ASSERT_TRUE(pdf.ok());
+  EXPECT_NEAR(pdf->Mean(), 1.0, 1e-12);
+  EXPECT_NEAR(pdf->Variance(), 1.0, 1e-12);
+}
+
+TEST(SampledPdfTest, ToStringReadable) {
+  auto pdf = SampledPdf::Create({-1.0, 1.0}, {0.25, 0.75});
+  ASSERT_TRUE(pdf.ok());
+  EXPECT_EQ(pdf->ToString(), "{-1:0.25, 1:0.75}");
+}
+
+// ---------- builders ----------
+
+TEST(PdfBuilderTest, UniformPdfMeanAndSupport) {
+  auto pdf = MakeUniformPdf(2.0, 6.0, 100);
+  ASSERT_TRUE(pdf.ok());
+  EXPECT_EQ(pdf->num_points(), 100);
+  EXPECT_NEAR(pdf->Mean(), 4.0, 1e-9);
+  EXPECT_GT(pdf->support_min(), 2.0);
+  EXPECT_LT(pdf->support_max(), 6.0);
+  // Uniform: every mass equal.
+  for (int i = 0; i < pdf->num_points(); ++i) {
+    EXPECT_NEAR(pdf->mass(i), 0.01, 1e-12);
+  }
+}
+
+TEST(PdfBuilderTest, UniformPdfRejectsBadArgs) {
+  EXPECT_FALSE(MakeUniformPdf(1.0, 1.0, 10).ok());
+  EXPECT_FALSE(MakeUniformPdf(2.0, 1.0, 10).ok());
+  EXPECT_FALSE(MakeUniformPdf(0.0, 1.0, 0).ok());
+}
+
+TEST(PdfBuilderTest, TruncatedGaussianPeaksAtMean) {
+  auto pdf = MakeTruncatedGaussianPdf(0.0, 1.0, -2.0, 2.0, 101);
+  ASSERT_TRUE(pdf.ok());
+  // The heaviest sample should be the one closest to the mean.
+  int heaviest = 0;
+  for (int i = 1; i < pdf->num_points(); ++i) {
+    if (pdf->mass(i) > pdf->mass(heaviest)) heaviest = i;
+  }
+  EXPECT_NEAR(pdf->point(heaviest), 0.0, 0.05);
+  EXPECT_NEAR(pdf->Mean(), 0.0, 1e-9);
+}
+
+TEST(PdfBuilderTest, TruncatedGaussianSymmetricMasses) {
+  auto pdf = MakeTruncatedGaussianPdf(5.0, 0.5, 4.0, 6.0, 50);
+  ASSERT_TRUE(pdf.ok());
+  for (int i = 0; i < pdf->num_points() / 2; ++i) {
+    EXPECT_NEAR(pdf->mass(i), pdf->mass(pdf->num_points() - 1 - i), 1e-9);
+  }
+}
+
+TEST(PdfBuilderTest, GaussianErrorPdfConventions) {
+  // Section 4.3: support width w*|A|, stddev a quarter of the width.
+  auto pdf = MakeGaussianErrorPdf(10.0, 4.0, 200);
+  ASSERT_TRUE(pdf.ok());
+  EXPECT_GE(pdf->support_min(), 8.0);
+  EXPECT_LE(pdf->support_max(), 12.0);
+  EXPECT_NEAR(pdf->Mean(), 10.0, 1e-9);
+  // Truncation at +-2 sigma keeps the sample stddev a bit under 1.0.
+  double sd = std::sqrt(pdf->Variance());
+  EXPECT_GT(sd, 0.7);
+  EXPECT_LT(sd, 1.0);
+}
+
+TEST(PdfBuilderTest, ZeroWidthErrorPdfIsPointMass) {
+  auto g = MakeGaussianErrorPdf(3.0, 0.0, 100);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->is_point());
+  auto u = MakeUniformErrorPdf(3.0, 0.0, 100);
+  ASSERT_TRUE(u.ok());
+  EXPECT_TRUE(u->is_point());
+}
+
+TEST(PdfBuilderTest, NegativeWidthRejected) {
+  EXPECT_FALSE(MakeGaussianErrorPdf(0.0, -1.0, 10).ok());
+  EXPECT_FALSE(MakeUniformErrorPdf(0.0, -1.0, 10).ok());
+}
+
+TEST(PdfBuilderTest, PdfFromSamplesEmpirical) {
+  auto pdf = MakePdfFromSamples({1.0, 2.0, 2.0, 3.0});
+  ASSERT_TRUE(pdf.ok());
+  EXPECT_EQ(pdf->num_points(), 3);
+  EXPECT_NEAR(pdf->mass(1), 0.5, 1e-12);  // duplicate 2.0 merged
+  EXPECT_NEAR(pdf->Mean(), 2.0, 1e-12);
+}
+
+TEST(PdfBuilderTest, PdfFromSamplesRejectsEmpty) {
+  EXPECT_FALSE(MakePdfFromSamples({}).ok());
+}
+
+// Property sweep over the sample count s: normalisation, mean centring and
+// CDF boundary behaviour hold for all discretisations.
+class PdfSampleCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PdfSampleCountTest, GaussianErrorPdfWellFormed) {
+  int s = GetParam();
+  auto pdf = MakeGaussianErrorPdf(1.0, 0.5, s);
+  ASSERT_TRUE(pdf.ok());
+  EXPECT_EQ(pdf->num_points(), s);
+  double total = 0.0;
+  for (int i = 0; i < pdf->num_points(); ++i) total += pdf->mass(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(pdf->Mean(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(pdf->CdfAtOrBelow(pdf->support_max()), 1.0);
+  EXPECT_DOUBLE_EQ(pdf->CdfAtOrBelow(pdf->support_min() - 1e-9), 0.0);
+}
+
+TEST_P(PdfSampleCountTest, UniformErrorPdfWellFormed) {
+  int s = GetParam();
+  auto pdf = MakeUniformErrorPdf(-2.0, 1.0, s);
+  ASSERT_TRUE(pdf.ok());
+  EXPECT_EQ(pdf->num_points(), s);
+  EXPECT_NEAR(pdf->Mean(), -2.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleCounts, PdfSampleCountTest,
+                         ::testing::Values(1, 2, 3, 10, 50, 100, 200));
+
+}  // namespace
+}  // namespace udt

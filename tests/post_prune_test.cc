@@ -1,0 +1,134 @@
+// Tests for C4.5-style pessimistic-error post-pruning.
+
+#include <gtest/gtest.h>
+
+#include "tree/post_prune.h"
+#include "tree/tree.h"
+
+namespace udt {
+namespace {
+
+std::unique_ptr<TreeNode> Leaf(std::vector<double> counts) {
+  auto node = std::make_unique<TreeNode>();
+  double total = 0.0;
+  for (double c : counts) total += c;
+  node->distribution.assign(counts.size(), 0.0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    node->distribution[i] = total > 0 ? counts[i] / total : 0.0;
+  }
+  node->class_counts = std::move(counts);
+  return node;
+}
+
+std::unique_ptr<TreeNode> Split(double z, std::unique_ptr<TreeNode> left,
+                                std::unique_ptr<TreeNode> right) {
+  auto node = std::make_unique<TreeNode>();
+  node->attribute = 0;
+  node->split_point = z;
+  node->class_counts.assign(left->class_counts.size(), 0.0);
+  for (size_t c = 0; c < node->class_counts.size(); ++c) {
+    node->class_counts[c] =
+        left->class_counts[c] + right->class_counts[c];
+  }
+  double total = 0.0;
+  for (double c : node->class_counts) total += c;
+  node->distribution.assign(node->class_counts.size(), 0.0);
+  for (size_t c = 0; c < node->class_counts.size(); ++c) {
+    node->distribution[c] = node->class_counts[c] / total;
+  }
+  node->left = std::move(left);
+  node->right = std::move(right);
+  return node;
+}
+
+TEST(PostPruneTest, LeafErrorMatchesFormula) {
+  // 2 errors out of 10 at CF=0.25.
+  double e = LeafPessimisticError({8.0, 2.0}, 0.25);
+  EXPECT_GT(e, 2.0);
+  EXPECT_LT(e, 5.0);
+  // Pure leaf still gets the C4.5 zero-error correction.
+  double pure = LeafPessimisticError({10.0, 0.0}, 0.25);
+  EXPECT_GT(pure, 0.0);
+  EXPECT_LT(pure, e);
+}
+
+TEST(PostPruneTest, UselessSplitCollapses) {
+  // Both children have the same majority class: the split cannot reduce
+  // training error, so the pessimistic estimate favours the leaf.
+  auto tree_root = Split(0.5, Leaf({6.0, 2.0}), Leaf({6.0, 2.0}));
+  DecisionTree tree(Schema::Numerical(1, {"A", "B"}), std::move(tree_root));
+  PostPruneStats stats = PostPruneTree(&tree, PostPruneOptions{});
+  EXPECT_TRUE(tree.root().is_leaf());
+  EXPECT_EQ(stats.subtrees_collapsed, 1);
+}
+
+TEST(PostPruneTest, InformativeSplitSurvives) {
+  // Clean separation with substantial support on both sides.
+  auto tree_root = Split(0.5, Leaf({20.0, 0.0}), Leaf({0.0, 20.0}));
+  DecisionTree tree(Schema::Numerical(1, {"A", "B"}), std::move(tree_root));
+  PostPruneStats stats = PostPruneTree(&tree, PostPruneOptions{});
+  EXPECT_FALSE(tree.root().is_leaf());
+  EXPECT_EQ(stats.subtrees_collapsed, 0);
+}
+
+TEST(PostPruneTest, PrunesBottomUp) {
+  // The deep useless split collapses, then the parent (now two identical-
+  // majority leaves) collapses as well.
+  auto deep = Split(0.2, Leaf({3.0, 1.0}), Leaf({3.0, 1.0}));
+  auto tree_root = Split(0.5, std::move(deep), Leaf({6.0, 2.0}));
+  DecisionTree tree(Schema::Numerical(1, {"A", "B"}), std::move(tree_root));
+  PostPruneStats stats = PostPruneTree(&tree, PostPruneOptions{});
+  EXPECT_TRUE(tree.root().is_leaf());
+  EXPECT_EQ(stats.subtrees_collapsed, 2);
+}
+
+TEST(PostPruneTest, Idempotent) {
+  auto tree_root = Split(0.5, Leaf({20.0, 0.0}), Leaf({0.0, 20.0}));
+  DecisionTree tree(Schema::Numerical(1, {"A", "B"}), std::move(tree_root));
+  PostPruneTree(&tree, PostPruneOptions{});
+  std::string before = std::to_string(tree.num_nodes());
+  PostPruneStats again = PostPruneTree(&tree, PostPruneOptions{});
+  EXPECT_EQ(again.subtrees_collapsed, 0);
+  EXPECT_EQ(std::to_string(tree.num_nodes()), before);
+}
+
+TEST(PostPruneTest, ConfidenceControlsAggression) {
+  // A marginal split: each side only slightly purer than the parent
+  // (9 observed subtree errors vs 8). A small CF (pessimistic) prunes it;
+  // a large CF (optimistic) keeps it.
+  auto make_tree = [] {
+    return DecisionTree(Schema::Numerical(1, {"A", "B"}),
+                        Split(0.5, Leaf({5.0, 4.0}), Leaf({4.0, 5.0})));
+  };
+  DecisionTree pessimistic = make_tree();
+  PostPruneOptions strict;
+  strict.confidence = 0.01;
+  PostPruneTree(&pessimistic, strict);
+  EXPECT_TRUE(pessimistic.root().is_leaf());
+
+  DecisionTree optimistic = make_tree();
+  PostPruneOptions loose;
+  loose.confidence = 0.9;
+  PostPruneTree(&optimistic, loose);
+  EXPECT_FALSE(optimistic.root().is_leaf());
+}
+
+TEST(PostPruneTest, CategoricalSubtreePruned) {
+  auto node = std::make_unique<TreeNode>();
+  node->attribute = 0;
+  node->is_categorical = true;
+  node->class_counts = {8.0, 4.0};
+  node->distribution = {2.0 / 3.0, 1.0 / 3.0};
+  node->children.push_back(Leaf({4.0, 2.0}));
+  node->children.push_back(Leaf({4.0, 2.0}));
+  auto schema = Schema::Create({{"c", AttributeKind::kCategorical, 2}},
+                               {"A", "B"});
+  ASSERT_TRUE(schema.ok());
+  DecisionTree tree(*schema, std::move(node));
+  PostPruneStats stats = PostPruneTree(&tree, PostPruneOptions{});
+  EXPECT_TRUE(tree.root().is_leaf());
+  EXPECT_EQ(stats.subtrees_collapsed, 1);
+}
+
+}  // namespace
+}  // namespace udt

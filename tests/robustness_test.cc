@@ -1,0 +1,106 @@
+// Robustness tests: malformed persisted models must fail cleanly (Status,
+// never a crash), and the full pipeline holds up at a larger scale than the
+// unit suites exercise.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/classifier.h"
+#include "datagen/uci_like.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "pdf/pdf_builder.h"
+#include "tree/tree_io.h"
+
+namespace udt {
+namespace {
+
+TEST(ParserRobustnessTest, EveryTruncationFailsCleanly) {
+  // Serialise a real tree, then feed the parser every prefix of the text.
+  // None may crash; only the full text may parse.
+  Dataset ds(Schema::Numerical(2, {"A", "B"}));
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    UncertainTuple t;
+    t.label = i % 2;
+    for (int j = 0; j < 2; ++j) {
+      t.values.push_back(UncertainValue::Numerical(
+          SampledPdf::PointMass(rng.Gaussian(t.label * 2.0, 1.0))));
+    }
+    ASSERT_TRUE(ds.AddTuple(t).ok());
+  }
+  TreeConfig config;
+  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  ASSERT_TRUE(classifier.ok());
+  std::string text = SerializeTree(classifier->tree());
+
+  int parsed_ok = 0;
+  for (size_t len = 0; len < text.size(); ++len) {
+    auto result = ParseTree(text.substr(0, len), ds.schema());
+    if (result.ok()) ++parsed_ok;
+  }
+  EXPECT_EQ(parsed_ok, 0) << "a strict prefix parsed as a complete tree";
+  EXPECT_TRUE(ParseTree(text, ds.schema()).ok());
+}
+
+TEST(ParserRobustnessTest, MutatedTokensFailCleanly) {
+  Schema schema = Schema::Numerical(1, {"A", "B"});
+  const char* kMutations[] = {
+      "(udt-tree (num 0 nan [1,1] (leaf [1,0]) (leaf [0,1])))",
+      "(udt-tree (num 0 inf [1,1] (leaf [1,0]) (leaf [0,1])))",
+      "(udt-tree (num 0 0.5 [1,1] (leaf [1,0]) (leaf [0,1])",
+      "(udt-tree (num 0 0.5 [1,1] (leaf [1,0])))",
+      "(udt-tree (leaf [1,1])))",
+      "(udt-tree (leaf [a,b]))",
+      "(udt-tree (boom [1,1]))",
+      "(udt-tree (num -1 0.5 [1,1] (leaf [1,0]) (leaf [0,1])))",
+  };
+  for (const char* text : kMutations) {
+    EXPECT_FALSE(ParseTree(text, schema).ok()) << text;
+  }
+}
+
+TEST(ScaleIntegrationTest, ThousandTupleEndToEnd) {
+  // A larger-than-unit-scale run through the whole pipeline: generate,
+  // inject, train with the fastest finder, evaluate. Guards against
+  // superlinear blowups sneaking into the recursion.
+  auto spec = datagen::FindUciSpec("PageBlock");
+  ASSERT_TRUE(spec.ok());
+  auto ds = PrepareUncertainDataset(*spec, 1000.0 / spec->num_tuples, 0.10,
+                                    24, ErrorModel::kGaussian);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->num_tuples(), 1000);
+
+  TreeConfig config;
+  config.algorithm = SplitAlgorithm::kUdtEs;
+  BuildStats stats;
+  auto classifier = UncertainTreeClassifier::Train(*ds, config, &stats);
+  ASSERT_TRUE(classifier.ok());
+  EXPECT_GT(stats.nodes, 1);
+  EXPECT_LT(stats.nodes, 4000);  // fractional growth stays bounded
+  EXPECT_GT(EvaluateAccuracy(*classifier, *ds), 0.8);
+}
+
+TEST(ScaleIntegrationTest, DeepRecursionBounded) {
+  // Adversarial shape: one attribute, heavy overlap, tiny split weight.
+  // max_depth must actually cap the recursion.
+  Dataset ds(Schema::Numerical(1, {"A", "B"}));
+  Rng rng(13);
+  for (int i = 0; i < 60; ++i) {
+    auto pdf = MakeUniformErrorPdf(rng.Uniform(0.0, 1.0), 2.0, 12);
+    UncertainTuple t{{UncertainValue::Numerical(std::move(*pdf))}, i % 2};
+    ASSERT_TRUE(ds.AddTuple(t).ok());
+  }
+  TreeConfig config;
+  config.algorithm = SplitAlgorithm::kUdtGp;
+  config.max_depth = 6;
+  config.min_split_weight = 1e-6;
+  config.min_gain = 0.0;
+  config.post_prune = false;
+  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  ASSERT_TRUE(classifier.ok());
+  EXPECT_LE(classifier->tree().depth(), 7);
+}
+
+}  // namespace
+}  // namespace udt

@@ -1,0 +1,177 @@
+// Tests for rule extraction: path-to-rule conversion, interval merging and
+// the equivalence of rule-based and tree-based classification.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/classifier.h"
+#include "pdf/pdf_builder.h"
+#include "tree/rules.h"
+
+namespace udt {
+namespace {
+
+std::unique_ptr<TreeNode> Leaf(std::vector<double> counts) {
+  auto node = std::make_unique<TreeNode>();
+  double total = 0.0;
+  for (double c : counts) total += c;
+  node->distribution.assign(counts.size(), 0.0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    node->distribution[i] = total > 0 ? counts[i] / total : 0.5;
+  }
+  node->class_counts = std::move(counts);
+  return node;
+}
+
+std::unique_ptr<TreeNode> Split(int attribute, double z,
+                                std::unique_ptr<TreeNode> left,
+                                std::unique_ptr<TreeNode> right) {
+  auto node = std::make_unique<TreeNode>();
+  node->attribute = attribute;
+  node->split_point = z;
+  node->class_counts = {1.0, 1.0};
+  node->distribution = {0.5, 0.5};
+  node->left = std::move(left);
+  node->right = std::move(right);
+  return node;
+}
+
+TEST(RulesTest, OneRulePerLeaf) {
+  DecisionTree tree(Schema::Numerical(1, {"A", "B"}),
+                    Split(0, 0.0, Leaf({3.0, 1.0}), Leaf({0.0, 2.0})));
+  RuleSet rules = RuleSet::FromTree(tree);
+  ASSERT_EQ(rules.num_rules(), 2);
+  EXPECT_EQ(rules.rule(0).predicted_class, 0);
+  EXPECT_NEAR(rules.rule(0).confidence, 0.75, 1e-12);
+  EXPECT_NEAR(rules.rule(0).support, 4.0, 1e-12);
+  EXPECT_EQ(rules.rule(1).predicted_class, 1);
+}
+
+TEST(RulesTest, IntervalsMergeAlongPath) {
+  // Same attribute split twice: the deep-left leaf must carry one merged
+  // interval condition, not two conjuncts.
+  auto deep = Split(0, -1.0, Leaf({1.0, 0.0}), Leaf({0.0, 1.0}));
+  DecisionTree tree(Schema::Numerical(1, {"A", "B"}),
+                    Split(0, 5.0, std::move(deep), Leaf({0.0, 1.0})));
+  RuleSet rules = RuleSet::FromTree(tree);
+  ASSERT_EQ(rules.num_rules(), 3);
+  const Rule& deep_left = rules.rule(0);
+  ASSERT_EQ(deep_left.conditions.size(), 1u);
+  EXPECT_EQ(deep_left.conditions[0].attribute, 0);
+  EXPECT_DOUBLE_EQ(deep_left.conditions[0].upper, -1.0);
+  const Rule& middle = rules.rule(1);  // (-1, 5]
+  ASSERT_EQ(middle.conditions.size(), 1u);
+  EXPECT_DOUBLE_EQ(middle.conditions[0].lower, -1.0);
+  EXPECT_DOUBLE_EQ(middle.conditions[0].upper, 5.0);
+}
+
+TEST(RulesTest, SingleLeafTreeHasUnconditionalRule) {
+  DecisionTree tree(Schema::Numerical(2, {"A", "B"}), Leaf({2.0, 1.0}));
+  RuleSet rules = RuleSet::FromTree(tree);
+  ASSERT_EQ(rules.num_rules(), 1);
+  EXPECT_TRUE(rules.rule(0).conditions.empty());
+  EXPECT_NE(rules.rule(0).ToString(tree.schema()).find("(always)"),
+            std::string::npos);
+}
+
+TEST(RulesTest, MatchProbabilityIsIntervalMass) {
+  DecisionTree tree(Schema::Numerical(1, {"A", "B"}),
+                    Split(0, 0.0, Leaf({1.0, 0.0}), Leaf({0.0, 1.0})));
+  RuleSet rules = RuleSet::FromTree(tree);
+  auto pdf = SampledPdf::Create({-1.0, 1.0}, {0.25, 0.75});
+  ASSERT_TRUE(pdf.ok());
+  UncertainTuple t{{UncertainValue::Numerical(*pdf)}, 0};
+  EXPECT_NEAR(rules.rule(0).MatchProbability(t), 0.25, 1e-12);
+  EXPECT_NEAR(rules.rule(1).MatchProbability(t), 0.75, 1e-12);
+}
+
+TEST(RulesTest, ToStringReadable) {
+  DecisionTree tree(Schema::Numerical(1, {"yes", "no"}),
+                    Split(0, 1.5, Leaf({4.0, 0.0}), Leaf({0.0, 4.0})));
+  RuleSet rules = RuleSet::FromTree(tree);
+  std::string text = rules.ToString();
+  EXPECT_NE(text.find("IF A1 <= 1.5 THEN yes"), std::string::npos);
+  EXPECT_NE(text.find("IF A1 > 1.5 THEN no"), std::string::npos);
+}
+
+TEST(RulesTest, CategoricalConditions) {
+  auto schema = Schema::Create({{"color", AttributeKind::kCategorical, 2}},
+                               {"A", "B"});
+  ASSERT_TRUE(schema.ok());
+  auto root = std::make_unique<TreeNode>();
+  root->attribute = 0;
+  root->is_categorical = true;
+  root->class_counts = {1.0, 1.0};
+  root->distribution = {0.5, 0.5};
+  root->children.push_back(Leaf({1.0, 0.0}));
+  root->children.push_back(Leaf({0.0, 1.0}));
+  DecisionTree tree(*schema, std::move(root));
+  RuleSet rules = RuleSet::FromTree(tree);
+  ASSERT_EQ(rules.num_rules(), 2);
+  ASSERT_EQ(rules.rule(0).conditions.size(), 1u);
+  EXPECT_TRUE(rules.rule(0).conditions[0].is_categorical);
+  EXPECT_EQ(rules.rule(0).conditions[0].category, 0);
+  EXPECT_NE(rules.rule(1).ToString(*schema).find("color = 1"),
+            std::string::npos);
+}
+
+// The headline property: on a trained tree, classifying through the rule
+// set gives exactly the tree's distribution for every training tuple.
+class RuleEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RuleEquivalenceTest, RuleSetClassifiesLikeTree) {
+  Rng rng(GetParam());
+  Dataset ds(Schema::Numerical(2, {"A", "B", "C"}));
+  for (int i = 0; i < 36; ++i) {
+    UncertainTuple t;
+    t.label = i % 3;
+    for (int j = 0; j < 2; ++j) {
+      auto pdf = MakeGaussianErrorPdf(
+          rng.Gaussian(static_cast<double>(t.label), 0.8), 1.0, 10);
+      t.values.push_back(UncertainValue::Numerical(std::move(*pdf)));
+    }
+    ASSERT_TRUE(ds.AddTuple(t).ok());
+  }
+  TreeConfig config;
+  config.algorithm = SplitAlgorithm::kUdtGp;
+  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  ASSERT_TRUE(classifier.ok());
+  RuleSet rules = RuleSet::FromTree(classifier->tree());
+  EXPECT_GE(rules.num_rules(), 1);
+
+  for (int i = 0; i < ds.num_tuples(); ++i) {
+    std::vector<double> via_tree =
+        classifier->ClassifyDistribution(ds.tuple(i));
+    std::vector<double> via_rules = rules.ClassifyDistribution(ds.tuple(i));
+    ASSERT_EQ(via_tree.size(), via_rules.size());
+    for (size_t c = 0; c < via_tree.size(); ++c) {
+      EXPECT_NEAR(via_tree[c], via_rules[c], 1e-6) << "tuple " << i;
+    }
+    EXPECT_EQ(rules.Predict(ds.tuple(i)), classifier->Predict(ds.tuple(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(RulesTest, RuleSupportsSumToDatasetWeight) {
+  Rng rng(77);
+  Dataset ds(Schema::Numerical(1, {"A", "B"}));
+  for (int i = 0; i < 20; ++i) {
+    auto pdf = MakeUniformErrorPdf(rng.Uniform(0.0, 4.0), 1.0, 8);
+    UncertainTuple t{{UncertainValue::Numerical(std::move(*pdf))}, i % 2};
+    ASSERT_TRUE(ds.AddTuple(t).ok());
+  }
+  TreeConfig config;
+  config.algorithm = SplitAlgorithm::kUdt;
+  config.post_prune = false;
+  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  ASSERT_TRUE(classifier.ok());
+  RuleSet rules = RuleSet::FromTree(classifier->tree());
+  double total = 0.0;
+  for (const Rule& rule : rules.rules()) total += rule.support;
+  EXPECT_NEAR(total, 20.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace udt

@@ -1,0 +1,124 @@
+// Tests for the Section 4.4 statistics: Student-t quantiles, mean
+// confidence intervals and plateau-midpoint estimation.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/significance.h"
+
+namespace udt {
+namespace {
+
+TEST(StudentTTest, KnownQuantiles) {
+  // Standard t-table values, two-sided 95% (p = 0.975).
+  EXPECT_NEAR(StudentTQuantile(0.975, 1), 12.706, 0.01);
+  EXPECT_NEAR(StudentTQuantile(0.975, 2), 4.303, 0.005);
+  EXPECT_NEAR(StudentTQuantile(0.975, 5), 2.571, 0.02);
+  EXPECT_NEAR(StudentTQuantile(0.975, 10), 2.228, 0.01);
+  EXPECT_NEAR(StudentTQuantile(0.975, 30), 2.042, 0.005);
+}
+
+TEST(StudentTTest, ConvergesToNormal) {
+  EXPECT_NEAR(StudentTQuantile(0.975, 1000), 1.962, 0.01);
+}
+
+TEST(StudentTTest, SymmetricAroundMedian) {
+  for (int dof : {1, 2, 4, 9}) {
+    EXPECT_NEAR(StudentTQuantile(0.5, dof), 0.0, 1e-9);
+    EXPECT_NEAR(StudentTQuantile(0.9, dof), -StudentTQuantile(0.1, dof),
+                1e-9);
+  }
+}
+
+TEST(ConfidenceIntervalTest, ContainsMean) {
+  auto ci = MeanConfidenceInterval({0.8, 0.85, 0.9, 0.82, 0.88});
+  ASSERT_TRUE(ci.ok());
+  EXPECT_NEAR(ci->mean, 0.85, 1e-9);
+  EXPECT_LT(ci->lower, ci->mean);
+  EXPECT_GT(ci->upper, ci->mean);
+}
+
+TEST(ConfidenceIntervalTest, CollapsesForConstantData) {
+  auto ci = MeanConfidenceInterval({0.7, 0.7, 0.7});
+  ASSERT_TRUE(ci.ok());
+  EXPECT_DOUBLE_EQ(ci->lower, 0.7);
+  EXPECT_DOUBLE_EQ(ci->upper, 0.7);
+}
+
+TEST(ConfidenceIntervalTest, WiderAtHigherConfidence) {
+  std::vector<double> values = {0.6, 0.7, 0.8, 0.75};
+  auto narrow = MeanConfidenceInterval(values, 0.80);
+  auto wide = MeanConfidenceInterval(values, 0.99);
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  EXPECT_LT(narrow->upper - narrow->lower, wide->upper - wide->lower);
+}
+
+TEST(ConfidenceIntervalTest, RejectsBadInput) {
+  EXPECT_FALSE(MeanConfidenceInterval({0.5}).ok());
+  EXPECT_FALSE(MeanConfidenceInterval({0.5, 0.6}, 0.0).ok());
+  EXPECT_FALSE(MeanConfidenceInterval({0.5, 0.6}, 1.0).ok());
+}
+
+TEST(ConfidenceIntervalTest, OverlapDetection) {
+  ConfidenceInterval a{0.5, 0.4, 0.6};
+  ConfidenceInterval b{0.55, 0.5, 0.7};
+  ConfidenceInterval c{0.9, 0.8, 1.0};
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  EXPECT_FALSE(a.Overlaps(c));
+}
+
+TEST(PlateauTest, MidpointOfOverlappingRange) {
+  // Accuracy rises to a plateau spanning x = 2..4, then falls; the best
+  // point is x=3 and its CI overlaps x=2 and x=4 only.
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<ConfidenceInterval> cis = {
+      {0.60, 0.58, 0.62},
+      {0.88, 0.85, 0.91},
+      {0.90, 0.87, 0.93},
+      {0.89, 0.86, 0.92},
+      {0.70, 0.68, 0.72},
+  };
+  auto mid = EstimatePlateauMidpoint(xs, cis);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_DOUBLE_EQ(*mid, 3.0);
+}
+
+TEST(PlateauTest, SinglePeak) {
+  std::vector<double> xs = {1, 2, 3};
+  std::vector<ConfidenceInterval> cis = {
+      {0.5, 0.49, 0.51},
+      {0.9, 0.89, 0.91},
+      {0.5, 0.49, 0.51},
+  };
+  auto mid = EstimatePlateauMidpoint(xs, cis);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_DOUBLE_EQ(*mid, 2.0);
+}
+
+TEST(PlateauTest, AsymmetricPlateau) {
+  // Plateau from x=2 to x=5 -> midpoint 3.5 even though the max is at x=2.
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<ConfidenceInterval> cis = {
+      {0.50, 0.48, 0.52},
+      {0.91, 0.86, 0.96},
+      {0.90, 0.85, 0.95},
+      {0.89, 0.84, 0.94},
+      {0.88, 0.83, 0.93},
+  };
+  auto mid = EstimatePlateauMidpoint(xs, cis);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_DOUBLE_EQ(*mid, 3.5);
+}
+
+TEST(PlateauTest, RejectsBadInput) {
+  std::vector<ConfidenceInterval> one = {{0.5, 0.4, 0.6}};
+  EXPECT_FALSE(EstimatePlateauMidpoint({}, {}).ok());
+  EXPECT_FALSE(EstimatePlateauMidpoint({1.0, 2.0}, one).ok());
+  std::vector<ConfidenceInterval> two = {{0.5, 0.4, 0.6}, {0.6, 0.5, 0.7}};
+  EXPECT_FALSE(EstimatePlateauMidpoint({2.0, 1.0}, two).ok());  // descending
+}
+
+}  // namespace
+}  // namespace udt

@@ -1,0 +1,273 @@
+// Tests for the table substrate: schema, categorical distributions,
+// uncertain datasets, folds/splits and CSV round trips.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "pdf/pdf_builder.h"
+#include "table/csv.h"
+#include "table/dataset.h"
+#include "table/point_dataset.h"
+
+namespace udt {
+namespace {
+
+Schema TwoClassSchema(int attrs) { return Schema::Numerical(attrs, {"A", "B"}); }
+
+UncertainTuple NumTuple(std::vector<double> means, int label) {
+  UncertainTuple t;
+  t.label = label;
+  for (double m : means) {
+    t.values.push_back(UncertainValue::Numerical(SampledPdf::PointMass(m)));
+  }
+  return t;
+}
+
+TEST(SchemaTest, NumericalFactory) {
+  Schema schema = Schema::Numerical(3, {"x", "y"});
+  EXPECT_EQ(schema.num_attributes(), 3);
+  EXPECT_EQ(schema.num_classes(), 2);
+  EXPECT_EQ(schema.attribute(0).name, "A1");
+  EXPECT_EQ(schema.attribute(2).name, "A3");
+  EXPECT_EQ(schema.ClassIndex("y"), 1);
+  EXPECT_EQ(schema.ClassIndex("z"), -1);
+  EXPECT_EQ(schema.AttributeIndex("A2"), 1);
+  EXPECT_EQ(schema.AttributeIndex("nope"), -1);
+}
+
+TEST(SchemaTest, RejectsInvalid) {
+  EXPECT_FALSE(Schema::Create({}, {"a"}).ok());
+  EXPECT_FALSE(Schema::Create({{"x", AttributeKind::kNumerical, 0}}, {}).ok());
+  EXPECT_FALSE(Schema::Create({{"x", AttributeKind::kNumerical, 0},
+                               {"x", AttributeKind::kNumerical, 0}},
+                              {"a"})
+                   .ok());
+  EXPECT_FALSE(
+      Schema::Create({{"c", AttributeKind::kCategorical, 1}}, {"a"}).ok());
+  EXPECT_FALSE(Schema::Create({{"x", AttributeKind::kNumerical, 0}},
+                              {"a", "a"})
+                   .ok());
+  EXPECT_FALSE(
+      Schema::Create({{"", AttributeKind::kNumerical, 0}}, {"a"}).ok());
+}
+
+TEST(CategoricalPdfTest, CreateNormalises) {
+  auto pdf = CategoricalPdf::Create({1.0, 3.0});
+  ASSERT_TRUE(pdf.ok());
+  EXPECT_EQ(pdf->num_categories(), 2);
+  EXPECT_NEAR(pdf->probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(pdf->probability(1), 0.75, 1e-12);
+  EXPECT_EQ(pdf->MostLikely(), 1);
+}
+
+TEST(CategoricalPdfTest, CertainConcentratesMass) {
+  CategoricalPdf pdf = CategoricalPdf::Certain(2, 4);
+  EXPECT_DOUBLE_EQ(pdf.probability(2), 1.0);
+  EXPECT_DOUBLE_EQ(pdf.probability(0), 0.0);
+  EXPECT_EQ(pdf.MostLikely(), 2);
+}
+
+TEST(CategoricalPdfTest, RejectsInvalid) {
+  EXPECT_FALSE(CategoricalPdf::Create({1.0}).ok());
+  EXPECT_FALSE(CategoricalPdf::Create({0.0, 0.0}).ok());
+  EXPECT_FALSE(CategoricalPdf::Create({-1.0, 2.0}).ok());
+}
+
+TEST(DatasetTest, AddTupleValidatesArityAndLabel) {
+  Dataset ds(TwoClassSchema(2));
+  EXPECT_TRUE(ds.AddTuple(NumTuple({1.0, 2.0}, 0)).ok());
+  EXPECT_FALSE(ds.AddTuple(NumTuple({1.0}, 0)).ok());
+  EXPECT_FALSE(ds.AddTuple(NumTuple({1.0, 2.0}, 2)).ok());
+  EXPECT_FALSE(ds.AddTuple(NumTuple({1.0, 2.0}, -1)).ok());
+  EXPECT_EQ(ds.num_tuples(), 1);
+}
+
+TEST(DatasetTest, AddTupleValidatesKinds) {
+  auto schema = Schema::Create({{"n", AttributeKind::kNumerical, 0},
+                                {"c", AttributeKind::kCategorical, 3}},
+                               {"A", "B"});
+  ASSERT_TRUE(schema.ok());
+  Dataset ds(*schema);
+
+  UncertainTuple good;
+  good.label = 0;
+  good.values.push_back(UncertainValue::Numerical(SampledPdf::PointMass(1)));
+  good.values.push_back(
+      UncertainValue::Categorical(CategoricalPdf::Certain(1, 3)));
+  EXPECT_TRUE(ds.AddTuple(good).ok());
+
+  UncertainTuple swapped;
+  swapped.label = 0;
+  swapped.values.push_back(
+      UncertainValue::Categorical(CategoricalPdf::Certain(1, 3)));
+  swapped.values.push_back(
+      UncertainValue::Numerical(SampledPdf::PointMass(1)));
+  EXPECT_FALSE(ds.AddTuple(swapped).ok());
+
+  UncertainTuple wrong_cardinality;
+  wrong_cardinality.label = 0;
+  wrong_cardinality.values.push_back(
+      UncertainValue::Numerical(SampledPdf::PointMass(1)));
+  wrong_cardinality.values.push_back(
+      UncertainValue::Categorical(CategoricalPdf::Certain(1, 2)));
+  EXPECT_FALSE(ds.AddTuple(wrong_cardinality).ok());
+}
+
+TEST(DatasetTest, AttributeRangeSpansSupports) {
+  Dataset ds(TwoClassSchema(1));
+  auto pdf = MakeUniformPdf(0.0, 10.0, 5);
+  ASSERT_TRUE(pdf.ok());
+  UncertainTuple t;
+  t.label = 0;
+  t.values.push_back(UncertainValue::Numerical(*pdf));
+  ASSERT_TRUE(ds.AddTuple(t).ok());
+  ASSERT_TRUE(ds.AddTuple(NumTuple({-3.0}, 1)).ok());
+  auto [lo, hi] = ds.AttributeRange(0);
+  EXPECT_DOUBLE_EQ(lo, -3.0);
+  EXPECT_GT(hi, 8.0);
+}
+
+TEST(DatasetTest, ClassHistogram) {
+  Dataset ds(TwoClassSchema(1));
+  ASSERT_TRUE(ds.AddTuple(NumTuple({0.0}, 0)).ok());
+  ASSERT_TRUE(ds.AddTuple(NumTuple({0.0}, 1)).ok());
+  ASSERT_TRUE(ds.AddTuple(NumTuple({0.0}, 1)).ok());
+  std::vector<int> hist = ds.ClassHistogram();
+  EXPECT_EQ(hist[0], 1);
+  EXPECT_EQ(hist[1], 2);
+}
+
+TEST(DatasetTest, ToMeansCollapsesPdfs) {
+  Dataset ds(TwoClassSchema(1));
+  auto pdf = SampledPdf::Create({0.0, 4.0}, {0.5, 0.5});
+  ASSERT_TRUE(pdf.ok());
+  UncertainTuple t;
+  t.label = 0;
+  t.values.push_back(UncertainValue::Numerical(*pdf));
+  ASSERT_TRUE(ds.AddTuple(t).ok());
+  Dataset means = ds.ToMeans();
+  EXPECT_TRUE(means.tuple(0).values[0].pdf().is_point());
+  EXPECT_DOUBLE_EQ(means.tuple(0).values[0].pdf().Mean(), 2.0);
+}
+
+TEST(DatasetTest, StratifiedFoldsBalanced) {
+  Dataset ds(TwoClassSchema(1));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(ds.AddTuple(NumTuple({double(i)}, i % 2)).ok());
+  }
+  Rng rng(1);
+  std::vector<int> folds = ds.StratifiedFolds(5, &rng);
+  std::vector<int> per_fold(5, 0);
+  std::vector<int> per_fold_class0(5, 0);
+  for (size_t i = 0; i < folds.size(); ++i) {
+    ASSERT_GE(folds[i], 0);
+    ASSERT_LT(folds[i], 5);
+    ++per_fold[static_cast<size_t>(folds[i])];
+    if (ds.tuple(static_cast<int>(i)).label == 0) {
+      ++per_fold_class0[static_cast<size_t>(folds[i])];
+    }
+  }
+  for (int f = 0; f < 5; ++f) {
+    EXPECT_EQ(per_fold[static_cast<size_t>(f)], 10);
+    EXPECT_EQ(per_fold_class0[static_cast<size_t>(f)], 5);
+  }
+}
+
+TEST(DatasetTest, SplitByFoldPartitions) {
+  Dataset ds(TwoClassSchema(1));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ds.AddTuple(NumTuple({double(i)}, i % 2)).ok());
+  }
+  Rng rng(2);
+  std::vector<int> folds = ds.StratifiedFolds(4, &rng);
+  auto [train, test] = ds.SplitByFold(folds, 0);
+  EXPECT_EQ(train.num_tuples() + test.num_tuples(), 20);
+  // Round-robin dealing: 10 members per class over 4 folds puts
+  // ceil(10/4) = 3 of each class into fold 0.
+  EXPECT_EQ(test.num_tuples(), 6);
+}
+
+TEST(DatasetTest, RandomSplitStratified) {
+  Dataset ds(TwoClassSchema(1));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ds.AddTuple(NumTuple({double(i)}, i % 2)).ok());
+  }
+  Rng rng(3);
+  auto [train, test] = ds.RandomSplit(0.3, &rng);
+  EXPECT_EQ(test.num_tuples(), 30);
+  EXPECT_EQ(train.num_tuples(), 70);
+  std::vector<int> hist = test.ClassHistogram();
+  EXPECT_EQ(hist[0], 15);
+  EXPECT_EQ(hist[1], 15);
+}
+
+TEST(PointDatasetTest, AddRowValidates) {
+  PointDataset ds(TwoClassSchema(2));
+  EXPECT_TRUE(ds.AddRow({1.0, 2.0}, 0).ok());
+  EXPECT_FALSE(ds.AddRow({1.0}, 0).ok());
+  EXPECT_FALSE(ds.AddRow({1.0, 2.0}, 5).ok());
+  EXPECT_FALSE(ds.AddRow({1.0, std::nan("")}, 0).ok());
+}
+
+TEST(PointDatasetTest, RangeAndConversion) {
+  PointDataset ds(TwoClassSchema(1));
+  ASSERT_TRUE(ds.AddRow({5.0}, 0).ok());
+  ASSERT_TRUE(ds.AddRow({-1.0}, 1).ok());
+  auto [lo, hi] = ds.AttributeRange(0);
+  EXPECT_DOUBLE_EQ(lo, -1.0);
+  EXPECT_DOUBLE_EQ(hi, 5.0);
+
+  Dataset uds = ds.ToPointMassDataset();
+  EXPECT_EQ(uds.num_tuples(), 2);
+  EXPECT_TRUE(uds.tuple(0).values[0].pdf().is_point());
+  EXPECT_DOUBLE_EQ(uds.tuple(1).values[0].pdf().Mean(), -1.0);
+}
+
+TEST(CsvTest, RoundTrip) {
+  PointDataset ds(TwoClassSchema(2));
+  ASSERT_TRUE(ds.AddRow({1.5, -2.25}, 0).ok());
+  ASSERT_TRUE(ds.AddRow({0.125, 3.0}, 1).ok());
+  std::string text = WriteCsvToString(ds);
+  auto parsed = ReadCsvFromString(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_tuples(), 2);
+  EXPECT_EQ(parsed->num_attributes(), 2);
+  EXPECT_DOUBLE_EQ(parsed->value(0, 1), -2.25);
+  EXPECT_EQ(parsed->label(1), 1);
+  EXPECT_EQ(parsed->schema().class_name(0), "A");
+}
+
+TEST(CsvTest, ParsesHeaderAndClasses) {
+  auto ds = ReadCsvFromString(
+      "height,weight,class\n"
+      "1.0,2.0,cat\n"
+      "3.0,4.0,dog\n"
+      "5.0,6.0,cat\n");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->schema().attribute(0).name, "height");
+  EXPECT_EQ(ds->num_classes(), 2);
+  EXPECT_EQ(ds->label(2), 0);  // "cat" first seen -> id 0
+}
+
+TEST(CsvTest, RejectsMalformed) {
+  EXPECT_FALSE(ReadCsvFromString("").ok());
+  EXPECT_FALSE(ReadCsvFromString("a,class\n").ok());
+  EXPECT_FALSE(ReadCsvFromString("a,class\n1.0\n").ok());          // ragged
+  EXPECT_FALSE(ReadCsvFromString("a,class\nxyz,c\n").ok());        // not a number
+  EXPECT_FALSE(ReadCsvFromString("class\nc\n").ok());              // no attrs
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  PointDataset ds(TwoClassSchema(1));
+  ASSERT_TRUE(ds.AddRow({7.0}, 1).ok());
+  ASSERT_TRUE(ds.AddRow({8.0}, 0).ok());
+  std::string path = ::testing::TempDir() + "/udt_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(ds, path).ok());
+  auto parsed = ReadCsvFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_tuples(), 2);
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/definitely/not.csv").ok());
+}
+
+}  // namespace
+}  // namespace udt

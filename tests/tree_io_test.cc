@@ -1,0 +1,146 @@
+// Tests for the tree text serialisation format and the tree printer.
+
+#include <gtest/gtest.h>
+
+#include "tree/tree_io.h"
+#include "tree/tree_printer.h"
+
+namespace udt {
+namespace {
+
+std::unique_ptr<TreeNode> Leaf(std::vector<double> counts) {
+  auto node = std::make_unique<TreeNode>();
+  double total = 0.0;
+  for (double c : counts) total += c;
+  node->distribution.assign(counts.size(), 0.0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    node->distribution[i] = total > 0 ? counts[i] / total : 0.0;
+  }
+  node->class_counts = std::move(counts);
+  return node;
+}
+
+DecisionTree SmallTree() {
+  auto root = std::make_unique<TreeNode>();
+  root->attribute = 0;
+  root->split_point = 1.25;
+  root->class_counts = {3.0, 3.0};
+  root->distribution = {0.5, 0.5};
+  root->left = Leaf({3.0, 1.0});
+  root->right = Leaf({0.0, 2.0});
+  return DecisionTree(Schema::Numerical(2, {"A", "B"}), std::move(root));
+}
+
+TEST(TreeIoTest, SerializeShape) {
+  std::string text = SerializeTree(SmallTree());
+  EXPECT_NE(text.find("(udt-tree"), std::string::npos);
+  EXPECT_NE(text.find("(num 0 1.25"), std::string::npos);
+  EXPECT_NE(text.find("(leaf [3,1])"), std::string::npos);
+}
+
+TEST(TreeIoTest, RoundTripExact) {
+  DecisionTree tree = SmallTree();
+  std::string text = SerializeTree(tree);
+  auto parsed = ParseTree(text, tree.schema());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(SerializeTree(*parsed), text);
+  EXPECT_EQ(parsed->num_nodes(), 3);
+}
+
+TEST(TreeIoTest, ParsedDistributionsNormalised) {
+  DecisionTree tree = SmallTree();
+  auto parsed = ParseTree(SerializeTree(tree), tree.schema());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NEAR(parsed->root().left->distribution[0], 0.75, 1e-12);
+  EXPECT_NEAR(parsed->root().left->distribution[1], 0.25, 1e-12);
+}
+
+TEST(TreeIoTest, CategoricalRoundTrip) {
+  auto schema = Schema::Create({{"c", AttributeKind::kCategorical, 3}},
+                               {"A", "B"});
+  ASSERT_TRUE(schema.ok());
+  auto root = std::make_unique<TreeNode>();
+  root->attribute = 0;
+  root->is_categorical = true;
+  root->class_counts = {2.0, 2.0};
+  root->distribution = {0.5, 0.5};
+  root->children.push_back(Leaf({2.0, 0.0}));
+  root->children.push_back(Leaf({0.0, 2.0}));
+  root->children.push_back(nullptr);
+  DecisionTree tree(*schema, std::move(root));
+  std::string text = SerializeTree(tree);
+  EXPECT_NE(text.find("(cat 0"), std::string::npos);
+  EXPECT_NE(text.find("(none)"), std::string::npos);
+  auto parsed = ParseTree(text, *schema);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(SerializeTree(*parsed), text);
+}
+
+TEST(TreeIoTest, ParseRejectsMalformed) {
+  Schema schema = Schema::Numerical(1, {"A", "B"});
+  EXPECT_FALSE(ParseTree("", schema).ok());
+  EXPECT_FALSE(ParseTree("(udt-tree)", schema).ok());
+  EXPECT_FALSE(ParseTree("(udt-tree (leaf [1,2]) garbage)", schema).ok());
+  EXPECT_FALSE(ParseTree("(udt-tree (leaf [1]))", schema).ok());  // arity
+  EXPECT_FALSE(ParseTree("(udt-tree (leaf [1,-2]))", schema).ok());
+  // Attribute index out of range.
+  EXPECT_FALSE(
+      ParseTree("(udt-tree (num 5 0.5 [1,1] (leaf [1,0]) (leaf [0,1])))",
+                schema)
+          .ok());
+  // Categorical node in an all-numerical schema.
+  EXPECT_FALSE(
+      ParseTree("(udt-tree (cat 0 [1,1] (leaf [1,0]) (leaf [0,1])))", schema)
+          .ok());
+}
+
+TEST(TreeIoTest, ParseAcceptsWhitespaceVariants) {
+  Schema schema = Schema::Numerical(1, {"A", "B"});
+  auto parsed = ParseTree(
+      "(udt-tree\n  (num 0 0.5 [2,2]\n    (leaf [2,0])\n    (leaf [0,2])))",
+      schema);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_leaves(), 2);
+}
+
+TEST(TreePrinterTest, RendersSplitsAndLeaves) {
+  std::string text = TreeToString(SmallTree());
+  EXPECT_NE(text.find("A1 <= 1.25 ?"), std::string::npos);
+  EXPECT_NE(text.find("+-yes: leaf {A: 0.750, B: 0.250}"), std::string::npos);
+  EXPECT_NE(text.find("+-no : leaf {A: 0.000, B: 1.000}"), std::string::npos);
+}
+
+TEST(TreePrinterTest, Summary) {
+  EXPECT_EQ(TreeSummary(SmallTree()), "nodes=3 leaves=2 depth=2");
+}
+
+TEST(TreePrinterTest, DotExportWellFormed) {
+  std::string dot = TreeToDot(SmallTree());
+  EXPECT_NE(dot.find("digraph udt_tree {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 [label=\"A1 <= 1.25\"]"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1 [label=\"yes\"]"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n2 [label=\"no\"]"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(TreePrinterTest, DotExportCategorical) {
+  auto schema = Schema::Create({{"c", AttributeKind::kCategorical, 2}},
+                               {"A", "B"});
+  ASSERT_TRUE(schema.ok());
+  auto root = std::make_unique<TreeNode>();
+  root->attribute = 0;
+  root->is_categorical = true;
+  root->class_counts = {1.0, 1.0};
+  root->distribution = {0.5, 0.5};
+  root->children.push_back(Leaf({1.0, 0.0}));
+  root->children.push_back(Leaf({0.0, 1.0}));
+  DecisionTree tree(*schema, std::move(root));
+  std::string dot = TreeToDot(tree);
+  EXPECT_NE(dot.find("c = ?"), std::string::npos);
+  EXPECT_NE(dot.find("[label=\"0\"]"), std::string::npos);
+  EXPECT_NE(dot.find("[label=\"1\"]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace udt

@@ -1,0 +1,171 @@
+// Property suite: fractional-tuple weight is conserved through the whole
+// pipeline. Whatever algorithm, measure or error model builds the tree,
+// the training mass entering the root must equal the sum of the leaves'
+// class counts (up to dropped micro-fragments), and every classification
+// must return a proper probability distribution.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/classifier.h"
+#include "pdf/pdf_builder.h"
+#include "table/uncertainty_injector.h"
+#include "tree/tree.h"
+
+namespace udt {
+namespace {
+
+struct PipelineCase {
+  SplitAlgorithm algorithm;
+  DispersionMeasure measure;
+  ErrorModel model;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PipelineCase>& info) {
+  std::string name = SplitAlgorithmToString(info.param.algorithm);
+  name += "_";
+  name += DispersionMeasureToString(info.param.measure);
+  name += info.param.model == ErrorModel::kGaussian ? "_gauss" : "_unif";
+  name += "_s" + std::to_string(info.param.seed);
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+Dataset MakeData(const PipelineCase& param) {
+  Rng rng(param.seed);
+  Dataset ds(Schema::Numerical(3, {"A", "B", "C"}));
+  for (int i = 0; i < 30; ++i) {
+    UncertainTuple t;
+    t.label = i % 3;
+    for (int j = 0; j < 3; ++j) {
+      double center = rng.Gaussian(static_cast<double>((t.label + j) % 3), 1.2);
+      double width = rng.Uniform(0.5, 2.5);
+      StatusOr<SampledPdf> pdf =
+          param.model == ErrorModel::kGaussian
+              ? MakeGaussianErrorPdf(center, width, 9)
+              : MakeUniformErrorPdf(center, width, 9);
+      t.values.push_back(UncertainValue::Numerical(std::move(*pdf)));
+    }
+    EXPECT_TRUE(ds.AddTuple(t).ok());
+  }
+  return ds;
+}
+
+double SumLeafCounts(const TreeNode& node) {
+  if (node.is_leaf()) {
+    double total = 0.0;
+    for (double c : node.class_counts) total += c;
+    return total;
+  }
+  double total = 0.0;
+  if (node.is_categorical) {
+    for (const std::unique_ptr<TreeNode>& child : node.children) {
+      if (child != nullptr) total += SumLeafCounts(*child);
+    }
+  } else {
+    total += SumLeafCounts(*node.left);
+    total += SumLeafCounts(*node.right);
+  }
+  return total;
+}
+
+class WeightConservationTest
+    : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(WeightConservationTest, LeafMassEqualsDatasetSize) {
+  Dataset ds = MakeData(GetParam());
+  TreeConfig config;
+  config.algorithm = GetParam().algorithm;
+  config.measure = GetParam().measure;
+  config.post_prune = false;
+  config.min_split_weight = 1.0;
+  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  ASSERT_TRUE(classifier.ok());
+  double mass = SumLeafCounts(classifier->tree().root());
+  EXPECT_NEAR(mass, static_cast<double>(ds.num_tuples()), 1e-6);
+}
+
+TEST_P(WeightConservationTest, ClassificationsAreDistributions) {
+  Dataset ds = MakeData(GetParam());
+  TreeConfig config;
+  config.algorithm = GetParam().algorithm;
+  config.measure = GetParam().measure;
+  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  ASSERT_TRUE(classifier.ok());
+  for (int i = 0; i < ds.num_tuples(); ++i) {
+    std::vector<double> p = classifier->ClassifyDistribution(ds.tuple(i));
+    double total = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_P(WeightConservationTest, InternalCountsEqualChildSums) {
+  Dataset ds = MakeData(GetParam());
+  TreeConfig config;
+  config.algorithm = GetParam().algorithm;
+  config.measure = GetParam().measure;
+  config.post_prune = false;
+  config.min_split_weight = 1.0;
+  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  ASSERT_TRUE(classifier.ok());
+
+  // Walk the tree: every internal node's class counts must equal the sum
+  // of its children's, per class.
+  std::vector<const TreeNode*> stack = {&classifier->tree().root()};
+  while (!stack.empty()) {
+    const TreeNode* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) continue;
+    std::vector<double> child_sum(node->class_counts.size(), 0.0);
+    auto accumulate = [&child_sum, &stack](const TreeNode* child) {
+      for (size_t c = 0; c < child_sum.size(); ++c) {
+        child_sum[c] += child->class_counts[c];
+      }
+      stack.push_back(child);
+    };
+    if (node->is_categorical) {
+      for (const std::unique_ptr<TreeNode>& child : node->children) {
+        if (child != nullptr) accumulate(child.get());
+      }
+    } else {
+      accumulate(node->left.get());
+      accumulate(node->right.get());
+    }
+    for (size_t c = 0; c < child_sum.size(); ++c) {
+      EXPECT_NEAR(child_sum[c], node->class_counts[c], 1e-6);
+    }
+  }
+}
+
+std::vector<PipelineCase> AllCases() {
+  std::vector<PipelineCase> cases;
+  for (SplitAlgorithm algorithm :
+       {SplitAlgorithm::kUdt, SplitAlgorithm::kUdtBp, SplitAlgorithm::kUdtLp,
+        SplitAlgorithm::kUdtGp, SplitAlgorithm::kUdtEs}) {
+    for (DispersionMeasure measure :
+         {DispersionMeasure::kEntropy, DispersionMeasure::kGini}) {
+      for (ErrorModel model : {ErrorModel::kGaussian, ErrorModel::kUniform}) {
+        cases.push_back({algorithm, measure, model, 11});
+      }
+    }
+  }
+  // Gain ratio spot checks (slower; fewer combinations).
+  cases.push_back({SplitAlgorithm::kUdtGp, DispersionMeasure::kGainRatio,
+                   ErrorModel::kGaussian, 11});
+  cases.push_back({SplitAlgorithm::kUdtEs, DispersionMeasure::kGainRatio,
+                   ErrorModel::kUniform, 11});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pipelines, WeightConservationTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace udt
