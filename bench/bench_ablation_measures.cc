@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
       long long calcs = stats->counters.TotalEntropyCalculations();
       if (algorithm == udt::SplitAlgorithm::kUdt) reference = calcs;
       auto acc = udt::CvAccuracy(
-          *ds, config, udt::ClassifierKind::kDistributionBased, folds, 5);
+          *ds, config, udt::ModelKind::kUdt, folds, 5);
       UDT_CHECK(acc.ok());
       std::printf("  %-8s %9.3fs %14lld %7.1f%% %9.2f%%\n",
                   udt::SplitAlgorithmToString(algorithm),

@@ -7,8 +7,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/trainer.h"
 #include "bench_common.h"
-#include "core/classifier.h"
 #include "datagen/synthetic.h"
 #include "eval/metrics.h"
 #include "table/uncertainty_injector.h"
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
     config.min_split_weight = variant.min_split_weight;
     config.post_prune = variant.post_prune;
     config.pruning_confidence = variant.confidence;
-    auto model = udt::UncertainTreeClassifier::Train(train, config, nullptr);
+    auto model = udt::Trainer(config).TrainUdt(train);
     UDT_CHECK(model.ok());
     std::printf("%-28s %8d %8d %9.2f%% %9.2f%%\n", variant.label,
                 model->tree().num_nodes(), model->tree().depth(),

@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
       UDT_CHECK(ds.ok());
       udt::Rng cv_rng(42);
       auto result = udt::RunCrossValidation(
-          *ds, config, udt::ClassifierKind::kDistributionBased, folds,
+          *ds, config, udt::ModelKind::kUdt, folds,
           &cv_rng);
       UDT_CHECK(result.ok());
       std::printf(" %5.1f%%", result->mean_accuracy * 100);

@@ -4,8 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "api/trainer.h"
 #include "common/random.h"
-#include "core/classifier.h"
 #include "pdf/pdf_builder.h"
 #include "split/attribute_scan.h"
 #include "split/bounds.h"
@@ -98,14 +98,31 @@ void BM_ClassifyUncertainTuple(benchmark::State& state) {
   Dataset ds = BenchDataset(200, 4, 16, 3);
   TreeConfig config;
   config.algorithm = SplitAlgorithm::kUdtEs;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
-  UDT_CHECK(classifier.ok());
+  auto model = Trainer(config).TrainUdt(ds);
+  UDT_CHECK(model.ok());
   const UncertainTuple& tuple = ds.tuple(0);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(classifier->ClassifyDistribution(tuple));
+    benchmark::DoNotOptimize(model->ClassifyDistribution(tuple));
   }
 }
 BENCHMARK(BM_ClassifyUncertainTuple);
+
+void BM_PredictBatch(benchmark::State& state) {
+  Dataset ds = BenchDataset(512, 4, 16, 3);
+  TreeConfig config;
+  config.algorithm = SplitAlgorithm::kUdtEs;
+  auto model = Trainer(config).TrainUdt(ds);
+  UDT_CHECK(model.ok());
+  PredictOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    BatchResult result = model->PredictBatch(ds, options);
+    benchmark::DoNotOptimize(result.labels.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ds.num_tuples());
+}
+BENCHMARK(BM_PredictBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TreeBuild(benchmark::State& state) {
   Dataset ds = BenchDataset(static_cast<int>(state.range(0)), 4, 16, 4);

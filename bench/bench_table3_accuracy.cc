@@ -69,10 +69,10 @@ int main(int argc, char** argv) {
       auto ds = udt::PrepareUncertainDataset(spec, scale, 0.0, s,
                                              udt::ErrorModel::kGaussian);
       UDT_CHECK(ds.ok());
-      auto avg = udt::CvAccuracy(*ds, config, udt::ClassifierKind::kAveraging,
+      auto avg = udt::CvAccuracy(*ds, config, udt::ModelKind::kAveraging,
                                  folds, 100);
       auto best = udt::CvAccuracy(
-          *ds, config, udt::ClassifierKind::kDistributionBased, folds, 100);
+          *ds, config, udt::ModelKind::kUdt, folds, 100);
       UDT_CHECK(avg.ok() && best.ok());
       std::printf("%-14s %-9s %6.2f%%", spec.name.c_str(), "raw",
                   *avg * 100);
@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
       auto point_ds = udt::PrepareUncertainDataset(spec, scale, 0.0, 1, model);
       UDT_CHECK(point_ds.ok());
       auto avg = udt::CvAccuracy(*point_ds, config,
-                                 udt::ClassifierKind::kAveraging, folds, 100);
+                                 udt::ModelKind::kAveraging, folds, 100);
       UDT_CHECK(avg.ok());
       std::printf(" %6.2f%%", *avg * 100);
 
@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
         auto ds = udt::PrepareUncertainDataset(spec, scale, w, s, model);
         UDT_CHECK(ds.ok());
         auto acc = udt::CvAccuracy(
-            *ds, config, udt::ClassifierKind::kDistributionBased, folds, 100);
+            *ds, config, udt::ModelKind::kUdt, folds, 100);
         UDT_CHECK(acc.ok());
         best = std::max(best, *acc);
         std::printf(" %6.2f%%", *acc * 100);

@@ -4,8 +4,9 @@
 //   1. write/read a CSV with missing values ("?", the UCI convention)
 //   2. build the uncertain data set: pdfs for present readings, Section 2's
 //      mixture "guess" pdfs for missing ones
-//   3. train the distribution-based classifier
-//   4. persist the model to disk and load it back
+//   3. train a distribution-based udt::Model with udt::Trainer
+//   4. persist the model to disk with Model::Save and load it back with
+//      Model::Load (schema and config travel inside the file)
 //   5. extract human-readable IF-THEN rules and a Graphviz rendering
 //
 // Run: build/examples/csv_workflow [output-directory]
@@ -14,14 +15,13 @@
 #include <fstream>
 #include <string>
 
+#include "api/trainer.h"
 #include "common/random.h"
 #include "common/string_util.h"
-#include "core/classifier.h"
 #include "eval/metrics.h"
 #include "table/csv.h"
 #include "table/missing.h"
 #include "tree/rules.h"
-#include "tree/tree_io.h"
 #include "tree/tree_printer.h"
 
 namespace {
@@ -78,28 +78,20 @@ int main(int argc, char** argv) {
   // 3. Train.
   udt::TreeConfig config;
   config.algorithm = udt::SplitAlgorithm::kUdtEs;
-  auto model = udt::UncertainTreeClassifier::Train(train, config, nullptr);
+  udt::Trainer trainer(config);
+  auto model = trainer.TrainUdt(train);
   UDT_CHECK(model.ok());
   std::printf("trained UDT tree (%s), test accuracy %.3f\n",
               udt::TreeSummary(model->tree()).c_str(),
               udt::EvaluateAccuracy(*model, test));
 
-  // 4. Persist and reload.
-  std::string model_path = out_dir + "/udt_wine.tree";
-  {
-    std::ofstream out(model_path);
-    out << udt::SerializeTree(model->tree());
-  }
-  std::string serialized;
-  {
-    std::ifstream in(model_path);
-    serialized.assign(std::istreambuf_iterator<char>(in),
-                      std::istreambuf_iterator<char>());
-  }
-  auto reloaded = udt::ParseTree(serialized, ds->schema());
-  UDT_CHECK(reloaded.ok());
-  udt::UncertainTreeClassifier restored(std::move(*reloaded));
-  UDT_CHECK(udt::EvaluateAccuracy(restored, test) ==
+  // 4. Persist and reload. The model file is self-contained: kind, schema
+  // and training config ride along with the tree.
+  std::string model_path = out_dir + "/udt_wine.model";
+  UDT_CHECK(model->Save(model_path).ok());
+  auto restored = udt::Model::Load(model_path);
+  UDT_CHECK(restored.ok());
+  UDT_CHECK(udt::EvaluateAccuracy(*restored, test) ==
             udt::EvaluateAccuracy(*model, test));
   std::printf("model persisted to %s and reloaded: predictions identical\n",
               model_path.c_str());

@@ -12,8 +12,8 @@
 
 #include <cstdio>
 
+#include "api/trainer.h"
 #include "common/random.h"
-#include "core/classifier.h"
 #include "eval/metrics.h"
 #include "pdf/pdf_builder.h"
 #include "table/dataset.h"
@@ -96,14 +96,15 @@ int main() {
 
   udt::TreeConfig config;
   config.algorithm = udt::SplitAlgorithm::kUdtEs;
+  udt::Trainer trainer(config);
 
-  auto avg = udt::AveragingClassifier::Train(train, config, nullptr);
+  auto avg = trainer.TrainAveraging(train);
   UDT_CHECK(avg.ok());
   udt::ConfusionMatrix avg_matrix = udt::EvaluateConfusion(*avg, test);
   std::printf("AVG (readings as point values):  accuracy %.4f\n",
               avg_matrix.Accuracy());
 
-  auto dist = udt::UncertainTreeClassifier::Train(train, config, nullptr);
+  auto dist = trainer.TrainUdt(train);
   UDT_CHECK(dist.ok());
   udt::ConfusionMatrix udt_matrix = udt::EvaluateConfusion(*dist, test);
   std::printf("UDT (instrument-error pdfs):     accuracy %.4f\n\n",

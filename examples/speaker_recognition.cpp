@@ -12,8 +12,8 @@
 
 #include <cstdio>
 
+#include "api/trainer.h"
 #include "common/random.h"
-#include "core/classifier.h"
 #include "datagen/japanese_vowel.h"
 #include "eval/metrics.h"
 
@@ -31,15 +31,16 @@ int main() {
 
   udt::TreeConfig config;
   config.algorithm = udt::SplitAlgorithm::kUdtEs;
+  udt::Trainer trainer(config);
 
-  auto avg = udt::AveragingClassifier::Train(train, config, nullptr);
+  auto avg = trainer.TrainAveraging(train);
   UDT_CHECK(avg.ok());
   double avg_accuracy = udt::EvaluateAccuracy(*avg, test);
   std::printf("AVG (per-utterance means):       accuracy %.4f\n",
               avg_accuracy);
 
   udt::BuildStats stats;
-  auto dist = udt::UncertainTreeClassifier::Train(train, config, &stats);
+  auto dist = trainer.TrainUdt(train, &stats);
   UDT_CHECK(dist.ok());
   udt::ConfusionMatrix matrix = udt::EvaluateConfusion(*dist, test);
   std::printf("UDT (empirical sample pdfs):     accuracy %.4f\n",

@@ -17,8 +17,8 @@
 
 #include <cstdio>
 
+#include "api/trainer.h"
 #include "common/random.h"
-#include "core/classifier.h"
 #include "eval/metrics.h"
 #include "pdf/pdf_builder.h"
 #include "table/dataset.h"
@@ -95,9 +95,10 @@ int main() {
     udt::TreeConfig config;
     config.algorithm = udt::SplitAlgorithm::kUdtGp;
     config.measure = measure;
+    udt::Trainer trainer(config);
 
-    auto avg = udt::AveragingClassifier::Train(train, config, nullptr);
-    auto dist = udt::UncertainTreeClassifier::Train(train, config, nullptr);
+    auto avg = trainer.TrainAveraging(train);
+    auto dist = trainer.TrainUdt(train);
     UDT_CHECK(avg.ok() && dist.ok());
     std::printf("%-11s  AVG accuracy %.4f   UDT accuracy %.4f   "
                 "(UDT tree: %d nodes)\n",
@@ -111,7 +112,7 @@ int main() {
   // "15-18 hours online" with an ambiguous content profile.
   udt::TreeConfig config;
   config.algorithm = udt::SplitAlgorithm::kUdtGp;
-  auto model = udt::UncertainTreeClassifier::Train(train, config, nullptr);
+  auto model = udt::Trainer(config).TrainUdt(train);
   UDT_CHECK(model.ok());
 
   auto tv = udt::MakeUniformPdf(9.0, 12.0, 24);

@@ -1,0 +1,344 @@
+#include "api/model.h"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "tree/classify.h"
+#include "tree/tree_io.h"
+
+namespace udt {
+namespace {
+
+// Serialisation keywords of the v1 model container. The header is
+// line-oriented (names may contain spaces, so each name owns the rest of
+// its line); the tree body is the tree_io text verbatim.
+constexpr char kMagic[] = "udt-model v1";
+
+const char* KindTag(ModelKind kind) {
+  return kind == ModelKind::kAveraging ? "avg" : "udt";
+}
+
+StatusOr<ModelKind> ParseKindTag(std::string_view tag) {
+  if (tag == "avg") return ModelKind::kAveraging;
+  if (tag == "udt") return ModelKind::kUdt;
+  return Status::InvalidArgument("unknown model kind: " + std::string(tag));
+}
+
+StatusOr<SplitAlgorithm> ParseAlgorithm(std::string_view name) {
+  for (SplitAlgorithm a :
+       {SplitAlgorithm::kAvg, SplitAlgorithm::kUdt, SplitAlgorithm::kUdtBp,
+        SplitAlgorithm::kUdtLp, SplitAlgorithm::kUdtGp,
+        SplitAlgorithm::kUdtEs}) {
+    if (name == SplitAlgorithmToString(a)) return a;
+  }
+  return Status::InvalidArgument("unknown algorithm: " + std::string(name));
+}
+
+StatusOr<DispersionMeasure> ParseMeasure(std::string_view name) {
+  for (DispersionMeasure m :
+       {DispersionMeasure::kEntropy, DispersionMeasure::kGini,
+        DispersionMeasure::kGainRatio}) {
+    if (name == DispersionMeasureToString(m)) return m;
+  }
+  return Status::InvalidArgument("unknown measure: " + std::string(name));
+}
+
+// The training knobs worth persisting: enough to retrain or audit a model,
+// including the split_options that change which tree gets built. Written as
+// key=value tokens; unknown keys are skipped on load so future versions can
+// extend the line.
+std::string ConfigLine(const TreeConfig& config) {
+  return StrFormat(
+      "config algorithm=%s measure=%s max_depth=%d min_split_weight=%.17g "
+      "min_gain=%.17g post_prune=%d pruning_confidence=%.17g "
+      "es_endpoint_sample_rate=%.17g use_percentile_endpoints=%d "
+      "percentiles_per_class=%d min_side_mass=%.17g",
+      SplitAlgorithmToString(config.algorithm),
+      DispersionMeasureToString(config.measure), config.max_depth,
+      config.min_split_weight, config.min_gain, config.post_prune ? 1 : 0,
+      config.pruning_confidence,
+      config.split_options.es_endpoint_sample_rate,
+      config.split_options.use_percentile_endpoints ? 1 : 0,
+      config.split_options.percentiles_per_class,
+      config.split_options.min_side_mass);
+}
+
+Status ParseConfigLine(std::string_view line, TreeConfig* config) {
+  for (const std::string& token : SplitString(line, ' ')) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    std::string_view key(token.data(), eq);
+    std::string_view value(token.data() + eq + 1, token.size() - eq - 1);
+    if (key == "algorithm") {
+      UDT_ASSIGN_OR_RETURN(config->algorithm, ParseAlgorithm(value));
+    } else if (key == "measure") {
+      UDT_ASSIGN_OR_RETURN(config->measure, ParseMeasure(value));
+    } else if (key == "max_depth") {
+      std::optional<int> v = ParseInt(value);
+      if (!v) return Status::InvalidArgument("bad max_depth");
+      config->max_depth = *v;
+    } else if (key == "min_split_weight") {
+      std::optional<double> v = ParseDouble(value);
+      if (!v) return Status::InvalidArgument("bad min_split_weight");
+      config->min_split_weight = *v;
+    } else if (key == "min_gain") {
+      std::optional<double> v = ParseDouble(value);
+      if (!v) return Status::InvalidArgument("bad min_gain");
+      config->min_gain = *v;
+    } else if (key == "post_prune") {
+      config->post_prune = value != "0";
+    } else if (key == "pruning_confidence") {
+      std::optional<double> v = ParseDouble(value);
+      if (!v) return Status::InvalidArgument("bad pruning_confidence");
+      config->pruning_confidence = *v;
+    } else if (key == "es_endpoint_sample_rate") {
+      std::optional<double> v = ParseDouble(value);
+      if (!v) return Status::InvalidArgument("bad es_endpoint_sample_rate");
+      config->split_options.es_endpoint_sample_rate = *v;
+    } else if (key == "use_percentile_endpoints") {
+      config->split_options.use_percentile_endpoints = value != "0";
+    } else if (key == "percentiles_per_class") {
+      std::optional<int> v = ParseInt(value);
+      if (!v) return Status::InvalidArgument("bad percentiles_per_class");
+      config->split_options.percentiles_per_class = *v;
+    } else if (key == "min_side_mass") {
+      std::optional<double> v = ParseDouble(value);
+      if (!v) return Status::InvalidArgument("bad min_side_mass");
+      config->split_options.min_side_mass = *v;
+    }
+    // Unknown keys: ignore (forward compatibility).
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* ModelKindToString(ModelKind kind) {
+  return kind == ModelKind::kAveraging ? "averaging" : "distribution-based";
+}
+
+Model Model::FromTree(DecisionTree tree, ModelKind kind, TreeConfig config) {
+  return Model(std::make_shared<const DecisionTree>(std::move(tree)), kind,
+               std::move(config));
+}
+
+std::vector<double> Model::ClassifyDistribution(
+    const UncertainTuple& tuple) const {
+  if (kind_ == ModelKind::kAveraging) {
+    return udt::ClassifyDistribution(*tree_, TupleToMeans(tuple));
+  }
+  return udt::ClassifyDistribution(*tree_, tuple);
+}
+
+int Model::Predict(const UncertainTuple& tuple) const {
+  return ArgMax(ClassifyDistribution(tuple));
+}
+
+BatchResult Model::PredictBatch(std::span<const UncertainTuple> tuples,
+                                const PredictOptions& options) const {
+  WallTimer batch_timer;
+  const size_t n = tuples.size();
+
+  BatchResult result;
+  result.distributions.resize(n);
+  result.labels.resize(n);
+  if (options.collect_timings) result.tuple_seconds.resize(n);
+
+  int num_threads = options.num_threads;
+  if (num_threads > static_cast<int>(n)) num_threads = static_cast<int>(n);
+  if (num_threads < 1) num_threads = 1;
+  result.num_threads_used = num_threads;
+
+  // Each worker owns a contiguous [begin, end) shard and writes every
+  // result straight into its final slot — no merge step, no reordering, so
+  // the output is independent of the shard layout.
+  auto classify_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (options.collect_timings) {
+        WallTimer tuple_timer;
+        result.distributions[i] = ClassifyDistribution(tuples[i]);
+        result.tuple_seconds[i] = tuple_timer.ElapsedSeconds();
+      } else {
+        result.distributions[i] = ClassifyDistribution(tuples[i]);
+      }
+      result.labels[i] = ArgMax(result.distributions[i]);
+    }
+  };
+
+  if (num_threads == 1) {
+    classify_range(0, n);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(num_threads));
+    const size_t per_shard = n / static_cast<size_t>(num_threads);
+    const size_t remainder = n % static_cast<size_t>(num_threads);
+    size_t begin = 0;
+    for (int t = 0; t < num_threads; ++t) {
+      const size_t len =
+          per_shard + (static_cast<size_t>(t) < remainder ? 1 : 0);
+      workers.emplace_back(classify_range, begin, begin + len);
+      begin += len;
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  result.total_seconds = batch_timer.ElapsedSeconds();
+  return result;
+}
+
+BatchResult Model::PredictBatch(const Dataset& data,
+                                const PredictOptions& options) const {
+  return PredictBatch(
+      std::span<const UncertainTuple>(data.tuples().data(),
+                                      data.tuples().size()),
+      options);
+}
+
+std::string Model::Serialize() const {
+  const Schema& s = schema();
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "kind " << KindTag(kind_) << "\n";
+  out << "classes " << s.num_classes() << "\n";
+  for (const std::string& name : s.class_names()) out << name << "\n";
+  out << "attributes " << s.num_attributes() << "\n";
+  for (const AttributeInfo& attr : s.attributes()) {
+    if (attr.kind == AttributeKind::kCategorical) {
+      out << "attr cat " << attr.num_categories << " " << attr.name << "\n";
+    } else {
+      out << "attr num 0 " << attr.name << "\n";
+    }
+  }
+  out << ConfigLine(config_) << "\n";
+  out << "tree\n";
+  out << SerializeTree(*tree_) << "\n";
+  return out.str();
+}
+
+StatusOr<Model> Model::Deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+
+  auto next_line = [&](std::string_view what) -> Status {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("udt-model: truncated before " +
+                                     std::string(what));
+    }
+    // Tolerate CRLF line endings (a file saved through a text-mode stream
+    // on Windows must load everywhere).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return Status::OK();
+  };
+
+  UDT_RETURN_NOT_OK(next_line("magic"));
+  if (line != kMagic) {
+    return Status::InvalidArgument("udt-model: bad magic line: " + line);
+  }
+
+  UDT_RETURN_NOT_OK(next_line("kind"));
+  if (line.rfind("kind ", 0) != 0) {
+    return Status::InvalidArgument("udt-model: expected kind line");
+  }
+  UDT_ASSIGN_OR_RETURN(ModelKind kind, ParseKindTag(line.substr(5)));
+
+  UDT_RETURN_NOT_OK(next_line("classes"));
+  if (line.rfind("classes ", 0) != 0) {
+    return Status::InvalidArgument("udt-model: expected classes line");
+  }
+  // Counts are bounded before any allocation so a corrupt or hostile
+  // header fails with a Status instead of a bad_alloc.
+  constexpr int kMaxDeclaredCount = 1 << 20;
+  std::optional<int> num_classes = ParseInt(line.substr(8));
+  if (!num_classes || *num_classes < 1 || *num_classes > kMaxDeclaredCount) {
+    return Status::InvalidArgument("udt-model: bad class count");
+  }
+  std::vector<std::string> class_names;
+  class_names.reserve(static_cast<size_t>(*num_classes));
+  for (int c = 0; c < *num_classes; ++c) {
+    UDT_RETURN_NOT_OK(next_line("class name"));
+    class_names.push_back(line);
+  }
+
+  UDT_RETURN_NOT_OK(next_line("attributes"));
+  if (line.rfind("attributes ", 0) != 0) {
+    return Status::InvalidArgument("udt-model: expected attributes line");
+  }
+  std::optional<int> num_attributes = ParseInt(line.substr(11));
+  if (!num_attributes || *num_attributes < 1 ||
+      *num_attributes > kMaxDeclaredCount) {
+    return Status::InvalidArgument("udt-model: bad attribute count");
+  }
+  std::vector<AttributeInfo> attributes;
+  attributes.reserve(static_cast<size_t>(*num_attributes));
+  for (int j = 0; j < *num_attributes; ++j) {
+    UDT_RETURN_NOT_OK(next_line("attr"));
+    // "attr num 0 <name>" | "attr cat <n> <name>"; the name is the rest of
+    // the line and may contain spaces.
+    std::vector<std::string> head = SplitString(line, ' ');
+    if (head.size() < 4 || head[0] != "attr") {
+      return Status::InvalidArgument("udt-model: bad attr line: " + line);
+    }
+    AttributeInfo info;
+    std::optional<int> categories = ParseInt(head[2]);
+    if (!categories) {
+      return Status::InvalidArgument("udt-model: bad attr arity: " + line);
+    }
+    if (head[1] == "cat") {
+      info.kind = AttributeKind::kCategorical;
+      info.num_categories = *categories;
+    } else if (head[1] == "num") {
+      info.kind = AttributeKind::kNumerical;
+    } else {
+      return Status::InvalidArgument("udt-model: bad attr kind: " + line);
+    }
+    const size_t name_offset =
+        head[0].size() + head[1].size() + head[2].size() + 3;
+    info.name = line.substr(name_offset);
+    attributes.push_back(std::move(info));
+  }
+  UDT_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Create(std::move(attributes), std::move(class_names)));
+
+  UDT_RETURN_NOT_OK(next_line("config"));
+  TreeConfig config;
+  if (line.rfind("config", 0) != 0) {
+    return Status::InvalidArgument("udt-model: expected config line");
+  }
+  UDT_RETURN_NOT_OK(ParseConfigLine(line, &config));
+
+  UDT_RETURN_NOT_OK(next_line("tree"));
+  if (line != "tree") {
+    return Status::InvalidArgument("udt-model: expected tree marker");
+  }
+  std::string tree_text;
+  while (std::getline(in, line)) {
+    tree_text += line;
+    tree_text += "\n";
+  }
+  UDT_ASSIGN_OR_RETURN(DecisionTree tree, ParseTree(tree_text, schema));
+  return FromTree(std::move(tree), kind, std::move(config));
+}
+
+Status Model::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << Serialize();
+  out.close();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Model> Model::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return Deserialize(text);
+}
+
+}  // namespace udt

@@ -1,0 +1,132 @@
+// udt::Model — the immutable, shareable trained-model half of the public
+// facade (the other half, udt::Trainer, produces it). A Model wraps a
+// shared_ptr<const DecisionTree> plus the metadata a serving system needs
+// (the config it was trained with, its kind, the schema / class labels),
+// and is consumed batch-first: PredictBatch shards a span of uncertain
+// tuples over a worker pool and returns distributions, argmax labels and
+// per-tuple timings in one result. Copying a Model copies two pointers and
+// a config — trees are never duplicated — so one trained Model can be
+// shared freely across threads and request handlers.
+
+#ifndef UDT_API_MODEL_H_
+#define UDT_API_MODEL_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/config.h"
+#include "table/dataset.h"
+#include "tree/tree.h"
+
+namespace udt {
+
+// What the model does with a test tuple before traversal.
+enum class ModelKind {
+  kAveraging,          // AVG (Section 4.1): tuple reduced to its means
+  kDistributionBased,  // UDT (Section 4.2): full fractional propagation
+  // Alias kept for call sites written against the serving-era name.
+  kUdt = kDistributionBased,
+};
+
+const char* ModelKindToString(ModelKind kind);
+
+// Knobs for one PredictBatch call.
+struct PredictOptions {
+  // Worker threads the batch is sharded over. <= 1 runs inline on the
+  // calling thread; values above the batch size are clamped.
+  int num_threads = 1;
+
+  // When true, BatchResult::tuple_seconds records per-tuple wall time
+  // (costs two clock reads per tuple).
+  bool collect_timings = false;
+};
+
+// The result of classifying one batch. Element i of every per-tuple vector
+// corresponds to input tuple i regardless of how the batch was sharded.
+struct BatchResult {
+  // P over class labels, one distribution per input tuple.
+  std::vector<std::vector<double>> distributions;
+  // Argmax of each distribution (ties -> lowest class id).
+  std::vector<int> labels;
+  // Per-tuple wall seconds; empty unless PredictOptions.collect_timings.
+  std::vector<double> tuple_seconds;
+  // Wall time of the whole call, including sharding overhead.
+  double total_seconds = 0.0;
+  // Worker threads actually used (after clamping).
+  int num_threads_used = 1;
+};
+
+// An immutable trained model. Obtain one from Trainer::Train, Model::Load
+// or Model::Deserialize; there is no way to mutate the tree afterwards.
+class Model {
+ public:
+  // Wraps an already-built tree (the trusted path used by Trainer and by
+  // callers that construct trees through tree_io directly).
+  static Model FromTree(DecisionTree tree, ModelKind kind, TreeConfig config);
+
+  // ----------------------------------------------------------- metadata
+
+  ModelKind kind() const { return kind_; }
+  // The config the model was trained with (algorithm, measure, pruning).
+  const TreeConfig& config() const { return config_; }
+  const DecisionTree& tree() const { return *tree_; }
+  // The schema the tree was built on.
+  const Schema& schema() const { return tree_->schema(); }
+  // Class-label vocabulary, index-aligned with prediction labels.
+  const std::vector<std::string>& class_names() const {
+    return schema().class_names();
+  }
+  int num_classes() const { return schema().num_classes(); }
+
+  // Shares ownership of the underlying tree (e.g. to hand a reference to
+  // an async pipeline that may outlive this Model value).
+  std::shared_ptr<const DecisionTree> shared_tree() const { return tree_; }
+
+  // --------------------------------------------------------- inference
+
+  // Probability distribution over class labels for one tuple. An
+  // averaging-kind model reduces the tuple to its means first.
+  std::vector<double> ClassifyDistribution(const UncertainTuple& tuple) const;
+
+  // Argmax of ClassifyDistribution (ties -> lowest class id).
+  int Predict(const UncertainTuple& tuple) const;
+
+  // Classifies a batch. With options.num_threads > 1 the batch is sharded
+  // into contiguous chunks over a std::thread worker pool; results are
+  // written straight into their final slots, so the output is bitwise
+  // identical to the single-threaded loop for any thread count.
+  BatchResult PredictBatch(std::span<const UncertainTuple> tuples,
+                           const PredictOptions& options = {}) const;
+
+  // Convenience: classify every tuple of a data set.
+  BatchResult PredictBatch(const Dataset& data,
+                           const PredictOptions& options = {}) const;
+
+  // -------------------------------------------------------- persistence
+
+  // Self-contained text serialisation: kind + schema + config header plus
+  // the tree_io tree body. Unlike SerializeTree, no external schema is
+  // needed to load the result.
+  std::string Serialize() const;
+  static StatusOr<Model> Deserialize(const std::string& text);
+
+  // File round-trip of Serialize/Deserialize.
+  Status Save(const std::string& path) const;
+  static StatusOr<Model> Load(const std::string& path);
+
+ private:
+  Model(std::shared_ptr<const DecisionTree> tree, ModelKind kind,
+        TreeConfig config)
+      : tree_(std::move(tree)), kind_(kind), config_(std::move(config)) {}
+
+  std::shared_ptr<const DecisionTree> tree_;
+  ModelKind kind_;
+  TreeConfig config_;
+};
+
+}  // namespace udt
+
+#endif  // UDT_API_MODEL_H_

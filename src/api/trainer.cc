@@ -1,0 +1,23 @@
+#include "api/trainer.h"
+
+namespace udt {
+
+StatusOr<Model> Trainer::Train(const Dataset& train, ModelKind kind,
+                               BuildStats* stats) const {
+  if (kind == ModelKind::kAveraging) {
+    // AVG (Section 4.1): classical tree over pdf means, exhaustive point
+    // search. The trained Model remembers its kind and reduces test tuples
+    // to their means before traversal.
+    TreeConfig avg_config = config_;
+    avg_config.algorithm = SplitAlgorithm::kAvg;
+    TreeBuilder builder(avg_config);
+    UDT_ASSIGN_OR_RETURN(DecisionTree tree,
+                         builder.Build(train.ToMeans(), stats));
+    return Model::FromTree(std::move(tree), kind, std::move(avg_config));
+  }
+  TreeBuilder builder(config_);
+  UDT_ASSIGN_OR_RETURN(DecisionTree tree, builder.Build(train, stats));
+  return Model::FromTree(std::move(tree), kind, config_);
+}
+
+}  // namespace udt

@@ -1,0 +1,54 @@
+// udt::Trainer — the training half of the public facade. A Trainer owns a
+// TreeConfig, wraps the core TreeBuilder, and produces immutable udt::Model
+// values for both of the paper's classifier families: distribution-based
+// (UDT, Section 4.2) and averaging (AVG, Section 4.1). It subsumes the
+// deprecated UncertainTreeClassifier / AveragingClassifier pair; evaluation
+// code selects the family with a ModelKind argument instead of a type.
+
+#ifndef UDT_API_TRAINER_H_
+#define UDT_API_TRAINER_H_
+
+#include "api/model.h"
+#include "common/statusor.h"
+#include "core/builder.h"
+#include "core/config.h"
+#include "table/dataset.h"
+
+namespace udt {
+
+// Builds Models from uncertain data sets under a fixed config.
+class Trainer {
+ public:
+  Trainer() = default;
+  explicit Trainer(TreeConfig config) : config_(std::move(config)) {}
+
+  const TreeConfig& config() const { return config_; }
+  TreeConfig& mutable_config() { return config_; }
+
+  // Trains a model of the given kind on `train`. For kAveraging the data
+  // is reduced to pdf means and the exhaustive point search is used (the
+  // config's algorithm is overridden to kAvg), exactly as the paper's AVG
+  // baseline; for kUdt the configured algorithm runs on the full pdfs.
+  // Fails on an empty data set or invalid config. `stats` may be null.
+  StatusOr<Model> Train(const Dataset& train, ModelKind kind,
+                        BuildStats* stats = nullptr) const;
+
+  // Shorthand for the common distribution-based case.
+  StatusOr<Model> TrainUdt(const Dataset& train,
+                           BuildStats* stats = nullptr) const {
+    return Train(train, ModelKind::kUdt, stats);
+  }
+
+  // Shorthand for the averaging baseline.
+  StatusOr<Model> TrainAveraging(const Dataset& train,
+                                 BuildStats* stats = nullptr) const {
+    return Train(train, ModelKind::kAveraging, stats);
+  }
+
+ private:
+  TreeConfig config_;
+};
+
+}  // namespace udt
+
+#endif  // UDT_API_TRAINER_H_

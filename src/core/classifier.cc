@@ -1,25 +1,11 @@
+// Implementation of the DEPRECATED classifier shims. TupleToMeans itself
+// lives in table/dataset.cc now.
+
 #include "core/classifier.h"
 
 #include "tree/classify.h"
 
 namespace udt {
-
-UncertainTuple TupleToMeans(const UncertainTuple& tuple) {
-  UncertainTuple reduced;
-  reduced.label = tuple.label;
-  reduced.values.reserve(tuple.values.size());
-  for (const UncertainValue& v : tuple.values) {
-    if (v.is_numerical()) {
-      reduced.values.push_back(
-          UncertainValue::Numerical(SampledPdf::PointMass(v.pdf().Mean())));
-    } else {
-      reduced.values.push_back(UncertainValue::Categorical(
-          CategoricalPdf::Certain(v.categorical().MostLikely(),
-                                  v.categorical().num_categories())));
-    }
-  }
-  return reduced;
-}
 
 StatusOr<UncertainTreeClassifier> UncertainTreeClassifier::Train(
     const Dataset& train, const TreeConfig& config, BuildStats* stats) {

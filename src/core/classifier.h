@@ -1,6 +1,10 @@
-// Public classifier facade: the Distribution-based classifier (UDT,
-// Section 4.2) and the Averaging baseline (AVG, Section 4.1) behind one
-// interface, so evaluation code treats them uniformly.
+// DEPRECATED classifier facade. The per-tuple Classifier hierarchy
+// (UncertainTreeClassifier / AveragingClassifier) has been subsumed by the
+// batch-first api layer: train with udt::Trainer, serve with udt::Model
+// (src/api/trainer.h, src/api/model.h). These shims are kept so code
+// written against the seed API still compiles; they are thin wrappers over
+// the same core TreeBuilder / tree traversal and will be removed once the
+// remaining call sites migrate. Do not use them in new code.
 
 #ifndef UDT_CORE_CLASSIFIER_H_
 #define UDT_CORE_CLASSIFIER_H_
@@ -16,7 +20,8 @@
 
 namespace udt {
 
-// Interface shared by every trained model.
+// DEPRECATED: interface shared by the legacy per-tuple classifiers. New
+// code holds a udt::Model value instead.
 class Classifier {
  public:
   virtual ~Classifier() = default;
@@ -32,12 +37,12 @@ class Classifier {
   virtual const DecisionTree& tree() const = 0;
 };
 
-// Reduces every numerical value of `tuple` to a point mass at its mean (the
-// Averaging view of a test tuple).
+// DEPRECATED forwarding declaration: TupleToMeans lives in the table layer
+// now (table/dataset.h, included above); this redeclaration keeps old
+// includes of core/classifier.h compiling.
 UncertainTuple TupleToMeans(const UncertainTuple& tuple);
 
-// The Distribution-based classifier: trains on the full pdfs and classifies
-// uncertain test tuples by fractional propagation.
+// DEPRECATED: use udt::Trainer::TrainUdt, which returns a udt::Model.
 class UncertainTreeClassifier final : public Classifier {
  public:
   // Trains with the given config. `stats` may be null.
@@ -57,8 +62,8 @@ class UncertainTreeClassifier final : public Classifier {
   std::shared_ptr<const DecisionTree> tree_;
 };
 
-// The Averaging baseline: trains a classical tree on pdf means and reduces
-// test tuples to their means before traversal.
+// DEPRECATED: use udt::Trainer::TrainAveraging, which returns a udt::Model
+// that remembers its averaging kind.
 class AveragingClassifier final : public Classifier {
  public:
   // Trains on train.ToMeans() with the exhaustive point search (the

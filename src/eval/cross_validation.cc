@@ -2,14 +2,13 @@
 
 #include <cmath>
 
-#include "core/classifier.h"
 #include "eval/metrics.h"
 
 namespace udt {
 
 StatusOr<CrossValidationResult> RunCrossValidation(const Dataset& data,
                                                    const TreeConfig& config,
-                                                   ClassifierKind kind,
+                                                   ModelKind kind,
                                                    int folds, Rng* rng) {
   if (folds < 2) return Status::InvalidArgument("folds must be >= 2");
   if (data.num_tuples() < folds) {
@@ -19,23 +18,15 @@ StatusOr<CrossValidationResult> RunCrossValidation(const Dataset& data,
 
   std::vector<int> fold_of = data.StratifiedFolds(folds, rng);
 
+  Trainer trainer(config);
   CrossValidationResult result;
   result.fold_accuracies.reserve(static_cast<size_t>(folds));
   for (int f = 0; f < folds; ++f) {
     auto [train, test] = data.SplitByFold(fold_of, f);
     if (train.empty() || test.empty()) continue;
     BuildStats stats;
-    double accuracy = 0.0;
-    if (kind == ClassifierKind::kAveraging) {
-      UDT_ASSIGN_OR_RETURN(AveragingClassifier classifier,
-                           AveragingClassifier::Train(train, config, &stats));
-      accuracy = EvaluateAccuracy(classifier, test);
-    } else {
-      UDT_ASSIGN_OR_RETURN(
-          UncertainTreeClassifier classifier,
-          UncertainTreeClassifier::Train(train, config, &stats));
-      accuracy = EvaluateAccuracy(classifier, test);
-    }
+    UDT_ASSIGN_OR_RETURN(Model model, trainer.Train(train, kind, &stats));
+    double accuracy = EvaluateAccuracy(model, test);
     result.fold_accuracies.push_back(accuracy);
     result.total_build_stats.counters += stats.counters;
     result.total_build_stats.nodes += stats.nodes;

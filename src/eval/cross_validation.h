@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "api/trainer.h"
 #include "common/random.h"
 #include "common/statusor.h"
 #include "core/builder.h"
@@ -14,11 +15,10 @@
 
 namespace udt {
 
-// Which classifier family a cross-validation run trains.
-enum class ClassifierKind {
-  kAveraging,          // AVG (Section 4.1)
-  kDistributionBased,  // UDT (Section 4.2)
-};
+// Which model family a cross-validation run trains. Historically a
+// separate enum; now the api layer's ModelKind (kAveraging /
+// kDistributionBased) is used directly.
+using ClassifierKind = ModelKind;
 
 struct CrossValidationResult {
   std::vector<double> fold_accuracies;
@@ -28,11 +28,11 @@ struct CrossValidationResult {
   BuildStats total_build_stats;
 };
 
-// Runs stratified k-fold cross-validation of the given classifier kind.
-// Deterministic in *rng's state.
+// Runs stratified k-fold cross-validation of the given model kind through
+// the Trainer/Model facade. Deterministic in *rng's state.
 StatusOr<CrossValidationResult> RunCrossValidation(const Dataset& data,
                                                    const TreeConfig& config,
-                                                   ClassifierKind kind,
+                                                   ModelKind kind,
                                                    int folds, Rng* rng);
 
 }  // namespace udt

@@ -30,7 +30,7 @@ StatusOr<Dataset> PrepareUncertainDataset(const datagen::UciDatasetSpec& spec,
 }
 
 StatusOr<double> CvAccuracy(const Dataset& data, const TreeConfig& config,
-                            ClassifierKind kind, int folds, uint64_t seed) {
+                            ModelKind kind, int folds, uint64_t seed) {
   Rng rng(seed);
   UDT_ASSIGN_OR_RETURN(CrossValidationResult result,
                        RunCrossValidation(data, config, kind, folds, &rng));
@@ -39,10 +39,10 @@ StatusOr<double> CvAccuracy(const Dataset& data, const TreeConfig& config,
 
 StatusOr<BuildStats> MeasureTreeBuild(const Dataset& data,
                                       const TreeConfig& config) {
-  TreeBuilder builder(config);
+  Trainer trainer(config);
   BuildStats stats;
-  UDT_ASSIGN_OR_RETURN(DecisionTree tree, builder.Build(data, &stats));
-  (void)tree;  // only the statistics matter here
+  UDT_ASSIGN_OR_RETURN(Model model, trainer.TrainUdt(data, &stats));
+  (void)model;  // only the statistics matter here
   return stats;
 }
 

@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "api/trainer.h"
 #include "common/statusor.h"
 #include "core/builder.h"
 #include "core/config.h"
@@ -25,10 +26,10 @@ StatusOr<Dataset> PrepareUncertainDataset(const datagen::UciDatasetSpec& spec,
                                           double scale, double w, int s,
                                           ErrorModel model);
 
-// Cross-validated accuracy of one classifier family on `data`.
-// Deterministic in `seed`.
+// Cross-validated accuracy of one model family on `data`, trained and
+// evaluated through the Trainer/Model facade. Deterministic in `seed`.
 StatusOr<double> CvAccuracy(const Dataset& data, const TreeConfig& config,
-                            ClassifierKind kind, int folds, uint64_t seed);
+                            ModelKind kind, int folds, uint64_t seed);
 
 // One full tree build, returning its work statistics (wall-clock seconds
 // and entropy-calculation counters; Figs 6-9 are built from these).

@@ -71,6 +71,21 @@ std::string ConfusionMatrix::ToString(
   return out;
 }
 
+ConfusionMatrix EvaluateConfusion(const Model& model, const Dataset& test,
+                                  const PredictOptions& options) {
+  BatchResult batch = model.PredictBatch(test, options);
+  ConfusionMatrix matrix(test.num_classes());
+  for (int i = 0; i < test.num_tuples(); ++i) {
+    matrix.Add(test.tuple(i).label, batch.labels[static_cast<size_t>(i)]);
+  }
+  return matrix;
+}
+
+double EvaluateAccuracy(const Model& model, const Dataset& test,
+                        const PredictOptions& options) {
+  return EvaluateConfusion(model, test, options).Accuracy();
+}
+
 ConfusionMatrix EvaluateConfusion(const Classifier& classifier,
                                   const Dataset& test) {
   ConfusionMatrix matrix(test.num_classes());

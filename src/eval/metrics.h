@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "api/model.h"
 #include "core/classifier.h"
 #include "table/dataset.h"
 
@@ -39,11 +40,18 @@ class ConfusionMatrix {
   std::vector<int64_t> cells_;  // row-major [true][predicted]
 };
 
-// Classifies every tuple of `test` and tallies the matrix.
-ConfusionMatrix EvaluateConfusion(const Classifier& classifier,
-                                  const Dataset& test);
+// Classifies every tuple of `test` (one PredictBatch call) and tallies the
+// matrix. `options` controls batch sharding.
+ConfusionMatrix EvaluateConfusion(const Model& model, const Dataset& test,
+                                  const PredictOptions& options = {});
 
 // Convenience: accuracy on `test`.
+double EvaluateAccuracy(const Model& model, const Dataset& test,
+                        const PredictOptions& options = {});
+
+// DEPRECATED overloads for the legacy per-tuple Classifier hierarchy.
+ConfusionMatrix EvaluateConfusion(const Classifier& classifier,
+                                  const Dataset& test);
 double EvaluateAccuracy(const Classifier& classifier, const Dataset& test);
 
 }  // namespace udt

@@ -101,25 +101,29 @@ std::vector<int> Dataset::ClassHistogram() const {
   return histogram;
 }
 
+UncertainTuple TupleToMeans(const UncertainTuple& tuple) {
+  UncertainTuple reduced;
+  reduced.label = tuple.label;
+  reduced.values.reserve(tuple.values.size());
+  for (const UncertainValue& v : tuple.values) {
+    if (v.is_numerical()) {
+      reduced.values.push_back(
+          UncertainValue::Numerical(SampledPdf::PointMass(v.pdf().Mean())));
+    } else {
+      // Categorical values collapse to their most likely category.
+      reduced.values.push_back(UncertainValue::Categorical(
+          CategoricalPdf::Certain(v.categorical().MostLikely(),
+                                  v.categorical().num_categories())));
+    }
+  }
+  return reduced;
+}
+
 Dataset Dataset::ToMeans() const {
   Dataset result(schema_);
   result.tuples_.reserve(tuples_.size());
   for (const UncertainTuple& t : tuples_) {
-    UncertainTuple reduced;
-    reduced.label = t.label;
-    reduced.values.reserve(t.values.size());
-    for (const UncertainValue& v : t.values) {
-      if (v.is_numerical()) {
-        reduced.values.push_back(
-            UncertainValue::Numerical(SampledPdf::PointMass(v.pdf().Mean())));
-      } else {
-        // Categorical values collapse to their most likely category.
-        reduced.values.push_back(UncertainValue::Categorical(
-            CategoricalPdf::Certain(v.categorical().MostLikely(),
-                                    v.categorical().num_categories())));
-      }
-    }
-    result.tuples_.push_back(std::move(reduced));
+    result.tuples_.push_back(TupleToMeans(t));
   }
   return result;
 }

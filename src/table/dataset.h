@@ -79,6 +79,11 @@ struct UncertainTuple {
   int label = 0;
 };
 
+// Reduces every value of `tuple` to a certain one: numerical pdfs become a
+// point mass at their mean, categorical distributions collapse to their
+// most likely category (the Averaging view of a tuple, Section 4.1).
+UncertainTuple TupleToMeans(const UncertainTuple& tuple);
+
 // An uncertain data set: schema plus tuples. Copyable; folds and splits
 // produce independent Dataset values sharing nothing mutable.
 class Dataset {
