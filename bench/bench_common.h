@@ -14,6 +14,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "datagen/uci_like.h"
 #include "eval/experiment.h"
@@ -52,6 +55,73 @@ inline void PrintBanner(const char* title, const char* paper_ref,
   std::printf("==============================================================="
               "=================\n");
 }
+
+// Collects machine-readable result rows (one JSON object per line) and
+// writes them to the harness's BENCH_<name>.json so successive runs can
+// be tracked as a trajectory. Keys/values are emitted in insertion order;
+// string values must not need escaping (data-set and algorithm names).
+class JsonRows {
+ public:
+  // `harness` names the default output file, BENCH_<harness>.json in the
+  // working directory; --json=PATH overrides it and --json= disables.
+  JsonRows(const char* harness, const BenchOptions& options) {
+    path_ = options.json_path_set ? options.json_path
+                                  : std::string("BENCH_") + harness + ".json";
+  }
+
+  class Row {
+   public:
+    explicit Row(JsonRows* sink) : sink_(sink) {}
+    // The destructor emits the row, so copies would emit duplicates;
+    // AddRow's prvalue return needs no copy or move under C++17 elision.
+    Row(const Row&) = delete;
+    Row& operator=(const Row&) = delete;
+    Row& Str(const char* key, const std::string& value) {
+      Append(key, "\"" + value + "\"");
+      return *this;
+    }
+    Row& Num(const char* key, double value) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+      Append(key, buffer);
+      return *this;
+    }
+    Row& Int(const char* key, long long value) {
+      Append(key, std::to_string(value));
+      return *this;
+    }
+    ~Row() { sink_->rows_.push_back("{" + fields_ + "}"); }
+
+   private:
+    void Append(const char* key, const std::string& value) {
+      if (!fields_.empty()) fields_ += ",";
+      fields_ += std::string("\"") + key + "\":" + value;
+    }
+    JsonRows* sink_;
+    std::string fields_;
+  };
+
+  Row AddRow() { return Row(this); }
+
+  // Writes the rows; call once at the end of main.
+  void Flush() {
+    if (path_.empty() || rows_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    for (const std::string& row : rows_) {
+      std::fprintf(f, "%s\n", row.c_str());
+    }
+    std::fclose(f);
+    std::printf("\nwrote %zu JSON rows to %s\n", rows_.size(), path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace bench
 }  // namespace udt

@@ -1,11 +1,21 @@
 // google-benchmark microbenchmarks of the kernels that dominate tree
 // construction: CDF queries, scan construction, entropy scoring, interval
-// bounding, working-set partitioning and uncertain classification.
+// bounding, working-set partitioning, uncertain classification, and the
+// thread scaling of the parallel construction engine.
+//
+// Machine-readable output: unless --benchmark_out is given, results are
+// also written as google-benchmark JSON to BENCH_micro_kernels.json so
+// kernel timings can be tracked as a trajectory across commits.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "api/trainer.h"
 #include "common/random.h"
+#include "common/timer.h"
 #include "pdf/pdf_builder.h"
 #include "split/attribute_scan.h"
 #include "split/bounds.h"
@@ -136,7 +146,70 @@ void BM_TreeBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeBuild)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
 
+// Thread scaling of the construction engine. The Arg is
+// TreeConfig::num_threads; the Arg(1) run must come first (registration
+// order) because it provides the serial baseline the other runs report
+// their "speedup" counter against. The tree is bitwise-identical at every
+// arg; only the wall clock may move.
+void BM_TreeBuildThreads(benchmark::State& state) {
+  static Dataset ds = BenchDataset(300, 6, 14, 5);
+  TreeConfig config;
+  config.algorithm = SplitAlgorithm::kUdtEs;
+  config.num_threads = static_cast<int>(state.range(0));
+  double total_seconds = 0.0;
+  for (auto _ : state) {
+    WallTimer timer;
+    BuildStats stats;
+    auto tree = TreeBuilder(config).Build(ds, &stats);
+    benchmark::DoNotOptimize(tree.ok());
+    total_seconds += timer.ElapsedSeconds();
+  }
+  double mean_seconds =
+      state.iterations() > 0
+          ? total_seconds / static_cast<double>(state.iterations())
+          : 0.0;
+  static double serial_mean_seconds = 0.0;
+  if (state.range(0) == 1) serial_mean_seconds = mean_seconds;
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+  // Only report a speedup when the serial baseline ran in this process;
+  // under --benchmark_filter that excludes Arg(1) the counter would
+  // otherwise poison the JSON trajectory with zeros.
+  if (mean_seconds > 0.0 && serial_mean_seconds > 0.0) {
+    state.counters["speedup"] =
+        benchmark::Counter(serial_mean_seconds / mean_seconds);
+  }
+}
+BENCHMARK(BM_TreeBuildThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace udt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Default to a JSON sidecar for trajectory tracking; any explicit
+  // --benchmark_out wins.
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro_kernels.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -25,6 +25,14 @@ class Trainer {
   const TreeConfig& config() const { return config_; }
   TreeConfig& mutable_config() { return config_; }
 
+  // Training parallelism (TreeConfig::num_threads): 1 = serial, 0 = one
+  // thread per hardware thread, N > 1 = exactly N. The trained tree is
+  // bitwise-identical for every value. Returns *this for chaining.
+  Trainer& SetNumThreads(int num_threads) {
+    config_.num_threads = num_threads;
+    return *this;
+  }
+
   // Trains a model of the given kind on `train`. For kAveraging the data
   // is reduced to pdf means and the exhaustive point search is used (the
   // config's algorithm is overridden to kAvg), exactly as the paper's AVG

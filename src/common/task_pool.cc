@@ -1,0 +1,156 @@
+#include "common/task_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace udt {
+
+namespace {
+
+// Identifies the pool (if any) the current thread is a worker of, so
+// Submit targets the worker's own deque and nested Wait calls keep popping
+// LIFO from it.
+struct WorkerIdentity {
+  const TaskPool* pool = nullptr;
+  int index = -1;
+};
+
+thread_local WorkerIdentity tls_worker;
+
+// How many levels of help-executed tasks may stack up in nested Waits
+// before a thread stops stealing from other deques. Stolen subtree tasks
+// can themselves Wait and steal, so without a cap the recursion is bounded
+// only by the number of large subtrees, not the tree depth; own-deque pops
+// stay allowed at any depth (they are depth-first descent, bounded by the
+// tree's max_depth) and they alone guarantee progress for the tasks a
+// nested Wait is actually waiting on.
+constexpr int kMaxNestedStealDepth = 4;
+
+thread_local int tls_nested_exec_depth = 0;
+
+}  // namespace
+
+int TaskPool::EffectiveConcurrency(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+TaskPool::TaskPool(int num_workers) {
+  UDT_CHECK(num_workers >= 0);
+  queues_.resize(static_cast<size_t>(num_workers) + 1);  // + inject queue
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  for (const std::deque<Item>& queue : queues_) UDT_CHECK(queue.empty());
+}
+
+void TaskPool::Submit(TaskGroup* group, std::function<void()> task) {
+  UDT_DCHECK(group != nullptr);
+  size_t queue_index = queues_.size() - 1;  // inject queue by default
+  if (tls_worker.pool == this) {
+    queue_index = static_cast<size_t>(tls_worker.index);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++group->pending_;
+    queues_[queue_index].push_back(Item{group, std::move(task)});
+  }
+  // notify_all, not notify_one: a steal-restricted nested waiter (see
+  // kMaxNestedStealDepth) could otherwise consume the only wakeup meant
+  // for an idle worker and strand the task.
+  cv_.notify_all();
+}
+
+bool TaskPool::PopTask(int self, Item* item, bool may_steal) {
+  const int num_queues = static_cast<int>(queues_.size());
+  // Own queue, newest first: depth-first over freshly spawned subtasks.
+  // For external threads (self < 0) the inject queue is "own" — their
+  // submissions land there, and a steal-capped nested Wait must still be
+  // able to pop the subtasks it is waiting for (liveness: a waited-on
+  // task is always in the waiter's own queue or already executing).
+  const size_t own = self >= 0 ? static_cast<size_t>(self)
+                               : queues_.size() - 1;
+  if (!queues_[own].empty()) {
+    *item = std::move(queues_[own].back());
+    queues_[own].pop_back();
+    return true;
+  }
+  if (!may_steal) return false;
+  // Inject queue, then steal the oldest entry of any other deque.
+  for (int offset = 0; offset < num_queues; ++offset) {
+    size_t q = static_cast<size_t>((num_queues - 1 + offset) % num_queues);
+    if (q == own || queues_[q].empty()) continue;
+    *item = std::move(queues_[q].front());
+    queues_[q].pop_front();
+    return true;
+  }
+  return false;
+}
+
+void TaskPool::RunItem(Item item) {
+  item.task();
+  bool group_done = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    UDT_DCHECK(item.group->pending_ > 0);
+    group_done = --item.group->pending_ == 0;
+  }
+  // Completion can unblock a Wait; submissions inside the task already
+  // notified. notify_all: several threads may wait on different groups.
+  if (group_done) cv_.notify_all();
+}
+
+void TaskPool::WorkerLoop(int worker_index) {
+  tls_worker = {this, worker_index};
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this, worker_index, &item] {
+        return shutdown_ || PopTask(worker_index, &item, /*may_steal=*/true);
+      });
+      if (item.task == nullptr) return;  // shutdown with empty queues
+    }
+    RunItem(std::move(item));
+  }
+}
+
+void TaskPool::Wait(TaskGroup* group) {
+  UDT_DCHECK(group != nullptr);
+  // A worker blocked in a nested Wait keeps draining its own deque first;
+  // external callers pop the inject queue and steal. Deeply nested waits
+  // stop stealing so help-execution cannot pile unbounded frames onto the
+  // stack.
+  const int self = tls_worker.pool == this ? tls_worker.index : -1;
+  const bool may_steal = tls_nested_exec_depth < kMaxNestedStealDepth;
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (group->pending_ == 0) return;
+      if (!PopTask(self, &item, may_steal)) {
+        cv_.wait(lock, [this, group, self, may_steal, &item] {
+          return group->pending_ == 0 || PopTask(self, &item, may_steal);
+        });
+        if (item.task == nullptr) return;  // group completed elsewhere
+      }
+    }
+    ++tls_nested_exec_depth;
+    RunItem(std::move(item));
+    --tls_nested_exec_depth;
+  }
+}
+
+}  // namespace udt

@@ -1,0 +1,105 @@
+// A small work-stealing task pool for the deterministic parallel engines
+// (tree construction in core/, attribute scans in split/). Tasks are plain
+// callables grouped under a TaskGroup; a task may submit further tasks and
+// wait on them, and any thread blocked in Wait() helps execute pending
+// tasks, so nested fork/join never deadlocks.
+//
+// Scheduling: one deque per worker plus a shared inject queue for external
+// submissions. A worker pops its own deque LIFO (hot caches, bounded queue
+// growth on deep recursions) and steals FIFO from the front of other
+// deques (the oldest entry is the largest pending subtree). Scheduling
+// order is deliberately unobservable to the algorithms built on top: every
+// engine in this codebase writes task results into disjoint slots and
+// reduces them in a fixed order, which is what makes parallel tree builds
+// bitwise-identical to serial ones.
+//
+// Locking tradeoff: a single pool mutex guards all deques, so the deques
+// buy ordering (LIFO-own / FIFO-steal), not lock-freedom. That is the
+// right trade while tasks are coarse — a subtree or a whole attribute
+// scan, microseconds to milliseconds each, against ~100ns per lock
+// round-trip. If profiles ever show the lock hot (many threads x tiny
+// tasks), shard the mutex per deque before reaching for lock-free deques.
+
+#ifndef UDT_COMMON_TASK_POOL_H_
+#define UDT_COMMON_TASK_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace udt {
+
+class TaskPool;
+
+// Tracks completion of a set of tasks. A group may only be waited on by
+// one thread at a time and must outlive its tasks.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+ private:
+  friend class TaskPool;
+  int pending_ = 0;  // guarded by the owning pool's mutex
+};
+
+class TaskPool {
+ public:
+  // Spawns `num_workers` worker threads (0 is valid: all tasks then run on
+  // the threads that call Wait()).
+  explicit TaskPool(int num_workers);
+
+  // Joins the workers. Every submitted task must have been waited for.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Maps the TreeConfig::num_threads convention to a worker-thread count:
+  // <= 0 selects one per hardware thread, otherwise `requested` itself.
+  static int EffectiveConcurrency(int requested);
+
+  // Enqueues `task` under `group`. Safe to call from worker tasks (the
+  // task lands on the submitting worker's own deque) and from external
+  // threads (the shared inject queue).
+  void Submit(TaskGroup* group, std::function<void()> task);
+
+  // Returns once every task of `group` has finished. The calling thread
+  // executes pending tasks (of any group) while it waits.
+  void Wait(TaskGroup* group);
+
+ private:
+  struct Item {
+    TaskGroup* group = nullptr;
+    std::function<void()> task;
+  };
+
+  // Pops one task, preferring queue `self` back-first, then — only when
+  // `may_steal` — the inject queue and the front of the other workers'
+  // deques. Returns false when nothing poppable is available. Requires
+  // mu_ held.
+  bool PopTask(int self, Item* item, bool may_steal);
+
+  // Runs `item` (mu_ must not be held) and retires it from its group.
+  void RunItem(Item item);
+
+  void WorkerLoop(int worker_index);
+
+  std::mutex mu_;
+  std::condition_variable cv_;  // signalled on submit and on completion
+  // queues_[0 .. num_workers-1] are the worker deques; queues_.back() is
+  // the inject queue (external submissions). Guarded by mu_.
+  std::vector<std::deque<Item>> queues_;
+  bool shutdown_ = false;  // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace udt
+
+#endif  // UDT_COMMON_TASK_POOL_H_

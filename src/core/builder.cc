@@ -1,12 +1,30 @@
+// The construction scheduler. Per-node work (statistics, split search,
+// partitioning) lives in core/node_build.cc; this file decides *where*
+// each node is built:
+//
+//   num_threads == 1  - the classical depth-first recursion.
+//   num_threads != 1  - a work-stealing task pool. Every subtree whose
+//     working set is large enough becomes a pool task that writes its
+//     result into a dedicated child slot of the already-allocated parent
+//     node; large nodes additionally fan their per-attribute split scans
+//     out as subtasks of the same pool.
+//
+// Both paths execute the same per-node function with the same fixed
+// accumulation and tie-break order, so the resulting tree is
+// bitwise-identical for every thread count (tests/builder_determinism_test
+// serialises and compares the bytes).
+
 #include "core/builder.h"
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
+#include <utility>
 
 #include "common/logging.h"
-#include "common/math.h"
+#include "common/task_pool.h"
 #include "common/timer.h"
-#include "split/categorical.h"
+#include "core/node_build.h"
 #include "split/fractional_tuple.h"
 #include "tree/post_prune.h"
 
@@ -14,144 +32,149 @@ namespace udt {
 
 namespace {
 
-// Recursive construction state shared across one Build call.
+// Subtrees below this many fractional tuples are built inline by whichever
+// worker holds them: the task-queue overhead would outweigh the work.
+constexpr size_t kMinTuplesForSubtreeTask = 48;
+
+// Nodes with at least this many fractional tuples also parallelise their
+// per-attribute split scans. Near the root the node queue holds a single
+// task, so attribute-level parallelism is what keeps the pool busy there.
+constexpr size_t kMinTuplesForParallelScan = 64;
+
+// Construction state shared across one Build call.
 struct BuildContext {
-  const Dataset* data = nullptr;
-  const TreeConfig* config = nullptr;
-  const SplitFinder* finder = nullptr;
-  SplitOptions split_options;
+  NodeBuildContext node;
+  // Parallel mode only; both null in the serial recursion.
+  TaskPool* pool = nullptr;
+  std::mutex* stats_mu = nullptr;
+  // Serial mode: the caller's stats, owned exclusively. Parallel mode:
+  // the shared total, guarded by stats_mu (tasks accumulate locally and
+  // merge once on completion).
   BuildStats* stats = nullptr;
 };
 
-bool IsPure(const std::vector<double>& counts) {
-  int with_mass = 0;
-  for (double c : counts) {
-    if (c > kMassEpsilon) ++with_mass;
-  }
-  return with_mass <= 1;
+void MergeStats(const BuildContext& ctx, const BuildStats& local) {
+  std::lock_guard<std::mutex> lock(*ctx.stats_mu);
+  ctx.stats->counters += local.counters;
+  ctx.stats->nodes += local.nodes;
+  ctx.stats->leaves += local.leaves;
 }
 
-void FillNodeStatistics(TreeNode* node, std::vector<double> counts) {
-  double total = 0.0;
-  for (double c : counts) total += c;
-  node->distribution.assign(counts.size(), 0.0);
-  if (total > 0.0) {
-    for (size_t c = 0; c < counts.size(); ++c) {
-      node->distribution[c] = counts[c] / total;
-    }
-  } else {
-    for (double& d : node->distribution) {
-      d = 1.0 / static_cast<double>(node->distribution.size());
-    }
-  }
-  node->class_counts = std::move(counts);
-}
-
-std::unique_ptr<TreeNode> BuildNode(const BuildContext& ctx,
-                                    const WorkingSet& set, int depth,
-                                    std::vector<bool>* used_categorical) {
-  const Dataset& data = *ctx.data;
-  const TreeConfig& config = *ctx.config;
-
-  auto node = std::make_unique<TreeNode>();
-  std::vector<double> counts = ClassCounts(data, set, data.num_classes());
-  double total = 0.0;
-  for (double c : counts) total += c;
-  FillNodeStatistics(node.get(), counts);
-  ++ctx.stats->nodes;
-
-  // Stopping rules (pre-pruning).
-  if (depth >= config.max_depth || total < config.min_split_weight ||
-      IsPure(node->class_counts) || set.empty()) {
-    ++ctx.stats->leaves;
-    return node;
-  }
-
-  SplitScorer scorer(config.measure, node->class_counts);
-
-  // Best numerical split.
-  SplitCandidate best = ctx.finder->FindBestSplit(
-      data, set, scorer, ctx.split_options, &ctx.stats->counters);
-
-  // Categorical candidates (Section 7.2); an attribute used by an ancestor
-  // cannot yield further gain and is skipped.
-  int best_categorical = -1;
-  for (int j = 0; j < data.num_attributes(); ++j) {
-    if (data.schema().attribute(j).kind != AttributeKind::kCategorical) {
-      continue;
-    }
-    if ((*used_categorical)[static_cast<size_t>(j)]) continue;
-    CategoricalSplitResult result = EvaluateCategoricalSplit(
-        data, set, j, scorer, ctx.split_options, &ctx.stats->counters);
-    if (!result.valid) continue;
-    SplitCandidate candidate;
-    candidate.valid = true;
-    candidate.attribute = j;
-    candidate.split_point = 0.0;
-    candidate.score = result.score;
-    if (!best.valid || candidate.BetterThan(best)) {
-      best = candidate;
-      best_categorical = j;
-    }
-  }
-
-  if (!best.valid ||
-      scorer.GainForScore(best.score) < config.min_gain) {
-    ++ctx.stats->leaves;
-    return node;
-  }
-
-  if (best_categorical >= 0) {
-    int num_categories =
-        data.schema().attribute(best_categorical).num_categories;
-    std::vector<WorkingSet> buckets;
-    PartitionWorkingSetCategorical(data, set, best_categorical,
-                                   num_categories, &buckets);
-    int populated = 0;
-    for (const WorkingSet& bucket : buckets) {
-      if (!bucket.empty()) ++populated;
-    }
-    if (populated < 2) {  // degenerate in practice; make a leaf
-      ++ctx.stats->leaves;
-      return node;
-    }
-    node->attribute = best_categorical;
-    node->is_categorical = true;
-    (*used_categorical)[static_cast<size_t>(best_categorical)] = true;
-    node->children.reserve(static_cast<size_t>(num_categories));
-    for (WorkingSet& bucket : buckets) {
-      if (bucket.empty()) {
-        // Unreached category: predict with the parent distribution.
-        auto child = std::make_unique<TreeNode>();
-        FillNodeStatistics(child.get(), node->class_counts);
-        ++ctx.stats->nodes;
-        ++ctx.stats->leaves;
-        node->children.push_back(std::move(child));
-      } else {
-        node->children.push_back(
-            BuildNode(ctx, bucket, depth + 1, used_categorical));
+// Depth-first recursion; `used_categorical` is mutated-and-restored along
+// the path. Also the inline fallback inside pool tasks for small subtrees
+// (with `scan_pool` null: small sets never fan out their scans).
+std::unique_ptr<TreeNode> BuildSerial(const BuildContext& ctx,
+                                      const WorkingSet& set, int depth,
+                                      std::vector<bool>* used_categorical,
+                                      BuildStats* stats) {
+  NodeDecision decision =
+      DecideNode(ctx.node, set, depth, *used_categorical,
+                 /*scan_pool=*/nullptr, stats);
+  switch (decision.kind) {
+    case NodeDecision::Kind::kLeaf:
+      break;
+    case NodeDecision::Kind::kNumerical:
+      decision.node->left =
+          BuildSerial(ctx, decision.left, depth + 1, used_categorical, stats);
+      decision.node->right =
+          BuildSerial(ctx, decision.right, depth + 1, used_categorical, stats);
+      break;
+    case NodeDecision::Kind::kCategorical: {
+      size_t attr = static_cast<size_t>(decision.categorical_attribute);
+      (*used_categorical)[attr] = true;
+      decision.node->children.reserve(decision.buckets.size());
+      for (WorkingSet& bucket : decision.buckets) {
+        decision.node->children.push_back(
+            bucket.empty()
+                ? MakeFallbackLeaf(decision.node->class_counts, stats)
+                : BuildSerial(ctx, bucket, depth + 1, used_categorical,
+                              stats));
       }
+      (*used_categorical)[attr] = false;
+      break;
     }
-    (*used_categorical)[static_cast<size_t>(best_categorical)] = false;
-    return node;
   }
+  return std::move(decision.node);
+}
 
-  WorkingSet left, right;
-  PartitionWorkingSet(data, set, best.attribute, best.split_point, &left,
-                      &right);
-  if (left.empty() || right.empty()) {
-    // Guarded against by min_side_mass, but weight drops of micro-fragments
-    // can in principle empty a side; fall back to a leaf.
-    ++ctx.stats->leaves;
-    return node;
+// One queued subtree: build the tree hanging off `slot`.
+struct SubtreeJob {
+  WorkingSet set;
+  int depth = 0;
+  // Snapshot of the ancestors' categorical usage; parallel subtrees cannot
+  // share the backtracking vector of the serial recursion.
+  std::vector<bool> used_categorical;
+  std::unique_ptr<TreeNode>* slot = nullptr;
+};
+
+void ScheduleSubtree(const BuildContext& ctx, SubtreeJob job,
+                     TaskGroup* group);
+
+void RunSubtreeTask(const BuildContext& ctx, SubtreeJob job,
+                    TaskGroup* group) {
+  BuildStats local;
+  TaskPool* scan_pool =
+      job.set.size() >= kMinTuplesForParallelScan ? ctx.pool : nullptr;
+  NodeDecision decision = DecideNode(ctx.node, job.set, job.depth,
+                                     job.used_categorical, scan_pool, &local);
+  // Free the parent's working set before the children are queued.
+  job.set.clear();
+  job.set.shrink_to_fit();
+
+  TreeNode* node = decision.node.get();
+  *job.slot = std::move(decision.node);
+  switch (decision.kind) {
+    case NodeDecision::Kind::kLeaf:
+      break;
+    case NodeDecision::Kind::kNumerical:
+      ScheduleSubtree(ctx,
+                      SubtreeJob{std::move(decision.left), job.depth + 1,
+                                 job.used_categorical, &node->left},
+                      group);
+      ScheduleSubtree(ctx,
+                      SubtreeJob{std::move(decision.right), job.depth + 1,
+                                 std::move(job.used_categorical),
+                                 &node->right},
+                      group);
+      break;
+    case NodeDecision::Kind::kCategorical: {
+      job.used_categorical[static_cast<size_t>(
+          decision.categorical_attribute)] = true;
+      node->children.resize(decision.buckets.size());
+      for (size_t b = 0; b < decision.buckets.size(); ++b) {
+        if (decision.buckets[b].empty()) {
+          node->children[b] = MakeFallbackLeaf(node->class_counts, &local);
+        } else {
+          ScheduleSubtree(ctx,
+                          SubtreeJob{std::move(decision.buckets[b]),
+                                     job.depth + 1, job.used_categorical,
+                                     &node->children[b]},
+                          group);
+        }
+      }
+      break;
+    }
   }
+  MergeStats(ctx, local);
+}
 
-  node->attribute = best.attribute;
-  node->is_categorical = false;
-  node->split_point = best.split_point;
-  node->left = BuildNode(ctx, left, depth + 1, used_categorical);
-  node->right = BuildNode(ctx, right, depth + 1, used_categorical);
-  return node;
+void ScheduleSubtree(const BuildContext& ctx, SubtreeJob job,
+                     TaskGroup* group) {
+  // Small subtrees are built inline right here: queueing them would cost
+  // more (allocations + pool lock round-trips) than the work itself.
+  if (job.set.size() < kMinTuplesForSubtreeTask) {
+    BuildStats local;
+    *job.slot =
+        BuildSerial(ctx, job.set, job.depth, &job.used_categorical, &local);
+    MergeStats(ctx, local);
+    return;
+  }
+  // std::function must be copyable; park the move-only job behind a
+  // shared_ptr.
+  auto shared_job = std::make_shared<SubtreeJob>(std::move(job));
+  ctx.pool->Submit(group, [&ctx, shared_job, group] {
+    RunSubtreeTask(ctx, std::move(*shared_job), group);
+  });
 }
 
 }  // namespace
@@ -167,20 +190,39 @@ StatusOr<DecisionTree> TreeBuilder::Build(const Dataset& train,
 
   BuildStats local_stats;
   BuildContext ctx;
-  ctx.data = &train;
-  ctx.config = &config_;
+  ctx.node.data = &train;
+  ctx.node.config = &config_;
   std::unique_ptr<SplitFinder> finder = MakeSplitFinder(config_.algorithm);
-  ctx.finder = finder.get();
-  ctx.split_options = config_.split_options;
-  ctx.split_options.measure = config_.measure;
+  ctx.node.finder = finder.get();
+  ctx.node.split_options = config_.split_options;
+  ctx.node.split_options.measure = config_.measure;
   ctx.stats = stats != nullptr ? stats : &local_stats;
 
   WallTimer timer;
   WorkingSet root_set = MakeRootWorkingSet(train);
   std::vector<bool> used_categorical(
       static_cast<size_t>(train.num_attributes()), false);
-  std::unique_ptr<TreeNode> root =
-      BuildNode(ctx, root_set, /*depth=*/0, &used_categorical);
+
+  const int concurrency =
+      TaskPool::EffectiveConcurrency(config_.num_threads);
+  std::unique_ptr<TreeNode> root;
+  if (concurrency <= 1) {
+    root = BuildSerial(ctx, root_set, /*depth=*/0, &used_categorical,
+                       ctx.stats);
+  } else {
+    // The calling thread participates via Wait, so spawn one fewer worker
+    // than the requested concurrency.
+    TaskPool pool(concurrency - 1);
+    std::mutex stats_mu;
+    ctx.pool = &pool;
+    ctx.stats_mu = &stats_mu;
+    TaskGroup group;
+    ScheduleSubtree(ctx,
+                    SubtreeJob{std::move(root_set), /*depth=*/0,
+                               std::move(used_categorical), &root},
+                    &group);
+    pool.Wait(&group);
+  }
 
   DecisionTree tree(train.schema(), std::move(root));
   if (config_.post_prune) {

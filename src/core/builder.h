@@ -3,6 +3,12 @@
 // proposes the best numerical split, categorical attributes are scored by
 // the Section 7.2 rule, the working set is partitioned into fractional
 // tuples and the children are built recursively.
+//
+// Construction is parallel under TreeConfig::num_threads: independent
+// subtrees build concurrently on a work-stealing task pool and large nodes
+// fan their per-attribute split scans out as subtasks (see the scheduler
+// notes in core/builder.cc). The built tree is bitwise-identical for every
+// thread count.
 
 #ifndef UDT_CORE_BUILDER_H_
 #define UDT_CORE_BUILDER_H_

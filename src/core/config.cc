@@ -14,6 +14,10 @@ Status TreeConfig::Validate() const {
   if (pruning_confidence <= 0.0 || pruning_confidence >= 1.0) {
     return Status::InvalidArgument("pruning_confidence must be in (0, 1)");
   }
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        "num_threads must be >= 0 (0 = one per hardware thread)");
+  }
   if (split_options.es_endpoint_sample_rate <= 0.0 ||
       split_options.es_endpoint_sample_rate > 1.0) {
     return Status::InvalidArgument(
@@ -31,10 +35,11 @@ Status TreeConfig::Validate() const {
 std::string TreeConfig::ToString() const {
   return StrFormat(
       "algorithm=%s measure=%s max_depth=%d min_split_weight=%.3g "
-      "min_gain=%.3g post_prune=%s cf=%.2f es_rate=%.2f",
+      "min_gain=%.3g post_prune=%s cf=%.2f es_rate=%.2f threads=%d",
       SplitAlgorithmToString(algorithm), DispersionMeasureToString(measure),
       max_depth, min_split_weight, min_gain, post_prune ? "yes" : "no",
-      pruning_confidence, split_options.es_endpoint_sample_rate);
+      pruning_confidence, split_options.es_endpoint_sample_rate,
+      num_threads);
 }
 
 }  // namespace udt

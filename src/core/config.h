@@ -32,6 +32,13 @@ struct TreeConfig {
   bool post_prune = true;
   double pruning_confidence = 0.25;
 
+  // Training parallelism: total threads the construction engine may use
+  // (including the calling thread). 1 = serial; 0 = one per hardware
+  // thread; N > 1 = exactly N. The built tree is bitwise-identical for
+  // every value — the engine fixes its accumulation and tie-break orders
+  // independently of the schedule (see tests/builder_determinism_test.cc).
+  int num_threads = 1;
+
   // Knobs forwarded to the split finders (the measure is copied in by the
   // builder; leave split_options.measure untouched).
   SplitOptions split_options;

@@ -1,0 +1,71 @@
+// The per-node work unit of the tree-construction engine: everything that
+// happens at one node — class statistics, stopping rules, the numerical
+// split search (optionally attribute-parallel), categorical scoring and
+// the partitioning of the working set — packaged as a pure function of the
+// node's inputs. Both the serial recursion and the task-based scheduler in
+// core/builder.cc consume NodeDecision, which is what keeps the two
+// construction orders bitwise-identical.
+
+#ifndef UDT_CORE_NODE_BUILD_H_
+#define UDT_CORE_NODE_BUILD_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "split/split_finder.h"
+#include "table/dataset.h"
+#include "tree/tree.h"
+
+namespace udt {
+
+// Forward declarations (defined in core/builder.h and common/task_pool.h).
+struct BuildStats;
+class TaskPool;
+
+// The resolved fate of one node: a leaf, a binary numerical split with the
+// two partitioned child working sets, or an n-ary categorical split with
+// one bucket per category.
+struct NodeDecision {
+  enum class Kind { kLeaf, kNumerical, kCategorical };
+
+  Kind kind = Kind::kLeaf;
+  // The node itself with class_counts / distribution filled in; split
+  // fields are set for the non-leaf kinds. Children are NOT attached —
+  // that is the scheduler's job.
+  std::unique_ptr<TreeNode> node;
+
+  // kNumerical: the two sides of the best split.
+  WorkingSet left;
+  WorkingSet right;
+
+  // kCategorical: one working set per category (possibly empty buckets).
+  int categorical_attribute = -1;
+  std::vector<WorkingSet> buckets;
+};
+
+// Inputs shared by every node of one build.
+struct NodeBuildContext {
+  const Dataset* data = nullptr;
+  const TreeConfig* config = nullptr;
+  const SplitFinder* finder = nullptr;
+  SplitOptions split_options;
+};
+
+// Evaluates one node. `used_categorical` marks categorical attributes an
+// ancestor already split on. When `scan_pool` is non-null the numerical
+// split search fans its per-attribute scans out as pool tasks; the result
+// is bitwise-identical either way. `stats` accumulates node/leaf counts
+// and split counters and must not be shared across concurrent calls.
+NodeDecision DecideNode(const NodeBuildContext& ctx, const WorkingSet& set,
+                        int depth, const std::vector<bool>& used_categorical,
+                        TaskPool* scan_pool, BuildStats* stats);
+
+// A leaf carrying the parent's class counts, used for categorical buckets
+// no training mass reaches.
+std::unique_ptr<TreeNode> MakeFallbackLeaf(const std::vector<double>& counts,
+                                           BuildStats* stats);
+
+}  // namespace udt
+
+#endif  // UDT_CORE_NODE_BUILD_H_

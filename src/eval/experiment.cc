@@ -73,10 +73,23 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
         std::exit(2);
       }
       options.folds = *v;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      std::optional<int> v = ParseInt(arg + 10);
+      if (!v.has_value() || *v < 0) {
+        std::fprintf(stderr, "bad --threads value: %s\n", arg + 10);
+        std::exit(2);
+      }
+      options.num_threads = *v;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      options.json_path_set = true;
+      options.json_path = arg + 7;
     } else {
       std::fprintf(stderr,
                    "unknown flag: %s\n"
-                   "usage: %s [--full] [--scale=F] [--s=N] [--folds=N]\n",
+                   "usage: %s [--full] [--scale=F] [--s=N] [--folds=N] "
+                   "[--threads=N] [--json=PATH]\n"
+                   "(--threads/--json are honored by the harnesses that "
+                   "report thread scaling or JSON rows)\n",
                    arg, argv[0]);
       std::exit(2);
     }

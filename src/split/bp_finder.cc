@@ -3,7 +3,9 @@
 // (Theorem 2) and heterogeneous intervals whose class masses grow linearly
 // (Theorem 3, the all-uniform-pdf case) - the latter two only when the
 // measure is concave under the interval parameterisation (entropy/Gini).
-// Remaining heterogeneous interiors are evaluated exhaustively.
+// Remaining heterogeneous interiors are evaluated exhaustively. None of
+// the pruning consults the running best, so the attributes are naturally
+// independent and parallelise without any cross-attribute phase.
 
 #include "split/finder_common.h"
 #include "split/finders.h"
@@ -17,36 +19,31 @@ class BpFinder final : public SplitFinder {
  public:
   const char* name() const override { return "UDT-BP"; }
 
-  SplitCandidate FindBestSplit(const Dataset& data, const WorkingSet& set,
-                               const SplitScorer& scorer,
-                               const SplitOptions& options,
-                               SplitCounters* counters) const override {
+ protected:
+  SplitCandidate SearchAttribute(const AttributeContext& ctx,
+                                 const SplitScorer& scorer,
+                                 const SplitOptions& options,
+                                 const SplitCandidate& /*seed*/,
+                                 SplitCounters* counters,
+                                 EvalBuffers* buffers) const override {
     SplitCandidate best;
-    EvalBuffers buffers;
-    for (int j = 0; j < data.num_attributes(); ++j) {
-      AttributeContext ctx = BuildContextForAttribute(
-          data, set, j, options, data.num_classes());
-      if (ctx.scan.empty()) continue;
-      for (int idx : ctx.endpoints) {
-        EvaluatePosition(ctx, idx, scorer, options, &best, counters,
-                         &buffers);
-      }
-      for (const EndpointInterval& interval : ctx.intervals) {
-        if (counters != nullptr) ++counters->intervals_total;
-        if (interval.num_interior() <= 0) continue;
-        if (PruneByKind(interval, scorer, counters)) continue;
-        if (scorer.SupportsHomogeneousPruning() &&
-            IntervalHasLinearGrowth(ctx.scan, interval.a_idx,
-                                    interval.b_idx)) {
-          if (counters != nullptr) {
-            ++counters->intervals_pruned_linear;
-            counters->candidates_pruned += interval.num_interior();
-          }
-          continue;
+    for (int idx : ctx.endpoints) {
+      EvaluatePosition(ctx, idx, scorer, options, &best, counters, buffers);
+    }
+    for (const EndpointInterval& interval : ctx.intervals) {
+      if (counters != nullptr) ++counters->intervals_total;
+      if (interval.num_interior() <= 0) continue;
+      if (PruneByKind(interval, scorer, counters)) continue;
+      if (scorer.SupportsHomogeneousPruning() &&
+          IntervalHasLinearGrowth(ctx.scan, interval.a_idx, interval.b_idx)) {
+        if (counters != nullptr) {
+          ++counters->intervals_pruned_linear;
+          counters->candidates_pruned += interval.num_interior();
         }
-        EvaluateInterior(ctx, interval.a_idx, interval.b_idx, scorer,
-                         options, &best, counters, &buffers);
+        continue;
       }
+      EvaluateInterior(ctx, interval.a_idx, interval.b_idx, scorer, options,
+                       &best, counters, buffers);
     }
     return best;
   }

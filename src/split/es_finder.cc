@@ -6,6 +6,11 @@
 // (row 7-8) and the fine intervals processed as in UDT-GP. Pruning a
 // coarse interval removes its unsampled end points and all interior
 // candidates with a single bound computation.
+//
+// Phase structure for the parallel engine: SeedAttribute scores one
+// attribute's sampled end points, the engine merges the global threshold,
+// and SearchAttribute re-derives the (deterministic) sample to process the
+// coarse intervals against a locally-tightened copy of the threshold.
 
 #include <algorithm>
 #include <cmath>
@@ -37,71 +42,70 @@ class EsFinder final : public SplitFinder {
  public:
   const char* name() const override { return "UDT-ES"; }
 
-  SplitCandidate FindBestSplit(const Dataset& data, const WorkingSet& set,
+ protected:
+  bool NeedsGlobalSeed() const override { return true; }
+
+  SplitCandidate SeedAttribute(const AttributeContext& ctx,
                                const SplitScorer& scorer,
                                const SplitOptions& options,
-                               SplitCounters* counters) const override {
+                               SplitCounters* counters,
+                               EvalBuffers* buffers) const override {
     SplitCandidate best;
-    EvalBuffers buffers;
-    std::vector<AttributeContext> contexts =
-        BuildContexts(data, set, options, data.num_classes());
-
-    // Sampled end-point indices per attribute (kept for phase 2).
-    std::vector<std::vector<int>> sampled(contexts.size());
-
-    // Phase 1: evaluate the sampled end points of all attributes to seed
-    // the global threshold.
-    for (size_t a = 0; a < contexts.size(); ++a) {
-      const AttributeContext& ctx = contexts[a];
-      sampled[a] = SampleEndpointIndices(
-          static_cast<int>(ctx.endpoints.size()),
-          options.es_endpoint_sample_rate);
-      for (int ei : sampled[a]) {
-        EvaluatePosition(ctx, ctx.endpoints[static_cast<size_t>(ei)], scorer,
-                         options, &best, counters, &buffers);
-      }
+    std::vector<int> picks = SampleEndpointIndices(
+        static_cast<int>(ctx.endpoints.size()),
+        options.es_endpoint_sample_rate);
+    for (int ei : picks) {
+      EvaluatePosition(ctx, ctx.endpoints[static_cast<size_t>(ei)], scorer,
+                       options, &best, counters, buffers);
     }
+    return best;
+  }
 
-    // Phase 2: coarse intervals between consecutive sampled end points.
-    for (size_t a = 0; a < contexts.size(); ++a) {
-      const AttributeContext& ctx = contexts[a];
-      const std::vector<int>& picks = sampled[a];
-      for (size_t s = 0; s + 1 < picks.size(); ++s) {
-        int ei = picks[s];
-        int ej = picks[s + 1];
-        if (ej == ei + 1) {
-          // Adjacent end points: this *is* a fine interval.
-          ProcessInterval(ctx, ctx.intervals[static_cast<size_t>(ei)],
-                          scorer, options, &best, counters, &buffers);
-          continue;
-        }
-        int a_idx = ctx.endpoints[static_cast<size_t>(ei)];
-        int b_idx = ctx.endpoints[static_cast<size_t>(ej)];
-        if (counters != nullptr) ++counters->intervals_total;
-        if (b_idx - a_idx <= 1) continue;  // no candidates strictly inside
+  SplitCandidate SearchAttribute(const AttributeContext& ctx,
+                                 const SplitScorer& scorer,
+                                 const SplitOptions& options,
+                                 const SplitCandidate& seed,
+                                 SplitCounters* counters,
+                                 EvalBuffers* buffers) const override {
+    SplitCandidate best = seed;  // sampled end points were scored in phase 1
+    std::vector<int> picks = SampleEndpointIndices(
+        static_cast<int>(ctx.endpoints.size()),
+        options.es_endpoint_sample_rate);
+    for (size_t s = 0; s + 1 < picks.size(); ++s) {
+      int ei = picks[s];
+      int ej = picks[s + 1];
+      if (ej == ei + 1) {
+        // Adjacent end points: this *is* a fine interval.
+        ProcessInterval(ctx, ctx.intervals[static_cast<size_t>(ei)], scorer,
+                        options, &best, counters, buffers);
+        continue;
+      }
+      int a_idx = ctx.endpoints[static_cast<size_t>(ei)];
+      int b_idx = ctx.endpoints[static_cast<size_t>(ej)];
+      if (counters != nullptr) ++counters->intervals_total;
+      if (b_idx - a_idx <= 1) continue;  // no candidates strictly inside
 
-        double bound =
-            IntervalBound(ctx, a_idx, b_idx, scorer, counters, &buffers);
-        if (best.valid && bound >= best.score - kPruneSlack) {
-          // The whole coarse interval - unsampled end points included - is
-          // pruned by one bound.
-          if (counters != nullptr) {
-            ++counters->intervals_pruned_by_bound;
-            counters->candidates_pruned += b_idx - a_idx - 1;
-          }
-          continue;
+      double bound =
+          IntervalBound(ctx, a_idx, b_idx, scorer, counters, buffers);
+      if (best.valid && bound >= best.score - kPruneSlack) {
+        // The whole coarse interval - unsampled end points included - is
+        // pruned by one bound.
+        if (counters != nullptr) {
+          ++counters->intervals_pruned_by_bound;
+          counters->candidates_pruned += b_idx - a_idx - 1;
         }
+        continue;
+      }
 
-        // Refine: bring back the original end points inside (Fig 5 rows
-        // 7-9), update the threshold, then process the fine intervals.
-        for (int e = ei + 1; e < ej; ++e) {
-          EvaluatePosition(ctx, ctx.endpoints[static_cast<size_t>(e)],
-                           scorer, options, &best, counters, &buffers);
-        }
-        for (int e = ei; e < ej; ++e) {
-          ProcessInterval(ctx, ctx.intervals[static_cast<size_t>(e)], scorer,
-                          options, &best, counters, &buffers);
-        }
+      // Refine: bring back the original end points inside (Fig 5 rows
+      // 7-9), update the threshold, then process the fine intervals.
+      for (int e = ei + 1; e < ej; ++e) {
+        EvaluatePosition(ctx, ctx.endpoints[static_cast<size_t>(e)], scorer,
+                         options, &best, counters, buffers);
+      }
+      for (int e = ei; e < ej; ++e) {
+        ProcessInterval(ctx, ctx.intervals[static_cast<size_t>(e)], scorer,
+                        options, &best, counters, buffers);
       }
     }
     return best;

@@ -39,19 +39,6 @@ AttributeContext BuildContextForAttribute(const Dataset& data,
   return ctx;
 }
 
-std::vector<AttributeContext> BuildContexts(const Dataset& data,
-                                            const WorkingSet& set,
-                                            const SplitOptions& options,
-                                            int num_classes) {
-  std::vector<AttributeContext> contexts;
-  for (int j = 0; j < data.num_attributes(); ++j) {
-    AttributeContext ctx =
-        BuildContextForAttribute(data, set, j, options, num_classes);
-    if (!ctx.scan.empty()) contexts.push_back(std::move(ctx));
-  }
-  return contexts;
-}
-
 void EvaluatePosition(const AttributeContext& ctx, int idx,
                       const SplitScorer& scorer, const SplitOptions& options,
                       SplitCandidate* best, SplitCounters* counters,

@@ -1,6 +1,11 @@
 // Internal machinery shared by the concrete split finders: per-attribute
 // scan contexts, candidate evaluation, and interval bounding. Not part of
 // the public API.
+//
+// Re-entrancy contract: everything here is a pure function of its inputs
+// plus the caller-owned EvalBuffers scratch. The parallel engine gives
+// every attribute task its own EvalBuffers (the per-worker context), so
+// one finder instance can serve any number of concurrent searches.
 
 #ifndef UDT_SPLIT_FINDER_COMMON_H_
 #define UDT_SPLIT_FINDER_COMMON_H_
@@ -49,16 +54,6 @@ AttributeContext BuildContextForAttribute(const Dataset& data,
                                           int attribute,
                                           const SplitOptions& options,
                                           int num_classes);
-
-// Builds contexts for every numerical attribute that admits at least one
-// candidate. Used by the global finders (GP/ES), which need all end-point
-// scores before pruning; the per-attribute finders (UDT/BP/LP) call
-// BuildContextForAttribute one attribute at a time to keep peak memory at
-// a single scan.
-std::vector<AttributeContext> BuildContexts(const Dataset& data,
-                                            const WorkingSet& set,
-                                            const SplitOptions& options,
-                                            int num_classes);
 
 // Scores the split at position `idx` of `ctx` and merges it into `best`.
 // Skips (without counting) candidates that leave either side with less

@@ -3,6 +3,14 @@
 // threshold; then every heterogeneous interval of every attribute is
 // bounded against it. A single strong threshold prunes far more than the
 // per-attribute thresholds of UDT-LP.
+//
+// Phase structure for the parallel engine: SeedAttribute sweeps one
+// attribute's end points; the engine merges the sweeps into the global
+// threshold in attribute order; SearchAttribute then bounds-and-refines
+// the attribute's intervals against a local copy of that threshold
+// (tightened only by candidates found within the attribute, which keeps
+// each attribute a pure, schedule-independent work unit — the pruning
+// stays safe because the threshold only ever holds evaluated candidates).
 
 #include "split/finder_common.h"
 #include "split/finders.h"
@@ -16,29 +24,31 @@ class GpFinder final : public SplitFinder {
  public:
   const char* name() const override { return "UDT-GP"; }
 
-  SplitCandidate FindBestSplit(const Dataset& data, const WorkingSet& set,
+ protected:
+  bool NeedsGlobalSeed() const override { return true; }
+
+  SplitCandidate SeedAttribute(const AttributeContext& ctx,
                                const SplitScorer& scorer,
                                const SplitOptions& options,
-                               SplitCounters* counters) const override {
+                               SplitCounters* counters,
+                               EvalBuffers* buffers) const override {
     SplitCandidate best;
-    EvalBuffers buffers;
-    std::vector<AttributeContext> contexts =
-        BuildContexts(data, set, options, data.num_classes());
-
-    // Phase 1: all end points of all attributes -> global threshold.
-    for (const AttributeContext& ctx : contexts) {
-      for (int idx : ctx.endpoints) {
-        EvaluatePosition(ctx, idx, scorer, options, &best, counters,
-                         &buffers);
-      }
+    for (int idx : ctx.endpoints) {
+      EvaluatePosition(ctx, idx, scorer, options, &best, counters, buffers);
     }
+    return best;
+  }
 
-    // Phase 2: bound-and-refine every interval against the global best.
-    for (const AttributeContext& ctx : contexts) {
-      for (const EndpointInterval& interval : ctx.intervals) {
-        ProcessInterval(ctx, interval, scorer, options, &best, counters,
-                        &buffers);
-      }
+  SplitCandidate SearchAttribute(const AttributeContext& ctx,
+                                 const SplitScorer& scorer,
+                                 const SplitOptions& options,
+                                 const SplitCandidate& seed,
+                                 SplitCounters* counters,
+                                 EvalBuffers* buffers) const override {
+    SplitCandidate best = seed;  // the end points were scored in phase 1
+    for (const EndpointInterval& interval : ctx.intervals) {
+      ProcessInterval(ctx, interval, scorer, options, &best, counters,
+                      buffers);
     }
     return best;
   }

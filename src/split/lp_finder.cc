@@ -3,7 +3,8 @@
 // first lower-bounded (eq. 3) and its interior evaluated only if the bound
 // beats the threshold. The threshold tightens as better candidates are
 // found (a safe refinement of the paper's static threshold: the optimum is
-// always retained in the candidate pool).
+// always retained in the candidate pool). The threshold is local by
+// definition, so each attribute is an independent work unit.
 
 #include "split/finder_common.h"
 #include "split/finders.h"
@@ -17,31 +18,23 @@ class LpFinder final : public SplitFinder {
  public:
   const char* name() const override { return "UDT-LP"; }
 
-  SplitCandidate FindBestSplit(const Dataset& data, const WorkingSet& set,
-                               const SplitScorer& scorer,
-                               const SplitOptions& options,
-                               SplitCounters* counters) const override {
-    SplitCandidate best;
-    EvalBuffers buffers;
-    for (int j = 0; j < data.num_attributes(); ++j) {
-      AttributeContext ctx = BuildContextForAttribute(
-          data, set, j, options, data.num_classes());
-      if (ctx.scan.empty()) continue;
-      // Local threshold: best candidate within this attribute only.
-      SplitCandidate local;
-      for (int idx : ctx.endpoints) {
-        EvaluatePosition(ctx, idx, scorer, options, &local, counters,
-                         &buffers);
-      }
-      for (const EndpointInterval& interval : ctx.intervals) {
-        ProcessInterval(ctx, interval, scorer, options, &local, counters,
-                        &buffers);
-      }
-      if (local.valid && (!best.valid || local.BetterThan(best))) {
-        best = local;
-      }
+ protected:
+  SplitCandidate SearchAttribute(const AttributeContext& ctx,
+                                 const SplitScorer& scorer,
+                                 const SplitOptions& options,
+                                 const SplitCandidate& /*seed*/,
+                                 SplitCounters* counters,
+                                 EvalBuffers* buffers) const override {
+    // Local threshold: best candidate within this attribute only.
+    SplitCandidate local;
+    for (int idx : ctx.endpoints) {
+      EvaluatePosition(ctx, idx, scorer, options, &local, counters, buffers);
     }
-    return best;
+    for (const EndpointInterval& interval : ctx.intervals) {
+      ProcessInterval(ctx, interval, scorer, options, &local, counters,
+                      buffers);
+    }
+    return local;
   }
 };
 

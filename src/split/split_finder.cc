@@ -1,8 +1,12 @@
 #include "split/split_finder.h"
 
 #include <cmath>
+#include <functional>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/task_pool.h"
+#include "split/finder_common.h"
 #include "split/finders.h"
 
 namespace udt {
@@ -11,6 +15,28 @@ namespace {
 // Scores within this distance are treated as tied and broken by attribute,
 // then split point, keeping every finder's choice deterministic.
 constexpr double kScoreTieEpsilon = 1e-12;
+
+// Folds `candidate` into `best` under the deterministic tie-break order.
+void MergeCandidate(const SplitCandidate& candidate, SplitCandidate* best) {
+  if (candidate.valid && (!best->valid || candidate.BetterThan(*best))) {
+    *best = candidate;
+  }
+}
+
+// Runs fn(0), ..., fn(n-1): in index order when `pool` is null, as pool
+// tasks otherwise. The callbacks must write to disjoint state.
+void ForEachAttribute(TaskPool* pool, int n,
+                      const std::function<void(int)>& fn) {
+  if (pool == nullptr || n <= 1) {
+    for (int j = 0; j < n; ++j) fn(j);
+    return;
+  }
+  TaskGroup group;
+  for (int j = 0; j < n; ++j) {
+    pool->Submit(&group, [&fn, j] { fn(j); });
+  }
+  pool->Wait(&group);
+}
 }  // namespace
 
 const char* SplitAlgorithmToString(SplitAlgorithm algorithm) {
@@ -41,6 +67,98 @@ SplitCounters& SplitCounters::operator+=(const SplitCounters& other) {
   intervals_pruned_linear += other.intervals_pruned_linear;
   intervals_pruned_by_bound += other.intervals_pruned_by_bound;
   return *this;
+}
+
+SplitCandidate SplitFinder::SeedAttribute(
+    const split_internal::AttributeContext& /*ctx*/,
+    const SplitScorer& /*scorer*/, const SplitOptions& /*options*/,
+    SplitCounters* /*counters*/,
+    split_internal::EvalBuffers* /*buffers*/) const {
+  return SplitCandidate();
+}
+
+SplitCandidate SplitFinder::FindBestSplit(const Dataset& data,
+                                          const WorkingSet& set,
+                                          const SplitScorer& scorer,
+                                          const SplitOptions& options,
+                                          SplitCounters* counters,
+                                          TaskPool* pool) const {
+  const int num_attributes = data.num_attributes();
+  const int num_classes = data.num_classes();
+  const bool seeded = NeedsGlobalSeed();
+
+  if (pool == nullptr && !seeded) {
+    // Serial local finder (UDT/AVG/BP/LP): one attribute at a time keeps a
+    // single scan alive — the paper's low-memory regime.
+    SplitCandidate best;
+    SplitCandidate no_seed;
+    split_internal::EvalBuffers buffers;
+    for (int j = 0; j < num_attributes; ++j) {
+      split_internal::AttributeContext ctx =
+          split_internal::BuildContextForAttribute(data, set, j, options,
+                                                   num_classes);
+      if (ctx.scan.empty()) continue;
+      MergeCandidate(
+          SearchAttribute(ctx, scorer, options, no_seed, counters, &buffers),
+          &best);
+    }
+    return best;
+  }
+
+  // Per-attribute slots: every task writes only its own entry, and all
+  // reductions below run in ascending attribute order.
+  struct AttributeSlot {
+    split_internal::AttributeContext ctx;
+    SplitCandidate seed;
+    SplitCandidate best;
+    SplitCounters counters;
+  };
+  std::vector<AttributeSlot> slots(static_cast<size_t>(num_attributes));
+
+  ForEachAttribute(pool, num_attributes, [&](int j) {
+    AttributeSlot& slot = slots[static_cast<size_t>(j)];
+    slot.ctx = split_internal::BuildContextForAttribute(data, set, j, options,
+                                                        num_classes);
+    if (slot.ctx.scan.empty()) return;
+    split_internal::EvalBuffers buffers;
+    if (seeded) {
+      slot.seed =
+          SeedAttribute(slot.ctx, scorer, options, &slot.counters, &buffers);
+    } else {
+      // Local finders need no cross-attribute phase: search immediately
+      // and release the scan.
+      SplitCandidate no_seed;
+      slot.best = SearchAttribute(slot.ctx, scorer, options, no_seed,
+                                  &slot.counters, &buffers);
+      slot.ctx = split_internal::AttributeContext();
+    }
+  });
+
+  SplitCandidate global_seed;
+  if (seeded) {
+    for (const AttributeSlot& slot : slots) {
+      MergeCandidate(slot.seed, &global_seed);
+    }
+    ForEachAttribute(pool, num_attributes, [&](int j) {
+      AttributeSlot& slot = slots[static_cast<size_t>(j)];
+      if (slot.ctx.scan.empty()) return;
+      split_internal::EvalBuffers buffers;
+      slot.best = SearchAttribute(slot.ctx, scorer, options, global_seed,
+                                  &slot.counters, &buffers);
+      slot.ctx = split_internal::AttributeContext();
+    });
+  }
+
+  SplitCandidate best = global_seed;
+  for (const AttributeSlot& slot : slots) {
+    MergeCandidate(slot.best, &best);
+  }
+  if (counters != nullptr) {
+    for (const AttributeSlot& slot : slots) {
+      *counters += slot.counters;
+    }
+  }
+  return best;
 }
 
 bool SplitCandidate::BetterThan(const SplitCandidate& other) const {

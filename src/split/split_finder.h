@@ -28,6 +28,13 @@
 
 namespace udt {
 
+class TaskPool;  // common/task_pool.h
+
+namespace split_internal {
+struct AttributeContext;
+struct EvalBuffers;
+}  // namespace split_internal
+
 enum class SplitAlgorithm {
   kAvg,
   kUdt,
@@ -91,6 +98,19 @@ struct SplitCandidate {
 };
 
 // Interface implemented by every split-search algorithm.
+//
+// A search decomposes into independent per-attribute phases so it can run
+// the attributes as parallel tasks:
+//   1. every numerical attribute is scanned and (for the global finders
+//      GP/ES) swept for its threshold-seeding end points,
+//   2. the per-attribute seeds are merged in ascending attribute order
+//      into one global seed,
+//   3. each attribute runs its full search seeded with that candidate,
+//   4. the per-attribute results are again merged in attribute order.
+// Each phase is a pure function of its inputs and every reduction order is
+// fixed, so the returned candidate (and therefore the built tree) is
+// bitwise-identical whether the attributes run serially or on a pool.
+// Finders are stateless: one instance may serve concurrent searches.
 class SplitFinder {
  public:
   virtual ~SplitFinder() = default;
@@ -100,12 +120,37 @@ class SplitFinder {
   // Finds the best (attribute, split point) for the node whose working set
   // is `set`. `scorer` carries the node's measure and parent counts.
   // Returns an invalid candidate when no attribute admits a valid split.
-  // `counters` may be null.
-  virtual SplitCandidate FindBestSplit(const Dataset& data,
-                                       const WorkingSet& set,
-                                       const SplitScorer& scorer,
-                                       const SplitOptions& options,
-                                       SplitCounters* counters) const = 0;
+  // `counters` may be null. When `pool` is non-null the per-attribute
+  // phases run as pool tasks; the result does not depend on it.
+  SplitCandidate FindBestSplit(const Dataset& data, const WorkingSet& set,
+                               const SplitScorer& scorer,
+                               const SplitOptions& options,
+                               SplitCounters* counters,
+                               TaskPool* pool = nullptr) const;
+
+ protected:
+  // True for finders whose pruning threshold spans all attributes (GP/ES);
+  // they get the extra seed phase, and their attribute scans all stay
+  // alive for the duration of the search.
+  virtual bool NeedsGlobalSeed() const { return false; }
+
+  // Phase 1 for seeded finders: evaluates the attribute's threshold-
+  // seeding candidates (end points for GP, sampled end points for ES) and
+  // returns the best among them. Default: no work, invalid candidate.
+  virtual SplitCandidate SeedAttribute(
+      const split_internal::AttributeContext& ctx, const SplitScorer& scorer,
+      const SplitOptions& options, SplitCounters* counters,
+      split_internal::EvalBuffers* buffers) const;
+
+  // Phase 2: the attribute's full search. `seed` is the merged global
+  // threshold candidate (invalid for the local finders); the running best
+  // starts from it, so pruned finders may return the seed itself when the
+  // attribute holds nothing better.
+  virtual SplitCandidate SearchAttribute(
+      const split_internal::AttributeContext& ctx, const SplitScorer& scorer,
+      const SplitOptions& options, const SplitCandidate& seed,
+      SplitCounters* counters,
+      split_internal::EvalBuffers* buffers) const = 0;
 };
 
 // Creates the finder for `algorithm`.

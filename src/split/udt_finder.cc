@@ -2,7 +2,8 @@
 // position of every attribute: the paper's k(ms-1) candidate sweep. Run on
 // a means-reduced data set this is exactly the classical AVG search over
 // k(m-1) candidates (Section 4.1), so the same implementation serves both
-// names.
+// names. Each attribute's sweep is self-contained, so the base-class
+// engine can run the attributes as parallel tasks.
 
 #include "split/finder_common.h"
 #include "split/finders.h"
@@ -18,26 +19,21 @@ class ExhaustiveFinder final : public SplitFinder {
 
   const char* name() const override { return name_; }
 
-  SplitCandidate FindBestSplit(const Dataset& data, const WorkingSet& set,
-                               const SplitScorer& scorer,
-                               const SplitOptions& options,
-                               SplitCounters* counters) const override {
+ protected:
+  SplitCandidate SearchAttribute(const AttributeContext& ctx,
+                                 const SplitScorer& scorer,
+                                 const SplitOptions& options,
+                                 const SplitCandidate& /*seed*/,
+                                 SplitCounters* counters,
+                                 EvalBuffers* buffers) const override {
     SplitCandidate best;
-    EvalBuffers buffers;
-    for (int j = 0; j < data.num_attributes(); ++j) {
-      AttributeContext ctx = BuildContextForAttribute(
-          data, set, j, options, data.num_classes());
-      if (ctx.scan.empty()) continue;
-      // The last position puts everything left; EvaluatePosition rejects it
-      // via the min-side-mass check, so sweep all but the last.
-      for (int idx = 0; idx + 1 < ctx.scan.num_positions(); ++idx) {
-        EvaluatePosition(ctx, idx, scorer, options, &best, counters,
-                         &buffers);
-      }
-      if (counters != nullptr) {
-        counters->intervals_total +=
-            static_cast<int64_t>(ctx.intervals.size());
-      }
+    // The last position puts everything left; EvaluatePosition rejects it
+    // via the min-side-mass check, so sweep all but the last.
+    for (int idx = 0; idx + 1 < ctx.scan.num_positions(); ++idx) {
+      EvaluatePosition(ctx, idx, scorer, options, &best, counters, buffers);
+    }
+    if (counters != nullptr) {
+      counters->intervals_total += static_cast<int64_t>(ctx.intervals.size());
     }
     return best;
   }

@@ -6,12 +6,15 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/model.h"
 #include "api/trainer.h"
 #include "common/random.h"
 #include "core/classifier.h"
 #include "pdf/pdf_builder.h"
+#include "tree/tree_io.h"
 
 namespace udt {
 namespace {
@@ -291,6 +294,53 @@ TEST(TrainerTest, AveragingOverridesAlgorithm) {
   auto model = Trainer(config).TrainAveraging(ds);
   ASSERT_TRUE(model.ok());
   EXPECT_EQ(model->config().algorithm, SplitAlgorithm::kAvg);
+}
+
+TEST(TrainerTest, ConcurrentTrainingSharesDatasetSafely) {
+  // Concurrent Trainer::Train calls on distinct configs aliasing one
+  // read-only Dataset must be safe — including trainers that themselves
+  // run multi-threaded builds (nested pools). Each result must equal the
+  // tree the same config trains serially in isolation.
+  Dataset ds = MakeDataset(130, 3, 19);
+  const std::vector<SplitAlgorithm> algorithms = {
+      SplitAlgorithm::kUdt, SplitAlgorithm::kUdtBp, SplitAlgorithm::kUdtGp,
+      SplitAlgorithm::kUdtEs};
+
+  std::vector<std::string> expected(algorithms.size());
+  for (size_t i = 0; i < algorithms.size(); ++i) {
+    TreeConfig config;
+    config.algorithm = algorithms[i];
+    auto model = Trainer(config).TrainUdt(ds);
+    ASSERT_TRUE(model.ok());
+    expected[i] = SerializeTree(model->tree());
+  }
+
+  std::vector<std::string> actual(algorithms.size());
+  std::vector<std::string> errors(algorithms.size());
+  {
+    std::vector<std::thread> trainers;
+    trainers.reserve(algorithms.size());
+    for (size_t i = 0; i < algorithms.size(); ++i) {
+      trainers.emplace_back([&ds, &algorithms, &actual, &errors, i] {
+        TreeConfig config;
+        config.algorithm = algorithms[i];
+        config.num_threads = 2;  // nested parallelism inside each trainer
+        auto model = Trainer(config).TrainUdt(ds);
+        if (!model.ok()) {
+          errors[i] = model.status().ToString();
+          return;
+        }
+        actual[i] = SerializeTree(model->tree());
+      });
+    }
+    for (std::thread& t : trainers) t.join();
+  }
+
+  for (size_t i = 0; i < algorithms.size(); ++i) {
+    ASSERT_TRUE(errors[i].empty()) << errors[i];
+    EXPECT_EQ(actual[i], expected[i])
+        << "algorithm " << SplitAlgorithmToString(algorithms[i]);
+  }
 }
 
 TEST(TrainerTest, EmptyDatasetFails) {

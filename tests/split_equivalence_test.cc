@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "common/task_pool.h"
 #include "core/builder.h"
 #include "pdf/pdf_builder.h"
 #include "split/split_finder.h"
@@ -60,6 +61,69 @@ std::string CaseName(const ::testing::TestParamInfo<EquivalenceCase>& info) {
 
 class SplitEquivalenceTest
     : public ::testing::TestWithParam<EquivalenceCase> {};
+
+// The full equivalence matrix of Theorems 2/3: on tie-free data every
+// pruned finder must return the *same split* as the exhaustive search —
+// same attribute, same split point, entropy within 1e-12 — not merely an
+// equally-scored one.
+TEST_P(SplitEquivalenceTest, PrunedFinderMatchesExhaustiveChoice) {
+  const EquivalenceCase& param = GetParam();
+  Dataset ds = GenericDataset(24, 4, 3, 12, param.seed + 9000);
+  WorkingSet set = MakeRootWorkingSet(ds);
+  SplitScorer scorer(param.measure, ClassCounts(ds, set, ds.num_classes()));
+  SplitOptions options;
+  options.measure = param.measure;
+
+  SplitCandidate exhaustive =
+      MakeSplitFinder(SplitAlgorithm::kUdt)
+          ->FindBestSplit(ds, set, scorer, options, nullptr);
+  SplitCandidate pruned =
+      MakeSplitFinder(param.algorithm)
+          ->FindBestSplit(ds, set, scorer, options, nullptr);
+
+  ASSERT_EQ(exhaustive.valid, pruned.valid);
+  if (exhaustive.valid) {
+    EXPECT_EQ(pruned.attribute, exhaustive.attribute);
+    EXPECT_DOUBLE_EQ(pruned.split_point, exhaustive.split_point);
+    EXPECT_NEAR(pruned.score, exhaustive.score, 1e-12);
+  }
+}
+
+// The attribute-parallel scan path must pick the identical candidate —
+// the engine's ordered reduction makes the pool invisible to the result.
+TEST_P(SplitEquivalenceTest, ParallelScanMatchesSerial) {
+  const EquivalenceCase& param = GetParam();
+  Dataset ds = GenericDataset(20, 4, 3, 10, param.seed + 12000);
+  WorkingSet set = MakeRootWorkingSet(ds);
+  SplitScorer scorer(param.measure, ClassCounts(ds, set, ds.num_classes()));
+  SplitOptions options;
+  options.measure = param.measure;
+
+  std::unique_ptr<SplitFinder> finder = MakeSplitFinder(param.algorithm);
+  SplitCounters serial_counters;
+  SplitCandidate serial =
+      finder->FindBestSplit(ds, set, scorer, options, &serial_counters);
+
+  TaskPool pool(3);
+  SplitCounters pooled_counters;
+  SplitCandidate pooled = finder->FindBestSplit(ds, set, scorer, options,
+                                                &pooled_counters, &pool);
+
+  ASSERT_EQ(pooled.valid, serial.valid);
+  if (serial.valid) {
+    EXPECT_EQ(pooled.attribute, serial.attribute);
+    // Bitwise: the same code evaluates the same candidates either way.
+    EXPECT_EQ(pooled.split_point, serial.split_point);
+    EXPECT_EQ(pooled.score, serial.score);
+  }
+  // Same work too, not just the same answer.
+  EXPECT_EQ(pooled_counters.dispersion_evaluations,
+            serial_counters.dispersion_evaluations);
+  EXPECT_EQ(pooled_counters.bound_evaluations,
+            serial_counters.bound_evaluations);
+  EXPECT_EQ(pooled_counters.candidates_pruned,
+            serial_counters.candidates_pruned);
+}
 
 TEST_P(SplitEquivalenceTest, PrunedFinderMatchesExhaustiveScore) {
   const EquivalenceCase& param = GetParam();

@@ -1,0 +1,107 @@
+// Tests for the work-stealing TaskPool underneath the parallel
+// construction engine: completion semantics, nested fork/join from inside
+// tasks, external (non-worker) submissions, and the zero-worker degenerate
+// pool where the waiting thread does all the work.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/task_pool.h"
+
+namespace udt {
+namespace {
+
+TEST(TaskPoolTest, RunsEverySubmittedTask) {
+  TaskPool pool(3);
+  std::atomic<int> count{0};
+  TaskGroup group;
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit(&group, [&count] { ++count; });
+  }
+  pool.Wait(&group);
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(TaskPoolTest, ZeroWorkersDrainOnWait) {
+  // With no worker threads every task runs on the thread inside Wait.
+  TaskPool pool(0);
+  std::atomic<int> count{0};
+  TaskGroup group;
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit(&group, [&count] { ++count; });
+  }
+  pool.Wait(&group);
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(TaskPoolTest, TasksMaySpawnAndWaitForSubtasks) {
+  // The builder's shape: node tasks fork attribute subtasks and join them
+  // before finishing. Two nesting levels, all on a small pool.
+  TaskPool pool(2);
+  std::atomic<int> leaves{0};
+  TaskGroup outer;
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit(&outer, [&pool, &leaves] {
+      TaskGroup inner;
+      for (int j = 0; j < 8; ++j) {
+        pool.Submit(&inner, [&pool, &leaves] {
+          TaskGroup innermost;
+          for (int k = 0; k < 4; ++k) {
+            pool.Submit(&innermost, [&leaves] { ++leaves; });
+          }
+          pool.Wait(&innermost);
+        });
+      }
+      pool.Wait(&inner);
+    });
+  }
+  pool.Wait(&outer);
+  EXPECT_EQ(leaves.load(), 8 * 8 * 4);
+}
+
+TEST(TaskPoolTest, WaitOnEmptyGroupReturnsImmediately) {
+  TaskPool pool(2);
+  TaskGroup group;
+  pool.Wait(&group);  // nothing submitted
+  SUCCEED();
+}
+
+TEST(TaskPoolTest, GroupsCompleteIndependently) {
+  TaskPool pool(2);
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  TaskGroup group_a;
+  TaskGroup group_b;
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit(&group_a, [&a] { ++a; });
+    pool.Submit(&group_b, [&b] { ++b; });
+  }
+  pool.Wait(&group_a);
+  EXPECT_EQ(a.load(), 32);
+  pool.Wait(&group_b);
+  EXPECT_EQ(b.load(), 32);
+}
+
+TEST(TaskPoolTest, EffectiveConcurrencyConvention) {
+  EXPECT_EQ(TaskPool::EffectiveConcurrency(1), 1);
+  EXPECT_EQ(TaskPool::EffectiveConcurrency(7), 7);
+  EXPECT_GE(TaskPool::EffectiveConcurrency(0), 1);  // hardware threads
+}
+
+TEST(TaskPoolTest, ReusableAcrossGroups) {
+  TaskPool pool(2);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    TaskGroup group;
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit(&group, [&count] { ++count; });
+    }
+    pool.Wait(&group);
+    ASSERT_EQ(count.load(), 20) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace udt
