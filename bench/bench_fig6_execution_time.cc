@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
     for (udt::SplitAlgorithm algorithm : kAlgorithms) {
       udt::TreeConfig config;
       config.algorithm = algorithm;
-      // AVG trains on the means view, exactly as AveragingClassifier does.
+      // AVG trains on the means view, as Trainer::TrainAveraging does.
       // Best of two runs at reduced scale to damp cold-start noise.
       int repetitions = options.full ? 1 : 2;
       double seconds = 0.0;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "api/predict_session.h"
 #include "api/trainer.h"
 #include "common/random.h"
 #include "common/timer.h"
@@ -123,10 +124,20 @@ void BM_PredictBatch(benchmark::State& state) {
   config.algorithm = SplitAlgorithm::kUdtEs;
   auto model = Trainer(config).TrainUdt(ds);
   UDT_CHECK(model.ok());
+  // A long-lived session, as a serving worker would hold: the flat
+  // traversal runs out of reusable scratch, so the steady state is
+  // allocation-free per tuple.
+  PredictSession session(model->Compile());
   PredictOptions options;
   options.num_threads = static_cast<int>(state.range(0));
+  FlatBatchResult result;
   for (auto _ : state) {
-    BatchResult result = model->PredictBatch(ds, options);
+    UDT_CHECK(session
+                  .PredictBatchInto(
+                      std::span<const UncertainTuple>(ds.tuples().data(),
+                                                      ds.tuples().size()),
+                      options, &result)
+                  .ok());
     benchmark::DoNotOptimize(result.labels.data());
   }
   state.SetItemsProcessed(state.iterations() * ds.num_tuples());

@@ -7,7 +7,9 @@
 //   3. train a distribution-based udt::Model with udt::Trainer
 //   4. persist the model to disk with Model::Save and load it back with
 //      Model::Load (schema and config travel inside the file)
-//   5. extract human-readable IF-THEN rules and a Graphviz rendering
+//   5. compile a serving artifact (CompiledModel::Save / Load) and check
+//      the reloaded flat layout serves identical predictions
+//   6. extract human-readable IF-THEN rules and a Graphviz rendering
 //
 // Run: build/examples/csv_workflow [output-directory]
 
@@ -15,6 +17,7 @@
 #include <fstream>
 #include <string>
 
+#include "api/predict_session.h"
 #include "api/trainer.h"
 #include "common/random.h"
 #include "common/string_util.h"
@@ -81,9 +84,10 @@ int main(int argc, char** argv) {
   udt::Trainer trainer(config);
   auto model = trainer.TrainUdt(train);
   UDT_CHECK(model.ok());
+  udt::PredictSession session(model->Compile());
   std::printf("trained UDT tree (%s), test accuracy %.3f\n",
               udt::TreeSummary(model->tree()).c_str(),
-              udt::EvaluateAccuracy(*model, test));
+              udt::EvaluateAccuracy(session, test));
 
   // 4. Persist and reload. The model file is self-contained: kind, schema
   // and training config ride along with the tree.
@@ -92,11 +96,26 @@ int main(int argc, char** argv) {
   auto restored = udt::Model::Load(model_path);
   UDT_CHECK(restored.ok());
   UDT_CHECK(udt::EvaluateAccuracy(*restored, test) ==
-            udt::EvaluateAccuracy(*model, test));
+            udt::EvaluateAccuracy(session, test));
   std::printf("model persisted to %s and reloaded: predictions identical\n",
               model_path.c_str());
 
-  // 5. Rules and Graphviz.
+  // 5. The serving artifact: the flat compiled layout has its own
+  // versioned container, so serving fleets can ship it without the
+  // training config, and Load rebuilds the identical in-memory layout.
+  std::string compiled_path = out_dir + "/udt_wine.compiled";
+  UDT_CHECK(session.model().Save(compiled_path).ok());
+  auto compiled = udt::CompiledModel::Load(compiled_path);
+  UDT_CHECK(compiled.ok());
+  UDT_CHECK(compiled->LayoutEquals(session.model()));
+  udt::PredictSession reloaded_session(*compiled);
+  UDT_CHECK(udt::EvaluateAccuracy(reloaded_session, test) ==
+            udt::EvaluateAccuracy(session, test));
+  std::printf("compiled artifact (%d flat nodes) persisted to %s and "
+              "reloaded layout-identical\n",
+              compiled->num_nodes(), compiled_path.c_str());
+
+  // 6. Rules and Graphviz.
   udt::RuleSet rules = udt::RuleSet::FromTree(model->tree());
   std::printf("\nextracted %d rules (top by support):\n", rules.num_rules());
   std::string all_rules = rules.ToString();

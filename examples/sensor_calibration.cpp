@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "api/predict_session.h"
 #include "api/trainer.h"
 #include "common/random.h"
 #include "eval/metrics.h"
@@ -98,15 +99,19 @@ int main() {
   config.algorithm = udt::SplitAlgorithm::kUdtEs;
   udt::Trainer trainer(config);
 
+  // Both model kinds are served the same way: compile once, evaluate
+  // through a reusable session.
   auto avg = trainer.TrainAveraging(train);
   UDT_CHECK(avg.ok());
-  udt::ConfusionMatrix avg_matrix = udt::EvaluateConfusion(*avg, test);
+  udt::PredictSession avg_session(avg->Compile());
+  udt::ConfusionMatrix avg_matrix = udt::EvaluateConfusion(avg_session, test);
   std::printf("AVG (readings as point values):  accuracy %.4f\n",
               avg_matrix.Accuracy());
 
   auto dist = trainer.TrainUdt(train);
   UDT_CHECK(dist.ok());
-  udt::ConfusionMatrix udt_matrix = udt::EvaluateConfusion(*dist, test);
+  udt::PredictSession udt_session(dist->Compile());
+  udt::ConfusionMatrix udt_matrix = udt::EvaluateConfusion(udt_session, test);
   std::printf("UDT (instrument-error pdfs):     accuracy %.4f\n\n",
               udt_matrix.Accuracy());
 
@@ -126,7 +131,7 @@ int main() {
       udt::UncertainValue::Numerical(std::move(*temp_pdf)));
   borderline.values.push_back(
       udt::UncertainValue::Numerical(std::move(*hr_pdf)));
-  std::vector<double> p = dist->ClassifyDistribution(borderline);
+  std::vector<double> p = udt_session.ClassifyDistribution(borderline);
   std::printf("borderline patient (37.9 C, 88 bpm):\n");
   for (int c = 0; c < ds.num_classes(); ++c) {
     std::printf("  P(%-12s) = %.3f\n", ds.schema().class_name(c).c_str(),

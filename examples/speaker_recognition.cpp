@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "api/predict_session.h"
 #include "api/trainer.h"
 #include "common/random.h"
 #include "datagen/japanese_vowel.h"
@@ -35,14 +36,16 @@ int main() {
 
   auto avg = trainer.TrainAveraging(train);
   UDT_CHECK(avg.ok());
-  double avg_accuracy = udt::EvaluateAccuracy(*avg, test);
+  udt::PredictSession avg_session(avg->Compile());
+  double avg_accuracy = udt::EvaluateAccuracy(avg_session, test);
   std::printf("AVG (per-utterance means):       accuracy %.4f\n",
               avg_accuracy);
 
   udt::BuildStats stats;
   auto dist = trainer.TrainUdt(train, &stats);
   UDT_CHECK(dist.ok());
-  udt::ConfusionMatrix matrix = udt::EvaluateConfusion(*dist, test);
+  udt::PredictSession udt_session(dist->Compile());
+  udt::ConfusionMatrix matrix = udt::EvaluateConfusion(udt_session, test);
   std::printf("UDT (empirical sample pdfs):     accuracy %.4f\n",
               matrix.Accuracy());
   std::printf("paper reference on the real data set: 81.89%% -> 87.30%%\n\n");

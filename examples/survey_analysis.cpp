@@ -17,6 +17,7 @@
 
 #include <cstdio>
 
+#include "api/predict_session.h"
 #include "api/trainer.h"
 #include "common/random.h"
 #include "eval/metrics.h"
@@ -100,11 +101,13 @@ int main() {
     auto avg = trainer.TrainAveraging(train);
     auto dist = trainer.TrainUdt(train);
     UDT_CHECK(avg.ok() && dist.ok());
+    udt::PredictSession avg_session(avg->Compile());
+    udt::PredictSession udt_session(dist->Compile());
     std::printf("%-11s  AVG accuracy %.4f   UDT accuracy %.4f   "
                 "(UDT tree: %d nodes)\n",
                 udt::DispersionMeasureToString(measure),
-                udt::EvaluateAccuracy(*avg, test),
-                udt::EvaluateAccuracy(*dist, test),
+                udt::EvaluateAccuracy(avg_session, test),
+                udt::EvaluateAccuracy(udt_session, test),
                 dist->tree().num_nodes());
   }
 
@@ -128,13 +131,17 @@ int main() {
   respondent.values.push_back(
       udt::UncertainValue::Categorical(std::move(*content)));
 
-  std::vector<double> p = model->ClassifyDistribution(respondent);
+  // Serve the new respondent through the streaming session entry point.
+  udt::PredictSession session(model->Compile());
+  session.Push(respondent);
+  udt::FlatBatchResult stream;
+  session.Drain(&stream);
   std::printf("\nnew respondent (TV 9-12h, online 15-18h, mixed content):\n");
   for (int c = 0; c < ds.num_classes(); ++c) {
     std::printf("  P(%-8s) = %.3f\n", ds.schema().class_name(c).c_str(),
-                p[static_cast<size_t>(c)]);
+                stream.distribution(0)[static_cast<size_t>(c)]);
   }
   std::printf("-> recommended tier: %s\n",
-              ds.schema().class_name(model->Predict(respondent)).c_str());
+              ds.schema().class_name(stream.labels[0]).c_str());
   return 0;
 }

@@ -2,11 +2,10 @@
 
 #include <fstream>
 #include <sstream>
-#include <thread>
 #include <utility>
 
+#include "api/predict_session.h"
 #include "common/string_util.h"
-#include "common/timer.h"
 #include "tree/classify.h"
 #include "tree/tree_io.h"
 
@@ -138,60 +137,18 @@ int Model::Predict(const UncertainTuple& tuple) const {
   return ArgMax(ClassifyDistribution(tuple));
 }
 
-BatchResult Model::PredictBatch(std::span<const UncertainTuple> tuples,
-                                const PredictOptions& options) const {
-  WallTimer batch_timer;
-  const size_t n = tuples.size();
-
-  BatchResult result;
-  result.distributions.resize(n);
-  result.labels.resize(n);
-  if (options.collect_timings) result.tuple_seconds.resize(n);
-
-  int num_threads = options.num_threads;
-  if (num_threads > static_cast<int>(n)) num_threads = static_cast<int>(n);
-  if (num_threads < 1) num_threads = 1;
-  result.num_threads_used = num_threads;
-
-  // Each worker owns a contiguous [begin, end) shard and writes every
-  // result straight into its final slot — no merge step, no reordering, so
-  // the output is independent of the shard layout.
-  auto classify_range = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      if (options.collect_timings) {
-        WallTimer tuple_timer;
-        result.distributions[i] = ClassifyDistribution(tuples[i]);
-        result.tuple_seconds[i] = tuple_timer.ElapsedSeconds();
-      } else {
-        result.distributions[i] = ClassifyDistribution(tuples[i]);
-      }
-      result.labels[i] = ArgMax(result.distributions[i]);
-    }
-  };
-
-  if (num_threads == 1) {
-    classify_range(0, n);
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<size_t>(num_threads));
-    const size_t per_shard = n / static_cast<size_t>(num_threads);
-    const size_t remainder = n % static_cast<size_t>(num_threads);
-    size_t begin = 0;
-    for (int t = 0; t < num_threads; ++t) {
-      const size_t len =
-          per_shard + (static_cast<size_t>(t) < remainder ? 1 : 0);
-      workers.emplace_back(classify_range, begin, begin + len);
-      begin += len;
-    }
-    for (std::thread& worker : workers) worker.join();
-  }
-
-  result.total_seconds = batch_timer.ElapsedSeconds();
-  return result;
+StatusOr<BatchResult> Model::PredictBatch(
+    std::span<const UncertainTuple> tuples,
+    const PredictOptions& options) const {
+  // Thin shim over the compiled serving path: flatten once, run one
+  // session. Callers with steady traffic should Compile() once and hold
+  // their own PredictSession to amortise the flattening.
+  PredictSession session(Compile());
+  return session.PredictBatch(tuples, options);
 }
 
-BatchResult Model::PredictBatch(const Dataset& data,
-                                const PredictOptions& options) const {
+StatusOr<BatchResult> Model::PredictBatch(
+    const Dataset& data, const PredictOptions& options) const {
   return PredictBatch(
       std::span<const UncertainTuple>(data.tuples().data(),
                                       data.tuples().size()),

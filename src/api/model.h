@@ -23,6 +23,8 @@
 
 namespace udt {
 
+class CompiledModel;
+
 // What the model does with a test tuple before traversal.
 enum class ModelKind {
   kAveraging,          // AVG (Section 4.1): tuple reduced to its means
@@ -35,8 +37,10 @@ const char* ModelKindToString(ModelKind kind);
 
 // Knobs for one PredictBatch call.
 struct PredictOptions {
-  // Worker threads the batch is sharded over. <= 1 runs inline on the
-  // calling thread; values above the batch size are clamped.
+  // Worker threads the batch is sharded over: 1 runs inline on the calling
+  // thread, 0 uses one thread per hardware thread, values above the batch
+  // size are clamped. Negative values are rejected with an InvalidArgument
+  // Status (they used to silently run inline).
   int num_threads = 1;
 
   // When true, BatchResult::tuple_seconds records per-tuple wall time
@@ -94,16 +98,25 @@ class Model {
   // Argmax of ClassifyDistribution (ties -> lowest class id).
   int Predict(const UncertainTuple& tuple) const;
 
-  // Classifies a batch. With options.num_threads > 1 the batch is sharded
-  // into contiguous chunks over a std::thread worker pool; results are
+  // Flattens the tree into an immutable, shareable serving artifact
+  // (api/compiled_model.h). The compiled model classifies
+  // bitwise-identically to this one; serving code should compile once and
+  // hold udt::PredictSession values over the result.
+  CompiledModel Compile() const;
+
+  // Classifies a batch. A thin shim over the compiled path: compiles the
+  // tree and runs one PredictSession over it (options.num_threads workers;
+  // 0 = one per hardware thread, negative = InvalidArgument). Results are
   // written straight into their final slots, so the output is bitwise
-  // identical to the single-threaded loop for any thread count.
-  BatchResult PredictBatch(std::span<const UncertainTuple> tuples,
-                           const PredictOptions& options = {}) const;
+  // identical to the single-threaded loop for any thread count — and to
+  // the pointer-tree ClassifyDistribution above. Steady-traffic callers
+  // should hold a PredictSession instead of paying the per-call compile.
+  StatusOr<BatchResult> PredictBatch(std::span<const UncertainTuple> tuples,
+                                     const PredictOptions& options = {}) const;
 
   // Convenience: classify every tuple of a data set.
-  BatchResult PredictBatch(const Dataset& data,
-                           const PredictOptions& options = {}) const;
+  StatusOr<BatchResult> PredictBatch(const Dataset& data,
+                                     const PredictOptions& options = {}) const;
 
   // -------------------------------------------------------- persistence
 

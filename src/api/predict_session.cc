@@ -1,0 +1,232 @@
+#include "api/predict_session.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "tree/classify.h"
+
+namespace udt {
+namespace {
+
+// Runs fn(worker, begin, end) over `num_threads` contiguous shards of
+// [0, n). Workers write only into their own slice, so the output is
+// independent of the shard layout.
+template <typename Fn>
+void ForEachShard(size_t n, int num_threads, Fn fn) {
+  if (num_threads == 1) {
+    fn(0, size_t{0}, n);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_threads));
+  const size_t per_shard = n / static_cast<size_t>(num_threads);
+  const size_t remainder = n % static_cast<size_t>(num_threads);
+  size_t begin = 0;
+  for (int t = 0; t < num_threads; ++t) {
+    const size_t len = per_shard + (static_cast<size_t>(t) < remainder ? 1 : 0);
+    workers.emplace_back(fn, t, begin, begin + len);
+    begin += len;
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace
+
+PredictSession::PredictSession(CompiledModel model)
+    : model_(std::move(model)) {
+  stream_.num_classes = model_.num_classes();
+}
+
+FlatTraversalScratch* PredictSession::ScratchFor(size_t index) {
+  while (scratch_.size() <= index) {
+    scratch_.push_back(std::make_unique<FlatTraversalScratch>());
+  }
+  return scratch_[index].get();
+}
+
+void PredictSession::CheckTuple(const UncertainTuple& tuple) const {
+  UDT_CHECK(tuple.values.size() ==
+            static_cast<size_t>(model_.schema().num_attributes()));
+}
+
+void PredictSession::ClassifyInto(const UncertainTuple& tuple, double* out) {
+  CheckTuple(tuple);
+  FlatTraversalScratch* scratch = ScratchFor(0);
+  if (model_.kind() == ModelKind::kAveraging) {
+    ClassifyFlatMeans(model_.flat_tree(), tuple, scratch, out);
+  } else {
+    ClassifyFlat(model_.flat_tree(), tuple, scratch, out);
+  }
+}
+
+std::vector<double> PredictSession::ClassifyDistribution(
+    const UncertainTuple& tuple) {
+  std::vector<double> out(static_cast<size_t>(num_classes()));
+  ClassifyInto(tuple, out.data());
+  return out;
+}
+
+int PredictSession::Predict(const UncertainTuple& tuple) {
+  // Reuse the streaming row buffer so repeated Predict calls stay
+  // allocation-free once warm.
+  const size_t k = static_cast<size_t>(num_classes());
+  const size_t offset = stream_.distributions.size();
+  stream_.distributions.resize(offset + k);
+  ClassifyInto(tuple, stream_.distributions.data() + offset);
+  int best = 0;
+  const double* row = stream_.distributions.data() + offset;
+  for (size_t c = 1; c < k; ++c) {
+    if (row[c] > row[static_cast<size_t>(best)]) best = static_cast<int>(c);
+  }
+  stream_.distributions.resize(offset);
+  return best;
+}
+
+StatusOr<int> PredictSession::ResolveThreads(int num_threads,
+                                             size_t batch_size) const {
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        StrFormat("PredictOptions::num_threads must be >= 0, got %d "
+                  "(0 = one per hardware thread)",
+                  num_threads));
+  }
+  if (num_threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  if (num_threads > static_cast<int>(batch_size)) {
+    num_threads = static_cast<int>(batch_size);
+  }
+  return std::max(num_threads, 1);
+}
+
+Status PredictSession::PredictBatchInto(
+    std::span<const UncertainTuple> tuples, const PredictOptions& options,
+    FlatBatchResult* out) {
+  UDT_CHECK(out != nullptr);
+  const size_t n = tuples.size();
+  const size_t k = static_cast<size_t>(num_classes());
+  UDT_ASSIGN_OR_RETURN(int num_threads, ResolveThreads(options.num_threads, n));
+
+  out->num_classes = static_cast<int>(k);
+  out->distributions.resize(n * k);
+  out->labels.resize(n);
+
+  const FlatTree& flat = model_.flat_tree();
+  const bool averaging = model_.kind() == ModelKind::kAveraging;
+  auto classify_range = [&](int worker, size_t begin, size_t end) {
+    FlatTraversalScratch* scratch = ScratchFor(static_cast<size_t>(worker));
+    for (size_t i = begin; i < end; ++i) {
+      double* row = out->distributions.data() + i * k;
+      if (averaging) {
+        ClassifyFlatMeans(flat, tuples[i], scratch, row);
+      } else {
+        ClassifyFlat(flat, tuples[i], scratch, row);
+      }
+      int best = 0;
+      for (size_t c = 1; c < k; ++c) {
+        if (row[c] > row[static_cast<size_t>(best)]) {
+          best = static_cast<int>(c);
+        }
+      }
+      out->labels[i] = best;
+    }
+  };
+
+  for (size_t i = 0; i < n; ++i) CheckTuple(tuples[i]);
+  // Scratch slots must exist before workers start: ScratchFor mutates the
+  // pool vector, which is not safe concurrently.
+  for (int t = 0; t < num_threads; ++t) ScratchFor(static_cast<size_t>(t));
+
+  ForEachShard(n, num_threads, classify_range);
+  return Status::OK();
+}
+
+StatusOr<BatchResult> PredictSession::PredictBatch(
+    std::span<const UncertainTuple> tuples, const PredictOptions& options) {
+  WallTimer batch_timer;
+  const size_t n = tuples.size();
+  const size_t k = static_cast<size_t>(num_classes());
+  UDT_ASSIGN_OR_RETURN(int num_threads, ResolveThreads(options.num_threads, n));
+
+  BatchResult result;
+  result.distributions.resize(n);
+  result.labels.resize(n);
+  if (options.collect_timings) result.tuple_seconds.resize(n);
+  result.num_threads_used = num_threads;
+
+  const FlatTree& flat = model_.flat_tree();
+  const bool averaging = model_.kind() == ModelKind::kAveraging;
+  auto classify_one = [&](FlatTraversalScratch* scratch, size_t i) {
+    std::vector<double>& row = result.distributions[i];
+    row.resize(k);
+    if (averaging) {
+      ClassifyFlatMeans(flat, tuples[i], scratch, row.data());
+    } else {
+      ClassifyFlat(flat, tuples[i], scratch, row.data());
+    }
+    result.labels[i] = ArgMax(row);
+  };
+  auto classify_range = [&](int worker, size_t begin, size_t end) {
+    FlatTraversalScratch* scratch = ScratchFor(static_cast<size_t>(worker));
+    for (size_t i = begin; i < end; ++i) {
+      if (options.collect_timings) {
+        WallTimer tuple_timer;
+        classify_one(scratch, i);
+        result.tuple_seconds[i] = tuple_timer.ElapsedSeconds();
+      } else {
+        classify_one(scratch, i);
+      }
+    }
+  };
+
+  for (size_t i = 0; i < n; ++i) CheckTuple(tuples[i]);
+  for (int t = 0; t < num_threads; ++t) ScratchFor(static_cast<size_t>(t));
+
+  ForEachShard(n, num_threads, classify_range);
+
+  result.total_seconds = batch_timer.ElapsedSeconds();
+  return result;
+}
+
+StatusOr<BatchResult> PredictSession::PredictBatch(
+    const Dataset& data, const PredictOptions& options) {
+  return PredictBatch(std::span<const UncertainTuple>(data.tuples().data(),
+                                                      data.tuples().size()),
+                      options);
+}
+
+void PredictSession::Push(const UncertainTuple& tuple) {
+  CheckTuple(tuple);
+  const size_t k = static_cast<size_t>(num_classes());
+  const size_t offset = stream_.distributions.size();
+  stream_.distributions.resize(offset + k);
+  double* row = stream_.distributions.data() + offset;
+  FlatTraversalScratch* scratch = ScratchFor(0);
+  if (model_.kind() == ModelKind::kAveraging) {
+    ClassifyFlatMeans(model_.flat_tree(), tuple, scratch, row);
+  } else {
+    ClassifyFlat(model_.flat_tree(), tuple, scratch, row);
+  }
+  int best = 0;
+  for (size_t c = 1; c < k; ++c) {
+    if (row[c] > row[static_cast<size_t>(best)]) best = static_cast<int>(c);
+  }
+  stream_.labels.push_back(best);
+}
+
+void PredictSession::Drain(FlatBatchResult* out) {
+  UDT_CHECK(out != nullptr);
+  out->num_classes = num_classes();
+  // Swap, don't copy: the caller's old buffers become the next stream
+  // storage, keeping the steady state allocation-free in both directions.
+  std::swap(out->distributions, stream_.distributions);
+  std::swap(out->labels, stream_.labels);
+  stream_.Clear();
+}
+
+}  // namespace udt

@@ -1,0 +1,124 @@
+// udt::PredictSession — the per-worker serving handle of the prediction
+// API. A session borrows an immutable CompiledModel (shared, never copied)
+// and owns every piece of mutable state a prediction needs: per-thread
+// traversal scratch (fractional-mass stacks, constraint arrays) and the
+// streaming output buffers. All of it is reused call to call, so
+// steady-state prediction performs zero heap allocations per tuple.
+//
+// The intended deployment shape:
+//
+//   Model model = *Model::Load(path);          // source of truth
+//   CompiledModel compiled = model.Compile();  // immutable, share freely
+//   // ... one PredictSession per worker thread:
+//   PredictSession session(compiled);
+//   auto result = session.PredictBatch(tuples);
+//
+// A session is cheap to construct and NOT thread-safe: give each request
+// worker its own. (PredictBatch with num_threads > 1 shards over internal
+// std::threads, each with its own scratch slot — that is safe; two
+// concurrent calls into one session are not.)
+
+#ifndef UDT_API_PREDICT_SESSION_H_
+#define UDT_API_PREDICT_SESSION_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "api/compiled_model.h"
+#include "api/model.h"
+#include "common/statusor.h"
+#include "tree/flat_tree.h"
+
+namespace udt {
+
+// Flat batch output: one row-major buffer instead of one vector per tuple.
+// Reused across PredictBatchInto calls, so a warm serving loop allocates
+// nothing at all.
+struct FlatBatchResult {
+  // Tuple i's distribution occupies [i * num_classes, (i+1) * num_classes).
+  std::vector<double> distributions;
+  // Argmax labels, index-aligned with the input batch.
+  std::vector<int> labels;
+  int num_classes = 0;
+
+  size_t size() const { return labels.size(); }
+  std::span<const double> distribution(size_t i) const {
+    return std::span<const double>(
+        distributions.data() + i * static_cast<size_t>(num_classes),
+        static_cast<size_t>(num_classes));
+  }
+  void Clear() {
+    distributions.clear();
+    labels.clear();
+  }
+};
+
+class PredictSession {
+ public:
+  explicit PredictSession(CompiledModel model);
+
+  const CompiledModel& model() const { return model_; }
+  int num_classes() const { return model_.num_classes(); }
+
+  // ------------------------------------------------------- single tuple
+
+  // Classifies one tuple into caller storage (num_classes doubles). The
+  // zero-allocation primitive every other entry point builds on.
+  void ClassifyInto(const UncertainTuple& tuple, double* out);
+
+  // Convenience allocating forms, result-compatible with the Model ones.
+  std::vector<double> ClassifyDistribution(const UncertainTuple& tuple);
+  int Predict(const UncertainTuple& tuple);
+
+  // -------------------------------------------------------------- batch
+
+  // Classifies a batch, sharded over options.num_threads workers (0 = one
+  // per hardware thread, 1 = inline; negative is an InvalidArgument
+  // error). Shards write straight into their final slots, so the result is
+  // bitwise-identical to the inline loop for every thread count — and to
+  // the pointer-tree traversal of the model this session was compiled
+  // from.
+  StatusOr<BatchResult> PredictBatch(std::span<const UncertainTuple> tuples,
+                                     const PredictOptions& options = {});
+  StatusOr<BatchResult> PredictBatch(const Dataset& data,
+                                     const PredictOptions& options = {});
+
+  // Same computation, flat output, no per-tuple allocation: `out` buffers
+  // are reused between calls once warm.
+  Status PredictBatchInto(std::span<const UncertainTuple> tuples,
+                          const PredictOptions& options,
+                          FlatBatchResult* out);
+
+  // ---------------------------------------------------------- streaming
+
+  // Classifies `tuple` immediately (inline, on the calling thread) and
+  // appends the result to the session's streaming buffer. Amortised
+  // allocation-free once the buffer is warm.
+  void Push(const UncertainTuple& tuple);
+
+  // Number of results accumulated since the last Drain.
+  size_t pending() const { return stream_.labels.size(); }
+
+  // Moves the accumulated results into `out` (its previous buffers are
+  // recycled as the session's next streaming storage) and resets the
+  // stream.
+  void Drain(FlatBatchResult* out);
+
+ private:
+  // Scratch slot for worker `index`, created on first use, reused after.
+  FlatTraversalScratch* ScratchFor(size_t index);
+
+  // Resolves PredictOptions::num_threads against the batch size.
+  StatusOr<int> ResolveThreads(int num_threads, size_t batch_size) const;
+
+  void CheckTuple(const UncertainTuple& tuple) const;
+
+  CompiledModel model_;
+  std::vector<std::unique_ptr<FlatTraversalScratch>> scratch_;
+  FlatBatchResult stream_;
+};
+
+}  // namespace udt
+
+#endif  // UDT_API_PREDICT_SESSION_H_

@@ -17,7 +17,7 @@ namespace udt {
 struct TreeConfig {
   // Split-search algorithm. All UDT variants build the same tree (safe
   // pruning); they differ only in construction cost. kAvg is meaningful on
-  // means-reduced data (see AveragingClassifier).
+  // means-reduced data (see Trainer::TrainAveraging).
   SplitAlgorithm algorithm = SplitAlgorithm::kUdtEs;
 
   DispersionMeasure measure = DispersionMeasure::kEntropy;

@@ -26,7 +26,10 @@ StatusOr<CrossValidationResult> RunCrossValidation(const Dataset& data,
     if (train.empty() || test.empty()) continue;
     BuildStats stats;
     UDT_ASSIGN_OR_RETURN(Model model, trainer.Train(train, kind, &stats));
-    double accuracy = EvaluateAccuracy(model, test);
+    // Evaluate through the serving path: compile the fold's tree once and
+    // run a session over the held-out fold.
+    PredictSession session(model.Compile());
+    double accuracy = EvaluateAccuracy(session, test);
     result.fold_accuracies.push_back(accuracy);
     result.total_build_stats.counters += stats.counters;
     result.total_build_stats.nodes += stats.nodes;

@@ -71,33 +71,31 @@ std::string ConfusionMatrix::ToString(
   return out;
 }
 
-ConfusionMatrix EvaluateConfusion(const Model& model, const Dataset& test,
+ConfusionMatrix EvaluateConfusion(PredictSession& session, const Dataset& test,
                                   const PredictOptions& options) {
-  BatchResult batch = model.PredictBatch(test, options);
+  StatusOr<BatchResult> batch = session.PredictBatch(test, options);
+  UDT_CHECK(batch.ok());
   ConfusionMatrix matrix(test.num_classes());
   for (int i = 0; i < test.num_tuples(); ++i) {
-    matrix.Add(test.tuple(i).label, batch.labels[static_cast<size_t>(i)]);
+    matrix.Add(test.tuple(i).label, batch->labels[static_cast<size_t>(i)]);
   }
   return matrix;
+}
+
+double EvaluateAccuracy(PredictSession& session, const Dataset& test,
+                        const PredictOptions& options) {
+  return EvaluateConfusion(session, test, options).Accuracy();
+}
+
+ConfusionMatrix EvaluateConfusion(const Model& model, const Dataset& test,
+                                  const PredictOptions& options) {
+  PredictSession session(model.Compile());
+  return EvaluateConfusion(session, test, options);
 }
 
 double EvaluateAccuracy(const Model& model, const Dataset& test,
                         const PredictOptions& options) {
   return EvaluateConfusion(model, test, options).Accuracy();
-}
-
-ConfusionMatrix EvaluateConfusion(const Classifier& classifier,
-                                  const Dataset& test) {
-  ConfusionMatrix matrix(test.num_classes());
-  for (int i = 0; i < test.num_tuples(); ++i) {
-    const UncertainTuple& tuple = test.tuple(i);
-    matrix.Add(tuple.label, classifier.Predict(tuple));
-  }
-  return matrix;
-}
-
-double EvaluateAccuracy(const Classifier& classifier, const Dataset& test) {
-  return EvaluateConfusion(classifier, test).Accuracy();
 }
 
 }  // namespace udt

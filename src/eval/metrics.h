@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "api/model.h"
-#include "core/classifier.h"
+#include "api/predict_session.h"
 #include "table/dataset.h"
 
 namespace udt {
@@ -40,19 +40,20 @@ class ConfusionMatrix {
   std::vector<int64_t> cells_;  // row-major [true][predicted]
 };
 
-// Classifies every tuple of `test` (one PredictBatch call) and tallies the
-// matrix. `options` controls batch sharding.
-ConfusionMatrix EvaluateConfusion(const Model& model, const Dataset& test,
+// Classifies every tuple of `test` through an existing serving session
+// (one PredictBatch call) and tallies the matrix. `options` controls batch
+// sharding and must be valid (a negative thread count is a checked error;
+// validate it at the serving edge with PredictSession::PredictBatch).
+ConfusionMatrix EvaluateConfusion(PredictSession& session, const Dataset& test,
                                   const PredictOptions& options = {});
-
-// Convenience: accuracy on `test`.
-double EvaluateAccuracy(const Model& model, const Dataset& test,
+double EvaluateAccuracy(PredictSession& session, const Dataset& test,
                         const PredictOptions& options = {});
 
-// DEPRECATED overloads for the legacy per-tuple Classifier hierarchy.
-ConfusionMatrix EvaluateConfusion(const Classifier& classifier,
-                                  const Dataset& test);
-double EvaluateAccuracy(const Classifier& classifier, const Dataset& test);
+// Convenience overloads that compile `model` and run a one-shot session.
+ConfusionMatrix EvaluateConfusion(const Model& model, const Dataset& test,
+                                  const PredictOptions& options = {});
+double EvaluateAccuracy(const Model& model, const Dataset& test,
+                        const PredictOptions& options = {});
 
 }  // namespace udt
 

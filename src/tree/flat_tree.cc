@@ -1,0 +1,260 @@
+#include "tree/flat_tree.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <map>
+
+#include "common/logging.h"
+#include "split/fractional_tuple.h"
+
+namespace udt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Leaf distributions are pooled by exact bit pattern: probabilities that
+// compare equal but differ in representation (there are none today, but
+// -0.0 vs 0.0 would) must not be merged, or the compiled path could stop
+// being bitwise-faithful to the pointer path.
+std::vector<uint64_t> BitKey(const std::vector<double>& values) {
+  std::vector<uint64_t> key;
+  key.reserve(values.size());
+  for (double v : values) key.push_back(std::bit_cast<uint64_t>(v));
+  return key;
+}
+
+}  // namespace
+
+int FlatTree::num_leaves() const {
+  int leaves = 0;
+  for (uint8_t k : kind) {
+    if (static_cast<FlatNodeKind>(k) == FlatNodeKind::kLeaf) ++leaves;
+  }
+  return leaves;
+}
+
+FlatTree FlattenTree(const DecisionTree& tree) {
+  FlatTree flat;
+  flat.num_classes = tree.schema().num_classes();
+
+  // Pass 1: assign breadth-first ids. The worklist holds pointers in id
+  // order; a node's children are appended together, so a numerical node's
+  // right child always lands at left-id + 1.
+  std::vector<const TreeNode*> order;
+  order.push_back(&tree.root());
+  for (size_t i = 0; i < order.size(); ++i) {
+    const TreeNode* node = order[i];
+    if (node->is_leaf()) continue;
+    if (node->is_categorical) {
+      for (const std::unique_ptr<TreeNode>& child : node->children) {
+        if (child != nullptr) order.push_back(child.get());
+      }
+    } else {
+      order.push_back(node->left.get());
+      order.push_back(node->right.get());
+    }
+  }
+
+  const size_t n = order.size();
+  flat.kind.reserve(n);
+  flat.attribute.reserve(n);
+  flat.split_point.reserve(n);
+  flat.first.reserve(n);
+  flat.num_children.reserve(n);
+
+  // Pass 2: emit records. next_child tracks the id the next enqueued child
+  // received in pass 1; the two passes enqueue in identical order.
+  std::map<std::vector<uint64_t>, int32_t> pooled_leaves;
+  int32_t next_child = 1;
+  for (const TreeNode* node : order) {
+    if (node->is_leaf()) {
+      flat.kind.push_back(static_cast<uint8_t>(FlatNodeKind::kLeaf));
+      flat.attribute.push_back(-1);
+      flat.split_point.push_back(0.0);
+      flat.num_children.push_back(0);
+      auto [it, inserted] = pooled_leaves.emplace(
+          BitKey(node->distribution),
+          static_cast<int32_t>(flat.leaf_values.size()));
+      if (inserted) {
+        flat.leaf_values.insert(flat.leaf_values.end(),
+                                node->distribution.begin(),
+                                node->distribution.end());
+      }
+      flat.first.push_back(it->second);
+      continue;
+    }
+    flat.attribute.push_back(node->attribute);
+    if (node->is_categorical) {
+      flat.kind.push_back(static_cast<uint8_t>(FlatNodeKind::kCategorical));
+      flat.split_point.push_back(0.0);
+      flat.first.push_back(static_cast<int32_t>(flat.child_table.size()));
+      flat.num_children.push_back(static_cast<int32_t>(node->children.size()));
+      for (const std::unique_ptr<TreeNode>& child : node->children) {
+        flat.child_table.push_back(child != nullptr ? next_child++ : -1);
+      }
+    } else {
+      flat.kind.push_back(static_cast<uint8_t>(FlatNodeKind::kNumerical));
+      flat.split_point.push_back(node->split_point);
+      flat.first.push_back(next_child);
+      flat.num_children.push_back(0);
+      next_child += 2;
+    }
+  }
+  UDT_DCHECK(static_cast<size_t>(next_child) == n);
+  return flat;
+}
+
+// ---------------------------------------------------------------- kernels
+//
+// PropagateFlat mirrors the Propagate recursion of tree/classify.cc
+// statement for statement, reading struct-of-arrays records instead of
+// chasing TreeNode pointers. Identical control flow over identical
+// constraint state means the identical sequence of ConstrainedMass /
+// ConditionalCdf evaluations, weight products and leaf accumulations — the
+// bitwise guarantee. The only per-tuple storage is the constraint arrays
+// in the reusable scratch; recursion locals live on the machine stack, so
+// the kernel performs no heap allocation.
+
+namespace {
+
+void PropagateFlat(const FlatTree& flat, const UncertainTuple& tuple,
+                   int32_t node, double weight, FlatTraversalScratch* scratch,
+                   double* out) {
+  if (weight < kMinFractionWeight) return;
+  const size_t i = static_cast<size_t>(node);
+  const FlatNodeKind kind = flat.node_kind(node);
+  if (kind == FlatNodeKind::kLeaf) {
+    const double* dist = flat.leaf_values.data() + flat.first[i];
+    for (int c = 0; c < flat.num_classes; ++c) {
+      out[c] += weight * dist[c];
+    }
+    return;
+  }
+
+  const size_t j = static_cast<size_t>(flat.attribute[i]);
+  if (kind == FlatNodeKind::kCategorical) {
+    const CategoricalPdf& dist = tuple.values[j].categorical();
+    const int32_t* children = flat.child_table.data() + flat.first[i];
+    if (scratch->category[j] >= 0) {
+      const int32_t child = children[scratch->category[j]];
+      UDT_DCHECK(child >= 0);
+      PropagateFlat(flat, tuple, child, weight, scratch, out);
+      return;
+    }
+    for (int32_t v = 0; v < flat.num_children[i]; ++v) {
+      double p = dist.probability(v);
+      if (p <= 0.0 || children[v] < 0) continue;
+      scratch->category[j] = v;
+      PropagateFlat(flat, tuple, children[v], weight * p, scratch, out);
+      scratch->category[j] = -1;
+    }
+    return;
+  }
+
+  const SampledPdf& pdf = tuple.values[j].pdf();
+  double mass = ConstrainedMass(pdf, scratch->lo[j], scratch->hi[j]);
+  if (mass <= 0.0) return;
+  double p_left =
+      ConditionalCdf(pdf, scratch->lo[j], scratch->hi[j], flat.split_point[i]);
+
+  double w_left = weight * p_left;
+  if (w_left >= kMinFractionWeight) {
+    double saved_hi = scratch->hi[j];
+    scratch->hi[j] = std::min(saved_hi, flat.split_point[i]);
+    PropagateFlat(flat, tuple, flat.first[i], w_left, scratch, out);
+    scratch->hi[j] = saved_hi;
+  }
+  double w_right = weight - w_left;
+  if (w_right >= kMinFractionWeight) {
+    double saved_lo = scratch->lo[j];
+    scratch->lo[j] = std::max(saved_lo, flat.split_point[i]);
+    PropagateFlat(flat, tuple, flat.first[i] + 1, w_right, scratch, out);
+    scratch->lo[j] = saved_lo;
+  }
+}
+
+// The final renormalisation, identical to ClassifyDistribution's epilogue.
+void Renormalise(int num_classes, double* out) {
+  double total = 0.0;
+  for (int c = 0; c < num_classes; ++c) total += out[c];
+  if (total > 0.0) {
+    for (int c = 0; c < num_classes; ++c) out[c] /= total;
+  } else {
+    for (int c = 0; c < num_classes; ++c) {
+      out[c] = 1.0 / static_cast<double>(num_classes);
+    }
+  }
+}
+
+}  // namespace
+
+void ClassifyFlat(const FlatTree& flat, const UncertainTuple& tuple,
+                  FlatTraversalScratch* scratch, double* out) {
+  const size_t k = tuple.values.size();
+  scratch->lo.assign(k, -kInf);
+  scratch->hi.assign(k, kInf);
+  scratch->category.assign(k, -1);
+  std::fill(out, out + flat.num_classes, 0.0);
+  PropagateFlat(flat, tuple, 0, 1.0, scratch, out);
+  Renormalise(flat.num_classes, out);
+}
+
+void ClassifyFlatMeans(const FlatTree& flat, const UncertainTuple& tuple,
+                       FlatTraversalScratch* scratch, double* out) {
+  // Reduce the tuple to its means in place of TupleToMeans: a point-mass
+  // pdf makes every ConditionalCdf along the followed path exactly 0 or 1,
+  // so the full traversal degenerates to one root-leaf walk with weight
+  // exactly 1.0, which is what this kernel executes directly. A certain
+  // categorical value likewise puts probability exactly 1.0 on one child.
+  const size_t k = tuple.values.size();
+  scratch->mean_value.assign(k, 0.0);
+  scratch->mean_category.assign(k, -1);
+  for (size_t j = 0; j < k; ++j) {
+    const UncertainValue& v = tuple.values[j];
+    if (v.is_numerical()) {
+      scratch->mean_value[j] = v.pdf().Mean();
+    } else {
+      scratch->mean_category[j] = v.categorical().MostLikely();
+    }
+  }
+
+  std::fill(out, out + flat.num_classes, 0.0);
+  int32_t node = 0;
+  for (;;) {
+    const size_t i = static_cast<size_t>(node);
+    const FlatNodeKind kind = flat.node_kind(node);
+    if (kind == FlatNodeKind::kLeaf) {
+      const double* dist = flat.leaf_values.data() + flat.first[i];
+      for (int c = 0; c < flat.num_classes; ++c) {
+        out[c] += 1.0 * dist[c];
+      }
+      break;
+    }
+    const size_t j = static_cast<size_t>(flat.attribute[i]);
+    if (kind == FlatNodeKind::kCategorical) {
+      // A most-likely category beyond the node's arity (a tuple whose
+      // categorical pdf is wider than the schema's attribute) behaves like
+      // an absent child: in the pointer traversal every in-range category
+      // has probability zero, no leaf is reached, and the uniform fallback
+      // of the renormalisation applies. Bounds-check rather than read past
+      // the child table.
+      const int32_t cat = scratch->mean_category[j];
+      const int32_t child =
+          cat < flat.num_children[i]
+              ? flat.child_table[static_cast<size_t>(flat.first[i]) +
+                                 static_cast<size_t>(cat)]
+              : -1;
+      if (child < 0) break;
+      node = child;
+    } else {
+      node = scratch->mean_value[j] <= flat.split_point[i] ? flat.first[i]
+                                                           : flat.first[i] + 1;
+    }
+  }
+  Renormalise(flat.num_classes, out);
+}
+
+}  // namespace udt

@@ -1,0 +1,107 @@
+// Flat, cache-friendly decision-tree layout for serving. FlattenTree turns
+// the pointer-linked TreeNode graph into a struct-of-arrays record block:
+// one record per node in breadth-first order (root at index 0, every node's
+// children contiguous), split thresholds and attribute ids in parallel
+// arrays, and all leaf class distributions pooled into one table (identical
+// distributions are stored once). The flat classification kernels below
+// replay the recursive traversal of tree/classify.cc with an explicit
+// operation stack over reusable scratch, performing the same floating-point
+// operations in the same order — their output is bitwise-identical to
+// ClassifyDistribution on the source tree, by construction and by test
+// (tests/predict_session_test.cc).
+
+#ifndef UDT_TREE_FLAT_TREE_H_
+#define UDT_TREE_FLAT_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/dataset.h"
+#include "tree/tree.h"
+
+namespace udt {
+
+// Discriminates the three node-record shapes of a FlatTree.
+enum class FlatNodeKind : uint8_t {
+  kLeaf = 0,
+  kNumerical = 1,
+  kCategorical = 2,
+};
+
+// The serving-side tree: parallel per-node arrays plus two pooled tables.
+// Plain data, movable and copyable; CompiledModel wraps it immutably.
+struct FlatTree {
+  int num_classes = 0;
+
+  // ------------------------------------------------- per-node records
+  // All vectors below have one entry per node, breadth-first, root first.
+
+  std::vector<uint8_t> kind;        // FlatNodeKind
+  std::vector<int32_t> attribute;   // tested attribute; -1 for leaves
+  std::vector<double> split_point;  // numerical nodes; 0 otherwise
+
+  // Kind-dependent index:
+  //  * leaf        -> offset of the node's distribution in leaf_values
+  //  * numerical   -> id of the left child (the right child is first[i]+1)
+  //  * categorical -> offset of the node's child ids in child_table
+  std::vector<int32_t> first;
+
+  // Categorical arity (number of child_table slots); 0 for other kinds.
+  std::vector<int32_t> num_children;
+
+  // --------------------------------------------------- pooled tables
+
+  // Child ids of categorical nodes; -1 marks an absent (null) child.
+  std::vector<int32_t> child_table;
+
+  // Leaf class distributions, num_classes doubles per pooled entry.
+  // Leaves with bitwise-identical distributions share one entry.
+  std::vector<double> leaf_values;
+
+  int num_nodes() const { return static_cast<int>(kind.size()); }
+  int num_leaves() const;
+
+  FlatNodeKind node_kind(int i) const {
+    return static_cast<FlatNodeKind>(kind[static_cast<size_t>(i)]);
+  }
+};
+
+// Flattens `tree` breadth-first. The result classifies bitwise-identically
+// to the source tree through the kernels below.
+FlatTree FlattenTree(const DecisionTree& tree);
+
+// Reusable per-worker traversal state. One instance supports any number of
+// sequential Classify* calls; after the first call on a given tree/schema
+// shape the kernels perform no heap allocation (all buffers retain their
+// capacity). Not thread-safe — use one scratch per worker thread.
+struct FlatTraversalScratch {
+  // Per-attribute path constraints, identical to classify.cc's
+  // TraversalState: the tuple's pdf conditioned to (lo, hi] per numerical
+  // attribute, fixed category per categorical attribute. The fractional
+  // masses themselves ride the machine stack of the traversal recursion.
+  std::vector<double> lo;
+  std::vector<double> hi;
+  std::vector<int> category;
+
+  // Means cache for the averaging fast path.
+  std::vector<double> mean_value;
+  std::vector<int> mean_category;
+};
+
+// Full distribution-based classification (UDT traversal, Section 3.2) over
+// the flat layout. Writes the normalised class distribution into
+// out[0..num_classes); bitwise-identical to ClassifyDistribution(tree,
+// tuple) on the source tree.
+void ClassifyFlat(const FlatTree& flat, const UncertainTuple& tuple,
+                  FlatTraversalScratch* scratch, double* out);
+
+// Averaging classification (AVG, Section 4.1): reduces the tuple to its
+// means in scratch (no tuple materialised) and follows the single resulting
+// root-leaf path. Bitwise-identical to ClassifyDistribution(tree,
+// TupleToMeans(tuple)).
+void ClassifyFlatMeans(const FlatTree& flat, const UncertainTuple& tuple,
+                       FlatTraversalScratch* scratch, double* out);
+
+}  // namespace udt
+
+#endif  // UDT_TREE_FLAT_TREE_H_

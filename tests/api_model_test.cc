@@ -12,12 +12,19 @@
 #include "api/model.h"
 #include "api/trainer.h"
 #include "common/random.h"
-#include "core/classifier.h"
 #include "pdf/pdf_builder.h"
 #include "tree/tree_io.h"
 
 namespace udt {
 namespace {
+
+// Unwraps a PredictBatch result that the test expects to succeed.
+BatchResult MustPredictBatch(const Model& model, const Dataset& ds,
+                             const PredictOptions& options = {}) {
+  auto result = model.PredictBatch(ds, options);
+  UDT_CHECK(result.ok());
+  return std::move(*result);
+}
 
 // A three-class data set with enough structure for a non-trivial tree.
 Dataset MakeDataset(int tuples, int attributes, uint64_t seed) {
@@ -80,7 +87,7 @@ void ExpectBatchMatchesLoop(const Model& model, const Dataset& test,
                             int num_threads) {
   PredictOptions options;
   options.num_threads = num_threads;
-  BatchResult batch = model.PredictBatch(test, options);
+  BatchResult batch = MustPredictBatch(model, test, options);
 
   ASSERT_EQ(batch.distributions.size(),
             static_cast<size_t>(test.num_tuples()));
@@ -113,9 +120,9 @@ TEST(ModelPredictBatchTest, FourThreadsMatchPerTupleLoop) {
 TEST(ModelPredictBatchTest, ThreadCountsAgreeWithEachOther) {
   Dataset ds = MakeDataset(90, 2, 23);
   Model model = TrainModel(ds, ModelKind::kUdt);
-  BatchResult one = model.PredictBatch(ds, {.num_threads = 1});
+  BatchResult one = MustPredictBatch(model, ds, {.num_threads = 1});
   for (int threads : {2, 3, 4, 7}) {
-    BatchResult many = model.PredictBatch(ds, {.num_threads = threads});
+    BatchResult many = MustPredictBatch(model, ds, {.num_threads = threads});
     ASSERT_EQ(many.distributions.size(), one.distributions.size());
     EXPECT_EQ(many.labels, one.labels) << "threads=" << threads;
     for (size_t i = 0; i < one.distributions.size(); ++i) {
@@ -136,30 +143,52 @@ TEST(ModelPredictBatchTest, AveragingKindReducesTuplesToMeans) {
 TEST(ModelPredictBatchTest, ThreadCountClampedToBatchSize) {
   Dataset ds = MakeDataset(6, 2, 5);
   Model model = TrainModel(ds, ModelKind::kUdt);
-  BatchResult result = model.PredictBatch(ds, {.num_threads = 64});
+  BatchResult result = MustPredictBatch(model, ds, {.num_threads = 64});
   EXPECT_LE(result.num_threads_used, 6);
   ExpectBatchMatchesLoop(model, ds, 64);
+}
+
+TEST(ModelPredictBatchTest, NegativeThreadCountRejected) {
+  Dataset ds = MakeDataset(12, 2, 5);
+  Model model = TrainModel(ds, ModelKind::kUdt);
+  auto result = model.PredictBatch(ds, {.num_threads = -1});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelPredictBatchTest, ZeroThreadsMeansHardwareConcurrency) {
+  Dataset ds = MakeDataset(40, 2, 5);
+  Model model = TrainModel(ds, ModelKind::kUdt);
+  auto zero = model.PredictBatch(ds, {.num_threads = 0});
+  ASSERT_TRUE(zero.ok());
+  EXPECT_GE(zero->num_threads_used, 1);
+  BatchResult one = MustPredictBatch(model, ds, {.num_threads = 1});
+  EXPECT_EQ(zero->labels, one.labels);
+  for (size_t i = 0; i < one.distributions.size(); ++i) {
+    EXPECT_EQ(zero->distributions[i], one.distributions[i]) << i;
+  }
 }
 
 TEST(ModelPredictBatchTest, EmptyBatch) {
   Dataset ds = MakeDataset(30, 2, 5);
   Model model = TrainModel(ds, ModelKind::kUdt);
-  BatchResult result = model.PredictBatch(
-      std::span<const UncertainTuple>(), {.num_threads = 4});
-  EXPECT_TRUE(result.distributions.empty());
-  EXPECT_TRUE(result.labels.empty());
+  auto result = model.PredictBatch(std::span<const UncertainTuple>(),
+                                   {.num_threads = 4});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->distributions.empty());
+  EXPECT_TRUE(result->labels.empty());
 }
 
 TEST(ModelPredictBatchTest, TimingsCollectedOnRequest) {
   Dataset ds = MakeDataset(40, 2, 9);
   Model model = TrainModel(ds, ModelKind::kUdt);
-  BatchResult timed =
-      model.PredictBatch(ds, {.num_threads = 2, .collect_timings = true});
+  BatchResult timed = MustPredictBatch(
+      model, ds, {.num_threads = 2, .collect_timings = true});
   ASSERT_EQ(timed.tuple_seconds.size(), static_cast<size_t>(ds.num_tuples()));
   for (double s : timed.tuple_seconds) EXPECT_GE(s, 0.0);
   EXPECT_GT(timed.total_seconds, 0.0);
 
-  BatchResult untimed = model.PredictBatch(ds, {.num_threads = 2});
+  BatchResult untimed = MustPredictBatch(model, ds, {.num_threads = 2});
   EXPECT_TRUE(untimed.tuple_seconds.empty());
 }
 
@@ -176,8 +205,8 @@ TEST(ModelPersistenceTest, SerializeDeserializeRoundTrip) {
   EXPECT_EQ(restored->config().max_depth, model.config().max_depth);
 
   // Predictions must be identical tuple by tuple, batch vs batch.
-  BatchResult before = model.PredictBatch(ds, {.num_threads = 4});
-  BatchResult after = restored->PredictBatch(ds, {.num_threads = 4});
+  BatchResult before = MustPredictBatch(model, ds, {.num_threads = 4});
+  BatchResult after = MustPredictBatch(*restored, ds, {.num_threads = 4});
   EXPECT_EQ(before.labels, after.labels);
   for (size_t i = 0; i < before.distributions.size(); ++i) {
     EXPECT_EQ(before.distributions[i], after.distributions[i]) << i;
@@ -201,8 +230,8 @@ TEST(ModelPersistenceTest, SaveLoadFileRoundTrip) {
   EXPECT_EQ(restored->schema().attribute(1).num_categories, 3);
   EXPECT_EQ(restored->schema().attribute(0).name, "reading");
 
-  BatchResult before = model.PredictBatch(ds);
-  BatchResult after = restored->PredictBatch(ds, {.num_threads = 4});
+  BatchResult before = MustPredictBatch(model, ds);
+  BatchResult after = MustPredictBatch(*restored, ds, {.num_threads = 4});
   EXPECT_EQ(before.labels, after.labels);
   for (size_t i = 0; i < before.distributions.size(); ++i) {
     EXPECT_EQ(before.distributions[i], after.distributions[i]) << i;
@@ -217,8 +246,8 @@ TEST(ModelPersistenceTest, AveragingKindSurvivesRoundTrip) {
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ(restored->kind(), ModelKind::kAveraging);
   // A reloaded averaging model must keep reducing tuples to their means.
-  BatchResult before = model.PredictBatch(ds);
-  BatchResult after = restored->PredictBatch(ds);
+  BatchResult before = MustPredictBatch(model, ds);
+  BatchResult after = MustPredictBatch(*restored, ds);
   EXPECT_EQ(before.labels, after.labels);
 }
 
@@ -347,32 +376,6 @@ TEST(TrainerTest, EmptyDatasetFails) {
   Dataset empty(Schema::Numerical(2, {"A", "B"}));
   auto model = Trainer().TrainUdt(empty);
   EXPECT_FALSE(model.ok());
-}
-
-TEST(TrainerTest, MatchesDeprecatedShims) {
-  // The facade and the deprecated classifier classes must produce the same
-  // trees and the same predictions (they share TreeBuilder underneath).
-  Dataset ds = MakeDataset(80, 2, 71);
-  TreeConfig config;
-  config.algorithm = SplitAlgorithm::kUdtEs;
-
-  auto model = Trainer(config).TrainUdt(ds);
-  ASSERT_TRUE(model.ok());
-  auto legacy = UncertainTreeClassifier::Train(ds, config, nullptr);
-  ASSERT_TRUE(legacy.ok());
-  for (int i = 0; i < ds.num_tuples(); ++i) {
-    EXPECT_EQ(model->ClassifyDistribution(ds.tuple(i)),
-              legacy->ClassifyDistribution(ds.tuple(i)));
-  }
-
-  auto avg_model = Trainer(config).TrainAveraging(ds);
-  ASSERT_TRUE(avg_model.ok());
-  auto avg_legacy = AveragingClassifier::Train(ds, config, nullptr);
-  ASSERT_TRUE(avg_legacy.ok());
-  for (int i = 0; i < ds.num_tuples(); ++i) {
-    EXPECT_EQ(avg_model->ClassifyDistribution(ds.tuple(i)),
-              avg_legacy->ClassifyDistribution(ds.tuple(i)));
-  }
 }
 
 }  // namespace

@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/classifier.h"
+#include "api/trainer.h"
 #include "eval/metrics.h"
 #include "split/categorical.h"
 #include "split/fractional_tuple.h"
@@ -95,7 +95,7 @@ TEST(CategoricalTreeTest, BuildsAndClassifiesPerfectly) {
   TreeConfig config;
   config.post_prune = false;
   config.min_split_weight = 1.0;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   EXPECT_TRUE(classifier->tree().root().is_categorical);
   EXPECT_NEAR(EvaluateAccuracy(*classifier, ds), 1.0, 1e-9);
@@ -121,7 +121,7 @@ TEST(CategoricalTreeTest, MixedSchemaPrefersStrongerAttribute) {
   }
   TreeConfig config;
   config.post_prune = false;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   EXPECT_TRUE(classifier->tree().root().is_categorical);
   EXPECT_EQ(classifier->tree().root().attribute, 1);
@@ -130,7 +130,7 @@ TEST(CategoricalTreeTest, MixedSchemaPrefersStrongerAttribute) {
 TEST(CategoricalTreeTest, FuzzyCategoriesStillLearnable) {
   Dataset ds = CategoricalDataset(0.8);
   TreeConfig config;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   // With 80% category certainty the Bayes-optimal decision still matches
   // the majority category, so training accuracy should be high.
@@ -140,7 +140,7 @@ TEST(CategoricalTreeTest, FuzzyCategoriesStillLearnable) {
 TEST(CategoricalTreeTest, AveragingUsesMostLikelyCategory) {
   Dataset ds = CategoricalDataset(0.7);
   TreeConfig config;
-  auto classifier = AveragingClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainAveraging(ds);
   ASSERT_TRUE(classifier.ok());
   EXPECT_GT(EvaluateAccuracy(*classifier, ds), 0.9);
 }

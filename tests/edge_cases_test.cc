@@ -7,7 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
-#include "core/classifier.h"
+#include "api/trainer.h"
 #include "eval/metrics.h"
 #include "pdf/pdf_builder.h"
 #include "split/attribute_scan.h"
@@ -98,7 +98,7 @@ TEST(EdgeCaseTest, SingleTupleDataset) {
   ASSERT_TRUE(ds.AddTuple(t).ok());
   TreeConfig config;
   config.min_split_weight = 0.1;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   EXPECT_TRUE(classifier->tree().root().is_leaf());
   EXPECT_EQ(classifier->Predict(ds.tuple(0)), 0);
@@ -115,7 +115,7 @@ TEST(EdgeCaseTest, TwoTuplesSameValueDifferentClasses) {
   }
   TreeConfig config;
   config.min_split_weight = 0.1;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   EXPECT_TRUE(classifier->tree().root().is_leaf());
   std::vector<double> p = classifier->ClassifyDistribution(ds.tuple(0));
@@ -133,7 +133,7 @@ TEST(EdgeCaseTest, ClassifyTupleOutsideTrainingRange) {
     ASSERT_TRUE(ds.AddTuple(t).ok());
   }
   TreeConfig config;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   UncertainTuple far{
       {UncertainValue::Numerical(SampledPdf::PointMass(1e6))}, 0};
@@ -158,7 +158,7 @@ TEST(EdgeCaseTest, HighlySkewedClassWeights) {
   TreeConfig config;
   config.min_split_weight = 2.0;
   config.post_prune = false;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   EXPECT_EQ(classifier->Predict(ds.tuple(0)), 0);
 }
@@ -173,7 +173,7 @@ TEST(EdgeCaseTest, ManyClassesFewTuples) {
   TreeConfig config;
   config.min_split_weight = 0.5;
   config.post_prune = false;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   EXPECT_NEAR(EvaluateAccuracy(*classifier, ds), 1.0, 1e-9);
 }

@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/classifier.h"
+#include "api/trainer.h"
 #include "eval/cross_validation.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
@@ -59,7 +59,7 @@ TEST(EvaluateTest, PerfectClassifierScoresOne) {
   Dataset ds = EasyDataset(40, 1);
   TreeConfig config;
   config.algorithm = SplitAlgorithm::kUdtEs;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   EXPECT_NEAR(EvaluateAccuracy(*classifier, ds), 1.0, 1e-9);
   ConfusionMatrix m = EvaluateConfusion(*classifier, ds);

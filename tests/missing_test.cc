@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/classifier.h"
+#include "api/trainer.h"
 #include "eval/metrics.h"
 #include "table/csv.h"
 #include "table/missing.h"
@@ -156,8 +156,7 @@ TEST(GuessPdfTest, EndToEndTrainingWithMissingValues) {
 
   TreeConfig config;
   config.algorithm = SplitAlgorithm::kUdtEs;
-  auto classifier = UncertainTreeClassifier::Train(*uncertain, config,
-                                                   nullptr);
+  auto classifier = Trainer(config).TrainUdt(*uncertain);
   ASSERT_TRUE(classifier.ok());
   EXPECT_GT(EvaluateAccuracy(*classifier, *uncertain), 0.85);
 }

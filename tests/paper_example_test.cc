@@ -11,7 +11,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/classifier.h"
+#include "api/trainer.h"
 #include "eval/metrics.h"
 #include "tree/classify.h"
 #include "tree/tree_printer.h"
@@ -78,8 +78,7 @@ TEST(PaperExampleTest, Tuple3MatchesPublishedPdf) {
 TEST(PaperExampleTest, AveragingAccuracyIsTwoThirds) {
   Dataset ds = PaperExampleDataset();
   auto classifier =
-      AveragingClassifier::Train(ds, ExampleConfig(SplitAlgorithm::kAvg),
-                                 nullptr);
+      Trainer(ExampleConfig(SplitAlgorithm::kAvg)).TrainAveraging(ds);
   ASSERT_TRUE(classifier.ok());
   // "In this handcrafted example we use the same tuples for both training
   // and testing just for illustration."
@@ -89,8 +88,7 @@ TEST(PaperExampleTest, AveragingAccuracyIsTwoThirds) {
 TEST(PaperExampleTest, AveragingMisclassifiesTuples2And5) {
   Dataset ds = PaperExampleDataset();
   auto classifier =
-      AveragingClassifier::Train(ds, ExampleConfig(SplitAlgorithm::kAvg),
-                                 nullptr);
+      Trainer(ExampleConfig(SplitAlgorithm::kAvg)).TrainAveraging(ds);
   ASSERT_TRUE(classifier.ok());
   // Paper numbering: tuples 2 and 5 are the two errors (indices 1, 4).
   EXPECT_NE(classifier->Predict(ds.tuple(1)), ds.tuple(1).label);
@@ -103,8 +101,7 @@ TEST(PaperExampleTest, AveragingMisclassifiesTuples2And5) {
 TEST(PaperExampleTest, AveragingLeafDistributionsMatchFig2a) {
   Dataset ds = PaperExampleDataset();
   auto classifier =
-      AveragingClassifier::Train(ds, ExampleConfig(SplitAlgorithm::kAvg),
-                                 nullptr);
+      Trainer(ExampleConfig(SplitAlgorithm::kAvg)).TrainAveraging(ds);
   ASSERT_TRUE(classifier.ok());
   const TreeNode& root = classifier->tree().root();
   ASSERT_FALSE(root.is_leaf());
@@ -117,8 +114,7 @@ TEST(PaperExampleTest, AveragingLeafDistributionsMatchFig2a) {
 
 TEST(PaperExampleTest, DistributionBasedTreeIsPerfect) {
   Dataset ds = PaperExampleDataset();
-  auto classifier = UncertainTreeClassifier::Train(
-      ds, ExampleConfig(SplitAlgorithm::kUdt), nullptr);
+  auto classifier = Trainer(ExampleConfig(SplitAlgorithm::kUdt)).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   EXPECT_NEAR(EvaluateAccuracy(*classifier, ds), 1.0, 1e-9)
       << TreeToString(classifier->tree());
@@ -128,10 +124,8 @@ TEST(PaperExampleTest, DistributionTreeIsMoreElaborate) {
   // "This tree is much more elaborate than the tree shown in Fig 2a
   // because we are using more information."
   Dataset ds = PaperExampleDataset();
-  auto avg = AveragingClassifier::Train(
-      ds, ExampleConfig(SplitAlgorithm::kAvg), nullptr);
-  auto dist = UncertainTreeClassifier::Train(
-      ds, ExampleConfig(SplitAlgorithm::kUdt), nullptr);
+  auto avg = Trainer(ExampleConfig(SplitAlgorithm::kAvg)).TrainAveraging(ds);
+  auto dist = Trainer(ExampleConfig(SplitAlgorithm::kUdt)).TrainUdt(ds);
   ASSERT_TRUE(avg.ok() && dist.ok());
   EXPECT_GT(dist->tree().num_nodes(), avg->tree().num_nodes());
 }
@@ -141,8 +135,7 @@ TEST(PaperExampleTest, Tuple3ClassifiedAsAWithMajorityProbability) {
   // tuple 3; the exact values depend on the post-pruned tree, which Table 1
   // does not fully determine, so assert the decision, not the decimals.
   Dataset ds = PaperExampleDataset();
-  auto classifier = UncertainTreeClassifier::Train(
-      ds, ExampleConfig(SplitAlgorithm::kUdt), nullptr);
+  auto classifier = Trainer(ExampleConfig(SplitAlgorithm::kUdt)).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   std::vector<double> p = classifier->ClassifyDistribution(ds.tuple(2));
   EXPECT_GT(p[0], 0.5);
@@ -154,8 +147,7 @@ TEST(PaperExampleTest, AllPrunedAlgorithmsReproduceThePerfectTree) {
   for (SplitAlgorithm algorithm :
        {SplitAlgorithm::kUdtBp, SplitAlgorithm::kUdtLp, SplitAlgorithm::kUdtGp,
         SplitAlgorithm::kUdtEs}) {
-    auto classifier = UncertainTreeClassifier::Train(
-        ds, ExampleConfig(algorithm), nullptr);
+    auto classifier = Trainer(ExampleConfig(algorithm)).TrainUdt(ds);
     ASSERT_TRUE(classifier.ok());
     EXPECT_NEAR(EvaluateAccuracy(*classifier, ds), 1.0, 1e-9)
         << SplitAlgorithmToString(algorithm);

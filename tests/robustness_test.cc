@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
-#include "core/classifier.h"
+#include "api/trainer.h"
 #include "datagen/uci_like.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
@@ -30,7 +30,7 @@ TEST(ParserRobustnessTest, EveryTruncationFailsCleanly) {
     ASSERT_TRUE(ds.AddTuple(t).ok());
   }
   TreeConfig config;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   std::string text = SerializeTree(classifier->tree());
 
@@ -74,7 +74,7 @@ TEST(ScaleIntegrationTest, ThousandTupleEndToEnd) {
   TreeConfig config;
   config.algorithm = SplitAlgorithm::kUdtEs;
   BuildStats stats;
-  auto classifier = UncertainTreeClassifier::Train(*ds, config, &stats);
+  auto classifier = Trainer(config).TrainUdt(*ds, &stats);
   ASSERT_TRUE(classifier.ok());
   EXPECT_GT(stats.nodes, 1);
   EXPECT_LT(stats.nodes, 4000);  // fractional growth stays bounded
@@ -97,7 +97,7 @@ TEST(ScaleIntegrationTest, DeepRecursionBounded) {
   config.min_split_weight = 1e-6;
   config.min_gain = 0.0;
   config.post_prune = false;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   EXPECT_LE(classifier->tree().depth(), 7);
 }

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
-#include "core/classifier.h"
+#include "api/trainer.h"
 #include "pdf/pdf_builder.h"
 #include "tree/rules.h"
 
@@ -134,7 +134,7 @@ TEST_P(RuleEquivalenceTest, RuleSetClassifiesLikeTree) {
   }
   TreeConfig config;
   config.algorithm = SplitAlgorithm::kUdtGp;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   RuleSet rules = RuleSet::FromTree(classifier->tree());
   EXPECT_GE(rules.num_rules(), 1);
@@ -165,7 +165,7 @@ TEST(RulesTest, RuleSupportsSumToDatasetWeight) {
   TreeConfig config;
   config.algorithm = SplitAlgorithm::kUdt;
   config.post_prune = false;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   RuleSet rules = RuleSet::FromTree(classifier->tree());
   double total = 0.0;

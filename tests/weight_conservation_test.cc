@@ -7,7 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
-#include "core/classifier.h"
+#include "api/trainer.h"
 #include "pdf/pdf_builder.h"
 #include "table/uncertainty_injector.h"
 #include "tree/tree.h"
@@ -82,7 +82,7 @@ TEST_P(WeightConservationTest, LeafMassEqualsDatasetSize) {
   config.measure = GetParam().measure;
   config.post_prune = false;
   config.min_split_weight = 1.0;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   double mass = SumLeafCounts(classifier->tree().root());
   EXPECT_NEAR(mass, static_cast<double>(ds.num_tuples()), 1e-6);
@@ -93,7 +93,7 @@ TEST_P(WeightConservationTest, ClassificationsAreDistributions) {
   TreeConfig config;
   config.algorithm = GetParam().algorithm;
   config.measure = GetParam().measure;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
   for (int i = 0; i < ds.num_tuples(); ++i) {
     std::vector<double> p = classifier->ClassifyDistribution(ds.tuple(i));
@@ -113,7 +113,7 @@ TEST_P(WeightConservationTest, InternalCountsEqualChildSums) {
   config.measure = GetParam().measure;
   config.post_prune = false;
   config.min_split_weight = 1.0;
-  auto classifier = UncertainTreeClassifier::Train(ds, config, nullptr);
+  auto classifier = Trainer(config).TrainUdt(ds);
   ASSERT_TRUE(classifier.ok());
 
   // Walk the tree: every internal node's class counts must equal the sum
