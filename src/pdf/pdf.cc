@@ -53,7 +53,8 @@ StatusOr<SampledPdf> SampledPdf::Create(std::vector<double> points,
     return Status::InvalidArgument("pdf carries no positive mass");
   }
 
-  double total = std::accumulate(sorted_masses.begin(), sorted_masses.end(), 0.0);
+  double total =
+      std::accumulate(sorted_masses.begin(), sorted_masses.end(), 0.0);
   UDT_DCHECK(total > 0.0);
 
   std::vector<double> cumulative(sorted_masses.size());

@@ -61,7 +61,8 @@ class SplitScorer {
 
  private:
   DispersionMeasure measure_;
-  double parent_impurity_ = 0.0;  // entropy for kEntropy/kGainRatio, Gini for kGini
+  // Entropy for kEntropy/kGainRatio, Gini for kGini.
+  double parent_impurity_ = 0.0;
   double parent_total_ = 0.0;
 };
 

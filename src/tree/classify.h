@@ -24,8 +24,8 @@ std::vector<double> ClassifyDistribution(const DecisionTree& tree,
 int PredictLabel(const DecisionTree& tree, const UncertainTuple& tuple);
 
 // Convenience for point-valued feature vectors (traditional traversal).
-std::vector<double> ClassifyPointDistribution(const DecisionTree& tree,
-                                              const std::vector<double>& values);
+std::vector<double> ClassifyPointDistribution(
+    const DecisionTree& tree, const std::vector<double>& values);
 int PredictPointLabel(const DecisionTree& tree,
                       const std::vector<double>& values);
 

@@ -181,7 +181,8 @@ TEST(BuilderTest, PostPruningShrinksNoisyTree) {
 
 TEST(BuilderTest, RoundTripThroughTreeIo) {
   Dataset ds = SeparableDataset(24, 0.4, 19);
-  auto tree = TreeBuilder(BaseConfig(SplitAlgorithm::kUdtBp)).Build(ds, nullptr);
+  auto tree =
+      TreeBuilder(BaseConfig(SplitAlgorithm::kUdtBp)).Build(ds, nullptr);
   ASSERT_TRUE(tree.ok());
   std::string text = SerializeTree(*tree);
   auto parsed = ParseTree(text, ds.schema());
@@ -209,7 +210,8 @@ TEST(BuilderTest, MultiAttributePicksInformativeOne) {
                                          : rng.Uniform(2.0, 3.0))));
     ASSERT_TRUE(ds.AddTuple(t).ok());
   }
-  auto tree = TreeBuilder(BaseConfig(SplitAlgorithm::kUdtLp)).Build(ds, nullptr);
+  auto tree =
+      TreeBuilder(BaseConfig(SplitAlgorithm::kUdtLp)).Build(ds, nullptr);
   ASSERT_TRUE(tree.ok());
   ASSERT_FALSE(tree->root().is_leaf());
   EXPECT_EQ(tree->root().attribute, 1);

@@ -12,7 +12,9 @@
 namespace udt {
 namespace {
 
-Schema TwoClassSchema(int attrs) { return Schema::Numerical(attrs, {"A", "B"}); }
+Schema TwoClassSchema(int attrs) {
+  return Schema::Numerical(attrs, {"A", "B"});
+}
 
 UncertainTuple NumTuple(std::vector<double> means, int label) {
   UncertainTuple t;
@@ -253,7 +255,7 @@ TEST(CsvTest, RejectsMalformed) {
   EXPECT_FALSE(ReadCsvFromString("").ok());
   EXPECT_FALSE(ReadCsvFromString("a,class\n").ok());
   EXPECT_FALSE(ReadCsvFromString("a,class\n1.0\n").ok());          // ragged
-  EXPECT_FALSE(ReadCsvFromString("a,class\nxyz,c\n").ok());        // not a number
+  EXPECT_FALSE(ReadCsvFromString("a,class\nxyz,c\n").ok());  // not a number
   EXPECT_FALSE(ReadCsvFromString("class\nc\n").ok());              // no attrs
 }
 
