@@ -1,169 +1,26 @@
 #include "api/compiled_model.h"
 
-#include <cstdio>
+#include "api/container_tags.h"
+
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "common/string_util.h"
+#include "table/schema_io.h"
+#include "tree/flat_tree_io.h"
 
 namespace udt {
 namespace {
 
 // Serialisation keywords of the v1 compiled container. Like the model v1
-// format the header is line-oriented; the array section counts every table
-// up front so a truncated file fails cleanly.
+// format the header is line-oriented; the flat-tree body counts every
+// table up front so a truncated file fails cleanly. The schema block and
+// the body live in table/schema_io and tree/flat_tree_io, shared with the
+// forest container.
 constexpr char kMagic[] = "udt-compiled v1";
-
-const char* KindTag(ModelKind kind) {
-  return kind == ModelKind::kAveraging ? "avg" : "udt";
-}
-
-StatusOr<ModelKind> ParseKindTag(std::string_view tag) {
-  if (tag == "avg") return ModelKind::kAveraging;
-  if (tag == "udt") return ModelKind::kUdt;
-  return Status::InvalidArgument("unknown model kind: " + std::string(tag));
-}
-
-bool SchemaEquals(const Schema& a, const Schema& b) {
-  if (a.num_attributes() != b.num_attributes() ||
-      a.class_names() != b.class_names()) {
-    return false;
-  }
-  for (int j = 0; j < a.num_attributes(); ++j) {
-    const AttributeInfo& x = a.attribute(j);
-    const AttributeInfo& y = b.attribute(j);
-    if (x.name != y.name || x.kind != y.kind ||
-        x.num_categories != y.num_categories) {
-      return false;
-    }
-  }
-  return true;
-}
-
-template <typename T>
-bool BitwiseEquals(const std::vector<T>& a, const std::vector<T>& b) {
-  return a.size() == b.size() &&
-         (a.empty() ||
-          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
-}
-
-// Structural validation of an untrusted flat layout: every index a
-// traversal will follow must land in range, child ids must point strictly
-// forward (breadth-first order implies it, and it rules out cycles), and
-// tested attributes must exist in the schema with the matching kind.
-Status ValidateFlatTree(const FlatTree& flat, const Schema& schema) {
-  const int n = flat.num_nodes();
-  if (n < 1) return Status::InvalidArgument("udt-compiled: empty tree");
-  if (flat.num_classes != schema.num_classes()) {
-    return Status::InvalidArgument("udt-compiled: class count mismatch");
-  }
-  const size_t un = static_cast<size_t>(n);
-  if (flat.attribute.size() != un || flat.split_point.size() != un ||
-      flat.first.size() != un || flat.num_children.size() != un) {
-    return Status::InvalidArgument("udt-compiled: ragged node arrays");
-  }
-  if (flat.leaf_values.size() % static_cast<size_t>(flat.num_classes) != 0) {
-    return Status::InvalidArgument("udt-compiled: ragged leaf table");
-  }
-  for (int i = 0; i < n; ++i) {
-    const size_t ui = static_cast<size_t>(i);
-    const int32_t first = flat.first[ui];
-    switch (static_cast<FlatNodeKind>(flat.kind[ui])) {
-      case FlatNodeKind::kLeaf:
-        if (flat.attribute[ui] != -1) {
-          return Status::InvalidArgument("udt-compiled: leaf with attribute");
-        }
-        if (first < 0 ||
-            static_cast<size_t>(first) + static_cast<size_t>(flat.num_classes) >
-                flat.leaf_values.size()) {
-          return Status::InvalidArgument(
-              "udt-compiled: leaf offset out of range");
-        }
-        break;
-      case FlatNodeKind::kNumerical: {
-        const int32_t attr = flat.attribute[ui];
-        if (attr < 0 || attr >= schema.num_attributes() ||
-            schema.attribute(attr).kind != AttributeKind::kNumerical) {
-          return Status::InvalidArgument(
-              "udt-compiled: bad numerical attribute id");
-        }
-        // 64-bit compare: first can be INT32_MAX in a hostile file, and
-        // first + 1 must not wrap past the check.
-        if (first <= i || static_cast<int64_t>(first) + 1 >= n) {
-          return Status::InvalidArgument(
-              "udt-compiled: numerical child out of range");
-        }
-        break;
-      }
-      case FlatNodeKind::kCategorical: {
-        const int32_t attr = flat.attribute[ui];
-        if (attr < 0 || attr >= schema.num_attributes() ||
-            schema.attribute(attr).kind != AttributeKind::kCategorical) {
-          return Status::InvalidArgument(
-              "udt-compiled: bad categorical attribute id");
-        }
-        const int32_t arity = flat.num_children[ui];
-        if (arity < 1 || arity != schema.attribute(attr).num_categories) {
-          return Status::InvalidArgument("udt-compiled: bad arity");
-        }
-        if (first < 0 || static_cast<size_t>(first) +
-                             static_cast<size_t>(arity) >
-                             flat.child_table.size()) {
-          return Status::InvalidArgument(
-              "udt-compiled: child-table offset out of range");
-        }
-        for (int32_t v = 0; v < arity; ++v) {
-          const int32_t child =
-              flat.child_table[static_cast<size_t>(first + v)];
-          if (child != -1 && (child <= i || child >= n)) {
-            return Status::InvalidArgument(
-                "udt-compiled: categorical child out of range");
-          }
-        }
-        break;
-      }
-      default:
-        return Status::InvalidArgument("udt-compiled: unknown node kind");
-    }
-  }
-  return Status::OK();
-}
-
-// Reads `count` whitespace-separated tokens parsed by `parse_one`.
-template <typename T, typename Parser>
-Status ReadTokens(std::istream& in, size_t count, const char* what,
-                  Parser parse_one, std::vector<T>* out) {
-  out->clear();
-  out->reserve(count);
-  std::string token;
-  for (size_t i = 0; i < count; ++i) {
-    if (!(in >> token)) {
-      return Status::InvalidArgument(
-          StrFormat("udt-compiled: truncated %s table", what));
-    }
-    std::optional<T> value = parse_one(token);
-    if (!value) {
-      return Status::InvalidArgument(
-          StrFormat("udt-compiled: bad %s entry: %s", what, token.c_str()));
-    }
-    out->push_back(*value);
-  }
-  return Status::OK();
-}
-
-std::optional<int32_t> ParseInt32(const std::string& token) {
-  // ParseInt rejects negatives; the tables use -1 as the null marker.
-  if (!token.empty() && token[0] == '-') {
-    std::optional<int> v = ParseInt(std::string_view(token).substr(1));
-    if (!v) return std::nullopt;
-    return static_cast<int32_t>(-*v);
-  }
-  std::optional<int> v = ParseInt(token);
-  if (!v) return std::nullopt;
-  return static_cast<int32_t>(*v);
-}
+constexpr char kContext[] = "udt-compiled";
 
 }  // namespace
 
@@ -180,187 +37,45 @@ bool CompiledModel::LayoutEquals(const CompiledModel& other) const {
   const FlatTree& b = other.rep_->tree;
   return rep_->kind == other.rep_->kind &&
          SchemaEquals(rep_->schema, other.rep_->schema) &&
-         a.num_classes == b.num_classes && BitwiseEquals(a.kind, b.kind) &&
-         BitwiseEquals(a.attribute, b.attribute) &&
-         BitwiseEquals(a.split_point, b.split_point) &&
-         BitwiseEquals(a.first, b.first) &&
-         BitwiseEquals(a.num_children, b.num_children) &&
-         BitwiseEquals(a.child_table, b.child_table) &&
-         BitwiseEquals(a.leaf_values, b.leaf_values);
+         a.num_classes == b.num_classes &&
+         wire::BitwiseEquals(a.kind, b.kind) &&
+         wire::BitwiseEquals(a.attribute, b.attribute) &&
+         wire::BitwiseEquals(a.split_point, b.split_point) &&
+         wire::BitwiseEquals(a.first, b.first) &&
+         wire::BitwiseEquals(a.num_children, b.num_children) &&
+         wire::BitwiseEquals(a.child_table, b.child_table) &&
+         wire::BitwiseEquals(a.leaf_values, b.leaf_values);
 }
 
 std::string CompiledModel::Serialize() const {
-  const Schema& s = rep_->schema;
-  const FlatTree& flat = rep_->tree;
   std::ostringstream out;
   out << kMagic << "\n";
-  out << "kind " << KindTag(rep_->kind) << "\n";
-  out << "classes " << s.num_classes() << "\n";
-  for (const std::string& name : s.class_names()) out << name << "\n";
-  out << "attributes " << s.num_attributes() << "\n";
-  for (const AttributeInfo& attr : s.attributes()) {
-    if (attr.kind == AttributeKind::kCategorical) {
-      out << "attr cat " << attr.num_categories << " " << attr.name << "\n";
-    } else {
-      out << "attr num 0 " << attr.name << "\n";
-    }
-  }
-  out << StrFormat("tables nodes=%d children=%zu leaves=%zu\n",
-                   flat.num_nodes(), flat.child_table.size(),
-                   flat.leaf_values.size());
-  // One record per line: kind attribute split first num_children. The
-  // split point is a hexfloat so the load-side layout is bit-identical.
-  for (int i = 0; i < flat.num_nodes(); ++i) {
-    const size_t ui = static_cast<size_t>(i);
-    out << StrFormat("n %d %d %a %d %d\n", static_cast<int>(flat.kind[ui]),
-                     flat.attribute[ui], flat.split_point[ui], flat.first[ui],
-                     flat.num_children[ui]);
-  }
-  for (size_t i = 0; i < flat.child_table.size(); ++i) {
-    out << flat.child_table[i]
-        << (i + 1 == flat.child_table.size() ? "\n" : " ");
-  }
-  for (size_t i = 0; i < flat.leaf_values.size(); ++i) {
-    out << StrFormat("%a", flat.leaf_values[i])
-        << (i + 1 == flat.leaf_values.size() ? "\n" : " ");
-  }
+  out << "kind " << wire::KindTag(rep_->kind) << "\n";
+  WriteSchemaBlock(rep_->schema, out);
+  WriteFlatTreeBody(rep_->tree, out);
   return out.str();
 }
 
 StatusOr<CompiledModel> CompiledModel::Deserialize(const std::string& text) {
   std::istringstream in(text);
-  std::string line;
+  LineReader reader(in, kContext);
 
-  auto next_line = [&](std::string_view what) -> Status {
-    if (!std::getline(in, line)) {
-      return Status::InvalidArgument("udt-compiled: truncated before " +
-                                     std::string(what));
-    }
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    return Status::OK();
-  };
-
-  UDT_RETURN_NOT_OK(next_line("magic"));
-  if (line != kMagic) {
-    return Status::InvalidArgument("udt-compiled: bad magic line: " + line);
+  UDT_RETURN_NOT_OK(reader.Next("magic"));
+  if (reader.line() != kMagic) {
+    return reader.Error("bad magic line: " + reader.line());
   }
 
-  UDT_RETURN_NOT_OK(next_line("kind"));
-  if (line.rfind("kind ", 0) != 0) {
-    return Status::InvalidArgument("udt-compiled: expected kind line");
+  UDT_RETURN_NOT_OK(reader.Next("kind"));
+  if (reader.line().rfind("kind ", 0) != 0) {
+    return reader.Error("expected kind line");
   }
-  UDT_ASSIGN_OR_RETURN(ModelKind kind, ParseKindTag(line.substr(5)));
+  UDT_ASSIGN_OR_RETURN(ModelKind kind,
+                       wire::ParseKindTag(reader.line().substr(5)));
 
-  // Schema section, same shape as the udt-model v1 container.
-  constexpr int kMaxDeclaredCount = 1 << 20;
-  UDT_RETURN_NOT_OK(next_line("classes"));
-  if (line.rfind("classes ", 0) != 0) {
-    return Status::InvalidArgument("udt-compiled: expected classes line");
-  }
-  std::optional<int> num_classes = ParseInt(line.substr(8));
-  if (!num_classes || *num_classes < 1 || *num_classes > kMaxDeclaredCount) {
-    return Status::InvalidArgument("udt-compiled: bad class count");
-  }
-  std::vector<std::string> class_names;
-  class_names.reserve(static_cast<size_t>(*num_classes));
-  for (int c = 0; c < *num_classes; ++c) {
-    UDT_RETURN_NOT_OK(next_line("class name"));
-    class_names.push_back(line);
-  }
-
-  UDT_RETURN_NOT_OK(next_line("attributes"));
-  if (line.rfind("attributes ", 0) != 0) {
-    return Status::InvalidArgument("udt-compiled: expected attributes line");
-  }
-  std::optional<int> num_attributes = ParseInt(line.substr(11));
-  if (!num_attributes || *num_attributes < 1 ||
-      *num_attributes > kMaxDeclaredCount) {
-    return Status::InvalidArgument("udt-compiled: bad attribute count");
-  }
-  std::vector<AttributeInfo> attributes;
-  attributes.reserve(static_cast<size_t>(*num_attributes));
-  for (int j = 0; j < *num_attributes; ++j) {
-    UDT_RETURN_NOT_OK(next_line("attr"));
-    std::vector<std::string> head = SplitString(line, ' ');
-    if (head.size() < 4 || head[0] != "attr") {
-      return Status::InvalidArgument("udt-compiled: bad attr line: " + line);
-    }
-    AttributeInfo info;
-    std::optional<int> categories = ParseInt(head[2]);
-    if (!categories) {
-      return Status::InvalidArgument("udt-compiled: bad attr arity: " + line);
-    }
-    if (head[1] == "cat") {
-      info.kind = AttributeKind::kCategorical;
-      info.num_categories = *categories;
-    } else if (head[1] == "num") {
-      info.kind = AttributeKind::kNumerical;
-    } else {
-      return Status::InvalidArgument("udt-compiled: bad attr kind: " + line);
-    }
-    info.name = line.substr(head[0].size() + head[1].size() +
-                            head[2].size() + 3);
-    attributes.push_back(std::move(info));
-  }
-  UDT_ASSIGN_OR_RETURN(
-      Schema schema,
-      Schema::Create(std::move(attributes), std::move(class_names)));
-
-  UDT_RETURN_NOT_OK(next_line("tables"));
-  // Table entries get a higher cap than declared header counts: Serialize
-  // writes them unbounded (child slots scale with nodes x arity, leaf
-  // doubles with leaves x classes), so Load must accept any artifact Save
-  // can produce while still refusing allocations a hostile header could
-  // demand (the cap bounds each table at half a gigabyte).
-  constexpr long long kMaxTableCount = 1ll << 26;
-  int num_nodes = -1;
-  long long num_child_entries = -1;
-  long long num_leaf_values = -1;
-  if (std::sscanf(line.c_str(), "tables nodes=%d children=%lld leaves=%lld",
-                  &num_nodes, &num_child_entries, &num_leaf_values) != 3 ||
-      num_nodes < 1 || num_nodes > kMaxDeclaredCount ||
-      num_child_entries < 0 || num_child_entries > kMaxTableCount ||
-      num_leaf_values < 0 || num_leaf_values > kMaxTableCount) {
-    return Status::InvalidArgument("udt-compiled: bad tables line: " + line);
-  }
-
-  FlatTree flat;
-  flat.num_classes = schema.num_classes();
-  flat.kind.reserve(static_cast<size_t>(num_nodes));
-  flat.attribute.reserve(static_cast<size_t>(num_nodes));
-  flat.split_point.reserve(static_cast<size_t>(num_nodes));
-  flat.first.reserve(static_cast<size_t>(num_nodes));
-  flat.num_children.reserve(static_cast<size_t>(num_nodes));
-  for (int i = 0; i < num_nodes; ++i) {
-    UDT_RETURN_NOT_OK(next_line("node record"));
-    std::vector<std::string> fields = SplitString(line, ' ');
-    if (fields.size() != 6 || fields[0] != "n") {
-      return Status::InvalidArgument("udt-compiled: bad node record: " + line);
-    }
-    std::optional<int> node_kind = ParseInt(fields[1]);
-    std::optional<int32_t> attribute = ParseInt32(fields[2]);
-    std::optional<double> split = ParseDouble(fields[3]);
-    std::optional<int32_t> first = ParseInt32(fields[4]);
-    std::optional<int32_t> children = ParseInt32(fields[5]);
-    if (!node_kind || *node_kind < 0 || *node_kind > 2 || !attribute ||
-        !split || !first || !children) {
-      return Status::InvalidArgument("udt-compiled: bad node record: " + line);
-    }
-    flat.kind.push_back(static_cast<uint8_t>(*node_kind));
-    flat.attribute.push_back(*attribute);
-    flat.split_point.push_back(*split);
-    flat.first.push_back(*first);
-    flat.num_children.push_back(*children);
-  }
-
-  UDT_RETURN_NOT_OK(ReadTokens(
-      in, static_cast<size_t>(num_child_entries), "child",
-      [](const std::string& t) { return ParseInt32(t); }, &flat.child_table));
-  UDT_RETURN_NOT_OK(ReadTokens(
-      in, static_cast<size_t>(num_leaf_values), "leaf",
-      [](const std::string& t) { return ParseDouble(t); }, &flat.leaf_values));
-
-  UDT_RETURN_NOT_OK(ValidateFlatTree(flat, schema));
+  UDT_ASSIGN_OR_RETURN(Schema schema, ReadSchemaBlock(&reader));
+  UDT_ASSIGN_OR_RETURN(FlatTree flat,
+                       ReadFlatTreeBody(in, schema.num_classes(), kContext));
+  UDT_RETURN_NOT_OK(ValidateFlatTree(flat, schema, kContext));
   auto rep =
       std::make_shared<Rep>(Rep{std::move(schema), kind, std::move(flat)});
   return CompiledModel(std::move(rep));

@@ -1,0 +1,183 @@
+#include "api/forest_session.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "api/session_shard.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "tree/classify.h"
+
+namespace udt {
+
+using session_internal::ForEachShard;
+
+ForestPredictSession::ForestPredictSession(CompiledForest forest)
+    : forest_(std::move(forest)) {}
+
+ForestPredictSession::WorkerScratch* ForestPredictSession::ScratchFor(
+    size_t index) {
+  while (scratch_.size() <= index) {
+    auto scratch = std::make_unique<WorkerScratch>();
+    scratch->tree_row.resize(static_cast<size_t>(num_classes()));
+    scratch_.push_back(std::move(scratch));
+  }
+  return scratch_[index].get();
+}
+
+void ForestPredictSession::CheckTuple(const UncertainTuple& tuple) const {
+  UDT_CHECK(tuple.values.size() ==
+            static_cast<size_t>(forest_.schema().num_attributes()));
+}
+
+void ForestPredictSession::ClassifyWith(WorkerScratch* scratch,
+                                        const UncertainTuple& tuple,
+                                        double* out) {
+  const int k = num_classes();
+  const bool averaging = forest_.kind() == ModelKind::kAveraging;
+  const ForestVote vote = forest_.vote();
+  for (int c = 0; c < k; ++c) out[c] = 0.0;
+  // Tree order and the single final division replay the pointer path's
+  // float sequence exactly (ForestModel::ClassifyDistribution).
+  for (const FlatTree& tree : forest_.trees()) {
+    if (averaging) {
+      ClassifyFlatMeans(tree, tuple, &scratch->traversal,
+                        scratch->tree_row.data());
+    } else {
+      ClassifyFlat(tree, tuple, &scratch->traversal,
+                   scratch->tree_row.data());
+    }
+    AccumulateForestVote(vote, scratch->tree_row.data(), k, out);
+  }
+  const double trees = static_cast<double>(forest_.num_trees());
+  for (int c = 0; c < k; ++c) out[c] /= trees;
+}
+
+void ForestPredictSession::ClassifyInto(const UncertainTuple& tuple,
+                                        double* out) {
+  CheckTuple(tuple);
+  ClassifyWith(ScratchFor(0), tuple, out);
+}
+
+std::vector<double> ForestPredictSession::ClassifyDistribution(
+    const UncertainTuple& tuple) {
+  std::vector<double> out(static_cast<size_t>(num_classes()));
+  ClassifyInto(tuple, out.data());
+  return out;
+}
+
+int ForestPredictSession::Predict(const UncertainTuple& tuple) {
+  return ArgMax(ClassifyDistribution(tuple));
+}
+
+StatusOr<int> ForestPredictSession::ResolveThreads(int num_threads,
+                                                   size_t batch_size) const {
+  return session_internal::ResolveSessionThreads(num_threads, batch_size);
+}
+
+Status ForestPredictSession::PredictBatchInto(
+    std::span<const UncertainTuple> tuples, const PredictOptions& options,
+    FlatBatchResult* out) {
+  UDT_CHECK(out != nullptr);
+  const size_t n = tuples.size();
+  const size_t k = static_cast<size_t>(num_classes());
+  UDT_ASSIGN_OR_RETURN(int num_threads,
+                       ResolveThreads(options.num_threads, n));
+
+  out->num_classes = static_cast<int>(k);
+  out->distributions.resize(n * k);
+  out->labels.resize(n);
+
+  auto classify_range = [&](int worker, size_t begin, size_t end) {
+    WorkerScratch* scratch = ScratchFor(static_cast<size_t>(worker));
+    for (size_t i = begin; i < end; ++i) {
+      double* row = out->distributions.data() + i * k;
+      ClassifyWith(scratch, tuples[i], row);
+      int best = 0;
+      for (size_t c = 1; c < k; ++c) {
+        if (row[c] > row[static_cast<size_t>(best)]) {
+          best = static_cast<int>(c);
+        }
+      }
+      out->labels[i] = best;
+    }
+  };
+
+  for (size_t i = 0; i < n; ++i) CheckTuple(tuples[i]);
+  // Scratch slots must exist before workers start: ScratchFor mutates the
+  // pool vector, which is not safe concurrently.
+  for (int t = 0; t < num_threads; ++t) ScratchFor(static_cast<size_t>(t));
+
+  ForEachShard(n, num_threads, classify_range);
+  return Status::OK();
+}
+
+StatusOr<BatchResult> ForestPredictSession::PredictBatch(
+    std::span<const UncertainTuple> tuples, const PredictOptions& options) {
+  WallTimer batch_timer;
+  const size_t n = tuples.size();
+  const size_t k = static_cast<size_t>(num_classes());
+  UDT_ASSIGN_OR_RETURN(int num_threads,
+                       ResolveThreads(options.num_threads, n));
+
+  BatchResult result;
+  result.distributions.resize(n);
+  result.labels.resize(n);
+  if (options.collect_timings) result.tuple_seconds.resize(n);
+  result.num_threads_used = num_threads;
+
+  auto classify_one = [&](WorkerScratch* scratch, size_t i) {
+    std::vector<double>& row = result.distributions[i];
+    row.resize(k);
+    ClassifyWith(scratch, tuples[i], row.data());
+    result.labels[i] = ArgMax(row);
+  };
+  auto classify_range = [&](int worker, size_t begin, size_t end) {
+    WorkerScratch* scratch = ScratchFor(static_cast<size_t>(worker));
+    for (size_t i = begin; i < end; ++i) {
+      if (options.collect_timings) {
+        WallTimer tuple_timer;
+        classify_one(scratch, i);
+        result.tuple_seconds[i] = tuple_timer.ElapsedSeconds();
+      } else {
+        classify_one(scratch, i);
+      }
+    }
+  };
+
+  for (size_t i = 0; i < n; ++i) CheckTuple(tuples[i]);
+  for (int t = 0; t < num_threads; ++t) ScratchFor(static_cast<size_t>(t));
+
+  ForEachShard(n, num_threads, classify_range);
+
+  result.total_seconds = batch_timer.ElapsedSeconds();
+  return result;
+}
+
+StatusOr<BatchResult> ForestPredictSession::PredictBatch(
+    const Dataset& data, const PredictOptions& options) {
+  return PredictBatch(std::span<const UncertainTuple>(data.tuples().data(),
+                                                      data.tuples().size()),
+                      options);
+}
+
+StatusOr<BatchResult> ForestModel::PredictBatch(
+    std::span<const UncertainTuple> tuples,
+    const PredictOptions& options) const {
+  // Thin shim over the compiled serving path: flatten once, run one
+  // session. Callers with steady traffic should Compile() once and hold
+  // their own ForestPredictSession to amortise the flattening.
+  ForestPredictSession session(Compile());
+  return session.PredictBatch(tuples, options);
+}
+
+StatusOr<BatchResult> ForestModel::PredictBatch(
+    const Dataset& data, const PredictOptions& options) const {
+  return PredictBatch(
+      std::span<const UncertainTuple>(data.tuples().data(),
+                                      data.tuples().size()),
+      options);
+}
+
+}  // namespace udt

@@ -1,0 +1,102 @@
+// udt::ForestPredictSession — the per-worker serving handle of the
+// ensemble stack, the ForestModel counterpart of udt::PredictSession. A
+// session borrows an immutable CompiledForest (shared, never copied) and
+// owns the mutable state a forest prediction needs: per-worker traversal
+// scratch plus a per-tree output row that the vote aggregation consumes in
+// place. Everything is reused call to call, so steady-state batch
+// prediction performs zero heap allocations per tuple — the N per-tree
+// traversals and the vote aggregation all run over preallocated buffers.
+//
+// The intended deployment shape mirrors the single-tree stack:
+//
+//   ForestModel forest = *ForestModel::Load(path);   // source of truth
+//   CompiledForest compiled = forest.Compile();      // share freely
+//   // ... one ForestPredictSession per worker thread:
+//   ForestPredictSession session(compiled);
+//   auto result = session.PredictBatch(tuples);
+//
+// A session is cheap to construct and NOT thread-safe: give each request
+// worker its own. (PredictBatch with num_threads > 1 shards over internal
+// std::threads, each with its own scratch slot — that is safe; two
+// concurrent calls into one session are not.)
+
+#ifndef UDT_API_FOREST_SESSION_H_
+#define UDT_API_FOREST_SESSION_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "api/compiled_forest.h"
+#include "api/forest.h"
+#include "api/model.h"
+#include "api/predict_session.h"
+#include "common/statusor.h"
+#include "tree/flat_tree.h"
+
+namespace udt {
+
+class ForestPredictSession {
+ public:
+  explicit ForestPredictSession(CompiledForest forest);
+
+  const CompiledForest& forest() const { return forest_; }
+  int num_classes() const { return forest_.num_classes(); }
+
+  // ------------------------------------------------------- single tuple
+
+  // Classifies one tuple into caller storage (num_classes doubles): every
+  // tree's flat traversal, votes aggregated in tree order, one final
+  // division — bitwise-identical to ForestModel::ClassifyDistribution.
+  void ClassifyInto(const UncertainTuple& tuple, double* out);
+
+  // Convenience allocating forms, result-compatible with the ForestModel
+  // ones.
+  std::vector<double> ClassifyDistribution(const UncertainTuple& tuple);
+  int Predict(const UncertainTuple& tuple);
+
+  // -------------------------------------------------------------- batch
+
+  // Classifies a batch, sharded over options.num_threads workers (0 = one
+  // per hardware thread, 1 = inline; negative is an InvalidArgument
+  // error). Shards write straight into their final slots, so the result is
+  // bitwise-identical to the inline loop for every thread count — and to
+  // the pointer-tree voting of the forest this session was compiled from.
+  StatusOr<BatchResult> PredictBatch(std::span<const UncertainTuple> tuples,
+                                     const PredictOptions& options = {});
+  StatusOr<BatchResult> PredictBatch(const Dataset& data,
+                                     const PredictOptions& options = {});
+
+  // Same computation, flat output, no per-tuple allocation: `out` buffers
+  // are reused between calls once warm.
+  Status PredictBatchInto(std::span<const UncertainTuple> tuples,
+                          const PredictOptions& options,
+                          FlatBatchResult* out);
+
+ private:
+  // Per-worker mutable state: traversal scratch shared by all trees plus
+  // the row one tree's distribution lands in before aggregation.
+  struct WorkerScratch {
+    FlatTraversalScratch traversal;
+    std::vector<double> tree_row;
+  };
+
+  // Scratch slot for worker `index`, created on first use, reused after.
+  WorkerScratch* ScratchFor(size_t index);
+
+  // Resolves PredictOptions::num_threads against the batch size.
+  StatusOr<int> ResolveThreads(int num_threads, size_t batch_size) const;
+
+  void CheckTuple(const UncertainTuple& tuple) const;
+
+  // The aggregation kernel all entry points share.
+  void ClassifyWith(WorkerScratch* scratch, const UncertainTuple& tuple,
+                    double* out);
+
+  CompiledForest forest_;
+  std::vector<std::unique_ptr<WorkerScratch>> scratch_;
+};
+
+}  // namespace udt
+
+#endif  // UDT_API_FOREST_SESSION_H_

@@ -1,11 +1,14 @@
 #include "api/model.h"
 
+#include "api/container_tags.h"
+
 #include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "api/predict_session.h"
 #include "common/string_util.h"
+#include "table/schema_io.h"
 #include "tree/classify.h"
 #include "tree/tree_io.h"
 
@@ -16,16 +19,6 @@ namespace {
 // line-oriented (names may contain spaces, so each name owns the rest of
 // its line); the tree body is the tree_io text verbatim.
 constexpr char kMagic[] = "udt-model v1";
-
-const char* KindTag(ModelKind kind) {
-  return kind == ModelKind::kAveraging ? "avg" : "udt";
-}
-
-StatusOr<ModelKind> ParseKindTag(std::string_view tag) {
-  if (tag == "avg") return ModelKind::kAveraging;
-  if (tag == "udt") return ModelKind::kUdt;
-  return Status::InvalidArgument("unknown model kind: " + std::string(tag));
-}
 
 StatusOr<SplitAlgorithm> ParseAlgorithm(std::string_view name) {
   for (SplitAlgorithm a :
@@ -55,7 +48,8 @@ std::string ConfigLine(const TreeConfig& config) {
       "config algorithm=%s measure=%s max_depth=%d min_split_weight=%.17g "
       "min_gain=%.17g post_prune=%d pruning_confidence=%.17g "
       "es_endpoint_sample_rate=%.17g use_percentile_endpoints=%d "
-      "percentiles_per_class=%d min_side_mass=%.17g",
+      "percentiles_per_class=%d min_side_mass=%.17g "
+      "subspace_attributes=%d subspace_seed=%llu",
       SplitAlgorithmToString(config.algorithm),
       DispersionMeasureToString(config.measure), config.max_depth,
       config.min_split_weight, config.min_gain, config.post_prune ? 1 : 0,
@@ -63,7 +57,8 @@ std::string ConfigLine(const TreeConfig& config) {
       config.split_options.es_endpoint_sample_rate,
       config.split_options.use_percentile_endpoints ? 1 : 0,
       config.split_options.percentiles_per_class,
-      config.split_options.min_side_mass);
+      config.split_options.min_side_mass, config.subspace_attributes,
+      static_cast<unsigned long long>(config.subspace_seed));
 }
 
 Status ParseConfigLine(std::string_view line, TreeConfig* config) {
@@ -108,6 +103,14 @@ Status ParseConfigLine(std::string_view line, TreeConfig* config) {
       std::optional<double> v = ParseDouble(value);
       if (!v) return Status::InvalidArgument("bad min_side_mass");
       config->split_options.min_side_mass = *v;
+    } else if (key == "subspace_attributes") {
+      std::optional<int> v = ParseInt(value);
+      if (!v) return Status::InvalidArgument("bad subspace_attributes");
+      config->subspace_attributes = *v;
+    } else if (key == "subspace_seed") {
+      std::optional<uint64_t> v = ParseUint64(value);
+      if (!v) return Status::InvalidArgument("bad subspace_seed");
+      config->subspace_seed = *v;
     }
     // Unknown keys: ignore (forward compatibility).
   }
@@ -156,20 +159,10 @@ StatusOr<BatchResult> Model::PredictBatch(
 }
 
 std::string Model::Serialize() const {
-  const Schema& s = schema();
   std::ostringstream out;
   out << kMagic << "\n";
-  out << "kind " << KindTag(kind_) << "\n";
-  out << "classes " << s.num_classes() << "\n";
-  for (const std::string& name : s.class_names()) out << name << "\n";
-  out << "attributes " << s.num_attributes() << "\n";
-  for (const AttributeInfo& attr : s.attributes()) {
-    if (attr.kind == AttributeKind::kCategorical) {
-      out << "attr cat " << attr.num_categories << " " << attr.name << "\n";
-    } else {
-      out << "attr num 0 " << attr.name << "\n";
-    }
-  }
+  out << "kind " << wire::KindTag(kind_) << "\n";
+  WriteSchemaBlock(schema(), out);
   out << ConfigLine(config_) << "\n";
   out << "tree\n";
   out << SerializeTree(*tree_) << "\n";
@@ -178,101 +171,35 @@ std::string Model::Serialize() const {
 
 StatusOr<Model> Model::Deserialize(const std::string& text) {
   std::istringstream in(text);
-  std::string line;
+  LineReader reader(in, "udt-model");
 
-  auto next_line = [&](std::string_view what) -> Status {
-    if (!std::getline(in, line)) {
-      return Status::InvalidArgument("udt-model: truncated before " +
-                                     std::string(what));
-    }
-    // Tolerate CRLF line endings (a file saved through a text-mode stream
-    // on Windows must load everywhere).
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    return Status::OK();
-  };
-
-  UDT_RETURN_NOT_OK(next_line("magic"));
-  if (line != kMagic) {
-    return Status::InvalidArgument("udt-model: bad magic line: " + line);
+  UDT_RETURN_NOT_OK(reader.Next("magic"));
+  if (reader.line() != kMagic) {
+    return reader.Error("bad magic line: " + reader.line());
   }
 
-  UDT_RETURN_NOT_OK(next_line("kind"));
-  if (line.rfind("kind ", 0) != 0) {
-    return Status::InvalidArgument("udt-model: expected kind line");
+  UDT_RETURN_NOT_OK(reader.Next("kind"));
+  if (reader.line().rfind("kind ", 0) != 0) {
+    return reader.Error("expected kind line");
   }
-  UDT_ASSIGN_OR_RETURN(ModelKind kind, ParseKindTag(line.substr(5)));
+  UDT_ASSIGN_OR_RETURN(ModelKind kind,
+                       wire::ParseKindTag(reader.line().substr(5)));
 
-  UDT_RETURN_NOT_OK(next_line("classes"));
-  if (line.rfind("classes ", 0) != 0) {
-    return Status::InvalidArgument("udt-model: expected classes line");
-  }
-  // Counts are bounded before any allocation so a corrupt or hostile
-  // header fails with a Status instead of a bad_alloc.
-  constexpr int kMaxDeclaredCount = 1 << 20;
-  std::optional<int> num_classes = ParseInt(line.substr(8));
-  if (!num_classes || *num_classes < 1 || *num_classes > kMaxDeclaredCount) {
-    return Status::InvalidArgument("udt-model: bad class count");
-  }
-  std::vector<std::string> class_names;
-  class_names.reserve(static_cast<size_t>(*num_classes));
-  for (int c = 0; c < *num_classes; ++c) {
-    UDT_RETURN_NOT_OK(next_line("class name"));
-    class_names.push_back(line);
-  }
+  UDT_ASSIGN_OR_RETURN(Schema schema, ReadSchemaBlock(&reader));
 
-  UDT_RETURN_NOT_OK(next_line("attributes"));
-  if (line.rfind("attributes ", 0) != 0) {
-    return Status::InvalidArgument("udt-model: expected attributes line");
-  }
-  std::optional<int> num_attributes = ParseInt(line.substr(11));
-  if (!num_attributes || *num_attributes < 1 ||
-      *num_attributes > kMaxDeclaredCount) {
-    return Status::InvalidArgument("udt-model: bad attribute count");
-  }
-  std::vector<AttributeInfo> attributes;
-  attributes.reserve(static_cast<size_t>(*num_attributes));
-  for (int j = 0; j < *num_attributes; ++j) {
-    UDT_RETURN_NOT_OK(next_line("attr"));
-    // "attr num 0 <name>" | "attr cat <n> <name>"; the name is the rest of
-    // the line and may contain spaces.
-    std::vector<std::string> head = SplitString(line, ' ');
-    if (head.size() < 4 || head[0] != "attr") {
-      return Status::InvalidArgument("udt-model: bad attr line: " + line);
-    }
-    AttributeInfo info;
-    std::optional<int> categories = ParseInt(head[2]);
-    if (!categories) {
-      return Status::InvalidArgument("udt-model: bad attr arity: " + line);
-    }
-    if (head[1] == "cat") {
-      info.kind = AttributeKind::kCategorical;
-      info.num_categories = *categories;
-    } else if (head[1] == "num") {
-      info.kind = AttributeKind::kNumerical;
-    } else {
-      return Status::InvalidArgument("udt-model: bad attr kind: " + line);
-    }
-    const size_t name_offset =
-        head[0].size() + head[1].size() + head[2].size() + 3;
-    info.name = line.substr(name_offset);
-    attributes.push_back(std::move(info));
-  }
-  UDT_ASSIGN_OR_RETURN(
-      Schema schema,
-      Schema::Create(std::move(attributes), std::move(class_names)));
-
-  UDT_RETURN_NOT_OK(next_line("config"));
+  UDT_RETURN_NOT_OK(reader.Next("config"));
   TreeConfig config;
-  if (line.rfind("config", 0) != 0) {
-    return Status::InvalidArgument("udt-model: expected config line");
+  if (reader.line().rfind("config", 0) != 0) {
+    return reader.Error("expected config line");
   }
-  UDT_RETURN_NOT_OK(ParseConfigLine(line, &config));
+  UDT_RETURN_NOT_OK(ParseConfigLine(reader.line(), &config));
 
-  UDT_RETURN_NOT_OK(next_line("tree"));
-  if (line != "tree") {
-    return Status::InvalidArgument("udt-model: expected tree marker");
+  UDT_RETURN_NOT_OK(reader.Next("tree"));
+  if (reader.line() != "tree") {
+    return reader.Error("expected tree marker");
   }
   std::string tree_text;
+  std::string line;
   while (std::getline(in, line)) {
     tree_text += line;
     tree_text += "\n";

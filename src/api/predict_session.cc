@@ -4,37 +4,14 @@
 #include <thread>
 #include <utility>
 
+#include "api/session_shard.h"
 #include "common/logging.h"
-#include "common/string_util.h"
 #include "common/timer.h"
 #include "tree/classify.h"
 
 namespace udt {
-namespace {
 
-// Runs fn(worker, begin, end) over `num_threads` contiguous shards of
-// [0, n). Workers write only into their own slice, so the output is
-// independent of the shard layout.
-template <typename Fn>
-void ForEachShard(size_t n, int num_threads, Fn fn) {
-  if (num_threads == 1) {
-    fn(0, size_t{0}, n);
-    return;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(num_threads));
-  const size_t per_shard = n / static_cast<size_t>(num_threads);
-  const size_t remainder = n % static_cast<size_t>(num_threads);
-  size_t begin = 0;
-  for (int t = 0; t < num_threads; ++t) {
-    const size_t len = per_shard + (static_cast<size_t>(t) < remainder ? 1 : 0);
-    workers.emplace_back(fn, t, begin, begin + len);
-    begin += len;
-  }
-  for (std::thread& worker : workers) worker.join();
-}
-
-}  // namespace
+using session_internal::ForEachShard;
 
 PredictSession::PredictSession(CompiledModel model)
     : model_(std::move(model)) {
@@ -88,20 +65,7 @@ int PredictSession::Predict(const UncertainTuple& tuple) {
 
 StatusOr<int> PredictSession::ResolveThreads(int num_threads,
                                              size_t batch_size) const {
-  if (num_threads < 0) {
-    return Status::InvalidArgument(
-        StrFormat("PredictOptions::num_threads must be >= 0, got %d "
-                  "(0 = one per hardware thread)",
-                  num_threads));
-  }
-  if (num_threads == 0) {
-    unsigned hw = std::thread::hardware_concurrency();
-    num_threads = hw == 0 ? 1 : static_cast<int>(hw);
-  }
-  if (num_threads > static_cast<int>(batch_size)) {
-    num_threads = static_cast<int>(batch_size);
-  }
-  return std::max(num_threads, 1);
+  return session_internal::ResolveSessionThreads(num_threads, batch_size);
 }
 
 Status PredictSession::PredictBatchInto(

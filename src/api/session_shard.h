@@ -1,0 +1,68 @@
+// Sharding arithmetic shared by the serving sessions (PredictSession and
+// ForestPredictSession). Both promise the same contract — contiguous
+// shards, workers writing only their own slice, output independent of the
+// shard layout, and the same num_threads resolution rules — so the
+// arithmetic lives once, here, and the sessions cannot drift apart.
+
+#ifndef UDT_API_SESSION_SHARD_H_
+#define UDT_API_SESSION_SHARD_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/string_util.h"
+
+namespace udt {
+namespace session_internal {
+
+// Runs fn(worker, begin, end) over `num_threads` contiguous shards of
+// [0, n). Workers write only into their own slice, so the output is
+// independent of the shard layout.
+template <typename Fn>
+void ForEachShard(size_t n, int num_threads, Fn fn) {
+  if (num_threads == 1) {
+    fn(0, size_t{0}, n);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_threads));
+  const size_t per_shard = n / static_cast<size_t>(num_threads);
+  const size_t remainder = n % static_cast<size_t>(num_threads);
+  size_t begin = 0;
+  for (int t = 0; t < num_threads; ++t) {
+    const size_t len =
+        per_shard + (static_cast<size_t>(t) < remainder ? 1 : 0);
+    workers.emplace_back(fn, t, begin, begin + len);
+    begin += len;
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+// Resolves a PredictOptions::num_threads request against a batch size:
+// negative is an InvalidArgument error, 0 means one per hardware thread,
+// and the result is clamped to [1, batch_size].
+inline StatusOr<int> ResolveSessionThreads(int num_threads,
+                                           size_t batch_size) {
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        StrFormat("PredictOptions::num_threads must be >= 0, got %d "
+                  "(0 = one per hardware thread)",
+                  num_threads));
+  }
+  if (num_threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  if (num_threads > static_cast<int>(batch_size)) {
+    num_threads = static_cast<int>(batch_size);
+  }
+  return std::max(num_threads, 1);
+}
+
+}  // namespace session_internal
+}  // namespace udt
+
+#endif  // UDT_API_SESSION_SHARD_H_

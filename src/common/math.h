@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace udt {
@@ -37,6 +38,17 @@ double GiniFromCounts(const std::vector<double>& counts);
 // True if |a - b| <= eps.
 inline bool AlmostEqual(double a, double b, double eps = kMassEpsilon) {
   return std::fabs(a - b) <= eps;
+}
+
+// SplitMix64 finaliser: full 64-bit avalanche in a few cycles. The one
+// mixing function behind every deterministic stream derivation (per-node
+// subspace tokens in core/node_build.cc, per-tree bag/subspace seeds in
+// api/forest.cc) — keep a single copy so the streams can never diverge.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
 }
 
 // Inverse of the standard normal CDF (Acklam's rational approximation,

@@ -1,5 +1,6 @@
 #include "common/string_util.h"
 
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +49,23 @@ std::optional<int> ParseInt(std::string_view text) {
   if (end != buffer.c_str() + buffer.size()) return std::nullopt;
   if (value < 0 || value > 2147483647L) return std::nullopt;
   return static_cast<int>(value);
+}
+
+std::optional<uint64_t> ParseUint64(std::string_view text) {
+  text = TrimWhitespace(text);
+  if (text.empty()) return std::nullopt;
+  // strtoull silently accepts "-1" (wrapping) and "+1"; digits only here.
+  for (char ch : text) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+  }
+  std::string buffer(text);
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long value = std::strtoull(buffer.c_str(), &end, 10);
+  if (end != buffer.c_str() + buffer.size() || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return static_cast<uint64_t>(value);
 }
 
 std::string StrFormat(const char* format, ...) {

@@ -4,6 +4,7 @@
 #ifndef UDT_COMMON_STRING_UTIL_H_
 #define UDT_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -22,6 +23,10 @@ std::optional<double> ParseDouble(std::string_view text);
 
 // Parses a non-negative integer; returns nullopt on malformed input.
 std::optional<int> ParseInt(std::string_view text);
+
+// Parses a non-negative 64-bit integer (decimal); returns nullopt on
+// malformed input, a sign character, or overflow.
+std::optional<uint64_t> ParseUint64(std::string_view text);
 
 // printf-style formatting into std::string.
 std::string StrFormat(const char* format, ...)

@@ -17,6 +17,7 @@
 #include "core/builder.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <mutex>
 #include <utility>
@@ -55,9 +56,7 @@ struct BuildContext {
 
 void MergeStats(const BuildContext& ctx, const BuildStats& local) {
   std::lock_guard<std::mutex> lock(*ctx.stats_mu);
-  ctx.stats->counters += local.counters;
-  ctx.stats->nodes += local.nodes;
-  ctx.stats->leaves += local.leaves;
+  *ctx.stats += local;
 }
 
 // Depth-first recursion; `used_categorical` is mutated-and-restored along
@@ -66,28 +65,32 @@ void MergeStats(const BuildContext& ctx, const BuildStats& local) {
 std::unique_ptr<TreeNode> BuildSerial(const BuildContext& ctx,
                                       const WorkingSet& set, int depth,
                                       std::vector<bool>* used_categorical,
-                                      BuildStats* stats) {
+                                      uint64_t token, BuildStats* stats) {
   NodeDecision decision =
-      DecideNode(ctx.node, set, depth, *used_categorical,
+      DecideNode(ctx.node, set, depth, *used_categorical, token,
                  /*scan_pool=*/nullptr, stats);
   switch (decision.kind) {
     case NodeDecision::Kind::kLeaf:
       break;
     case NodeDecision::Kind::kNumerical:
       decision.node->left =
-          BuildSerial(ctx, decision.left, depth + 1, used_categorical, stats);
+          BuildSerial(ctx, decision.left, depth + 1, used_categorical,
+                      ChildNodeToken(token, 0), stats);
       decision.node->right =
-          BuildSerial(ctx, decision.right, depth + 1, used_categorical, stats);
+          BuildSerial(ctx, decision.right, depth + 1, used_categorical,
+                      ChildNodeToken(token, 1), stats);
       break;
     case NodeDecision::Kind::kCategorical: {
       size_t attr = static_cast<size_t>(decision.categorical_attribute);
       (*used_categorical)[attr] = true;
       decision.node->children.reserve(decision.buckets.size());
-      for (WorkingSet& bucket : decision.buckets) {
+      for (size_t b = 0; b < decision.buckets.size(); ++b) {
+        WorkingSet& bucket = decision.buckets[b];
         decision.node->children.push_back(
             bucket.empty()
                 ? MakeFallbackLeaf(decision.node->class_counts, stats)
                 : BuildSerial(ctx, bucket, depth + 1, used_categorical,
+                              ChildNodeToken(token, static_cast<int>(b)),
                               stats));
       }
       (*used_categorical)[attr] = false;
@@ -104,6 +107,9 @@ struct SubtreeJob {
   // Snapshot of the ancestors' categorical usage; parallel subtrees cannot
   // share the backtracking vector of the serial recursion.
   std::vector<bool> used_categorical;
+  // The node's path token (see ChildNodeToken) — carried with the job so
+  // subspace sampling is independent of which worker builds the subtree.
+  uint64_t token = kRootNodeToken;
   std::unique_ptr<TreeNode>* slot = nullptr;
 };
 
@@ -115,8 +121,9 @@ void RunSubtreeTask(const BuildContext& ctx, SubtreeJob job,
   BuildStats local;
   TaskPool* scan_pool =
       job.set.size() >= kMinTuplesForParallelScan ? ctx.pool : nullptr;
-  NodeDecision decision = DecideNode(ctx.node, job.set, job.depth,
-                                     job.used_categorical, scan_pool, &local);
+  NodeDecision decision =
+      DecideNode(ctx.node, job.set, job.depth, job.used_categorical,
+                 job.token, scan_pool, &local);
   // Free the parent's working set before the children are queued.
   job.set.clear();
   job.set.shrink_to_fit();
@@ -129,12 +136,13 @@ void RunSubtreeTask(const BuildContext& ctx, SubtreeJob job,
     case NodeDecision::Kind::kNumerical:
       ScheduleSubtree(ctx,
                       SubtreeJob{std::move(decision.left), job.depth + 1,
-                                 job.used_categorical, &node->left},
+                                 job.used_categorical,
+                                 ChildNodeToken(job.token, 0), &node->left},
                       group);
       ScheduleSubtree(ctx,
                       SubtreeJob{std::move(decision.right), job.depth + 1,
                                  std::move(job.used_categorical),
-                                 &node->right},
+                                 ChildNodeToken(job.token, 1), &node->right},
                       group);
       break;
     case NodeDecision::Kind::kCategorical: {
@@ -145,11 +153,13 @@ void RunSubtreeTask(const BuildContext& ctx, SubtreeJob job,
         if (decision.buckets[b].empty()) {
           node->children[b] = MakeFallbackLeaf(node->class_counts, &local);
         } else {
-          ScheduleSubtree(ctx,
-                          SubtreeJob{std::move(decision.buckets[b]),
-                                     job.depth + 1, job.used_categorical,
-                                     &node->children[b]},
-                          group);
+          ScheduleSubtree(
+              ctx,
+              SubtreeJob{std::move(decision.buckets[b]), job.depth + 1,
+                         job.used_categorical,
+                         ChildNodeToken(job.token, static_cast<int>(b)),
+                         &node->children[b]},
+              group);
         }
       }
       break;
@@ -164,8 +174,8 @@ void ScheduleSubtree(const BuildContext& ctx, SubtreeJob job,
   // more (allocations + pool lock round-trips) than the work itself.
   if (job.set.size() < kMinTuplesForSubtreeTask) {
     BuildStats local;
-    *job.slot =
-        BuildSerial(ctx, job.set, job.depth, &job.used_categorical, &local);
+    *job.slot = BuildSerial(ctx, job.set, job.depth, &job.used_categorical,
+                            job.token, &local);
     MergeStats(ctx, local);
     return;
   }
@@ -187,7 +197,36 @@ StatusOr<DecisionTree> TreeBuilder::Build(const Dataset& train,
   if (train.empty()) {
     return Status::InvalidArgument("cannot build a tree on an empty data set");
   }
+  return BuildFromRoot(train, MakeRootWorkingSet(train), stats);
+}
 
+StatusOr<DecisionTree> TreeBuilder::BuildWeighted(
+    const Dataset& train, const std::vector<double>& weights,
+    BuildStats* stats) const {
+  UDT_RETURN_NOT_OK(config_.Validate());
+  if (train.empty()) {
+    return Status::InvalidArgument("cannot build a tree on an empty data set");
+  }
+  if (weights.size() != static_cast<size_t>(train.num_tuples())) {
+    return Status::InvalidArgument("need exactly one weight per tuple");
+  }
+  bool any_positive = false;
+  for (double w : weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      return Status::InvalidArgument("weights must be finite and >= 0");
+    }
+    any_positive |= w > 0.0;
+  }
+  if (!any_positive) {
+    return Status::InvalidArgument("at least one weight must be positive");
+  }
+  return BuildFromRoot(train, MakeWeightedRootWorkingSet(train, weights),
+                       stats);
+}
+
+StatusOr<DecisionTree> TreeBuilder::BuildFromRoot(const Dataset& train,
+                                                  WorkingSet root_set,
+                                                  BuildStats* stats) const {
   BuildStats local_stats;
   BuildContext ctx;
   ctx.node.data = &train;
@@ -199,7 +238,6 @@ StatusOr<DecisionTree> TreeBuilder::Build(const Dataset& train,
   ctx.stats = stats != nullptr ? stats : &local_stats;
 
   WallTimer timer;
-  WorkingSet root_set = MakeRootWorkingSet(train);
   std::vector<bool> used_categorical(
       static_cast<size_t>(train.num_attributes()), false);
 
@@ -208,7 +246,7 @@ StatusOr<DecisionTree> TreeBuilder::Build(const Dataset& train,
   std::unique_ptr<TreeNode> root;
   if (concurrency <= 1) {
     root = BuildSerial(ctx, root_set, /*depth=*/0, &used_categorical,
-                       ctx.stats);
+                       kRootNodeToken, ctx.stats);
   } else {
     // The calling thread participates via Wait, so spawn one fewer worker
     // than the requested concurrency.
@@ -219,7 +257,8 @@ StatusOr<DecisionTree> TreeBuilder::Build(const Dataset& train,
     TaskGroup group;
     ScheduleSubtree(ctx,
                     SubtreeJob{std::move(root_set), /*depth=*/0,
-                               std::move(used_categorical), &root},
+                               std::move(used_categorical), kRootNodeToken,
+                               &root},
                     &group);
     pool.Wait(&group);
   }

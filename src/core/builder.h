@@ -28,6 +28,17 @@ struct BuildStats {
   int leaves = 0;               // before post-pruning
   int subtrees_collapsed = 0;   // by post-pruning
   double build_seconds = 0.0;   // wall-clock, excludes data preparation
+
+  // Field-wise accumulation — the one merge used by the parallel
+  // scheduler, the forest trainer and cross-validation totals alike.
+  BuildStats& operator+=(const BuildStats& other) {
+    counters += other.counters;
+    nodes += other.nodes;
+    leaves += other.leaves;
+    subtrees_collapsed += other.subtrees_collapsed;
+    build_seconds += other.build_seconds;
+    return *this;
+  }
 };
 
 // Builds decision trees from uncertain data sets under a fixed config.
@@ -40,9 +51,24 @@ class TreeBuilder {
   StatusOr<DecisionTree> Build(const Dataset& train,
                                BuildStats* stats) const;
 
+  // Trains a tree on `train` with per-tuple root weights — the bagged-
+  // ensemble entry point (api/forest.h): weights[i] is tuple i's bootstrap
+  // multiplicity, and tuples with weight <= 0 take no part in the build.
+  // Requires one finite non-negative weight per tuple, at least one of
+  // them positive. `stats` may be null.
+  StatusOr<DecisionTree> BuildWeighted(const Dataset& train,
+                                       const std::vector<double>& weights,
+                                       BuildStats* stats) const;
+
   const TreeConfig& config() const { return config_; }
 
  private:
+  // Shared implementation: grows the tree from an already-formed root
+  // working set, serial or pooled per the config, then post-prunes.
+  StatusOr<DecisionTree> BuildFromRoot(const Dataset& train,
+                                       WorkingSet root_set,
+                                       BuildStats* stats) const;
+
   TreeConfig config_;
 };
 

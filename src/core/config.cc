@@ -18,6 +18,10 @@ Status TreeConfig::Validate() const {
     return Status::InvalidArgument(
         "num_threads must be >= 0 (0 = one per hardware thread)");
   }
+  if (subspace_attributes < 0) {
+    return Status::InvalidArgument(
+        "subspace_attributes must be >= 0 (0 = all attributes)");
+  }
   if (split_options.es_endpoint_sample_rate <= 0.0 ||
       split_options.es_endpoint_sample_rate > 1.0) {
     return Status::InvalidArgument(
@@ -35,11 +39,12 @@ Status TreeConfig::Validate() const {
 std::string TreeConfig::ToString() const {
   return StrFormat(
       "algorithm=%s measure=%s max_depth=%d min_split_weight=%.3g "
-      "min_gain=%.3g post_prune=%s cf=%.2f es_rate=%.2f threads=%d",
+      "min_gain=%.3g post_prune=%s cf=%.2f es_rate=%.2f threads=%d "
+      "subspace=%d",
       SplitAlgorithmToString(algorithm), DispersionMeasureToString(measure),
       max_depth, min_split_weight, min_gain, post_prune ? "yes" : "no",
       pruning_confidence, split_options.es_endpoint_sample_rate,
-      num_threads);
+      num_threads, subspace_attributes);
 }
 
 }  // namespace udt

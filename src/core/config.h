@@ -5,6 +5,7 @@
 #ifndef UDT_CORE_CONFIG_H_
 #define UDT_CORE_CONFIG_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/statusor.h"
@@ -38,6 +39,15 @@ struct TreeConfig {
   // every value — the engine fixes its accumulation and tie-break orders
   // independently of the schedule (see tests/builder_determinism_test.cc).
   int num_threads = 1;
+
+  // Random-subspace construction (forest diversification, api/forest.h):
+  // when > 0, every node's split search draws this many attributes without
+  // replacement from a deterministic per-node stream (seeded by
+  // subspace_seed and the node's root-path position) and considers only
+  // those. 0 = consider every attribute, the single-tree default. Values
+  // >= the attribute count behave like 0.
+  int subspace_attributes = 0;
+  uint64_t subspace_seed = 0;
 
   // Knobs forwarded to the split finders (the measure is copied in by the
   // builder; leave split_options.measure untouched).

@@ -1,5 +1,8 @@
 #include "core/node_build.h"
 
+#include <utility>
+
+#include "common/logging.h"
 #include "common/math.h"
 #include "core/builder.h"
 #include "split/categorical.h"
@@ -35,6 +38,32 @@ void FillNodeStatistics(TreeNode* node, std::vector<double> counts) {
 
 }  // namespace
 
+uint64_t ChildNodeToken(uint64_t parent_token, int child_index) {
+  // Multiply-then-mix keeps sibling tokens and cousin tokens decorrelated;
+  // the odd multiplier makes (parent, index) -> pre-mix input injective.
+  return SplitMix64(parent_token * 0x100000001B3ULL +
+                    static_cast<uint64_t>(child_index) + 1);
+}
+
+std::vector<uint8_t> SampleAttributeSubspace(uint64_t seed, uint64_t token,
+                                             int num_attributes, int k) {
+  UDT_DCHECK(k > 0 && k < num_attributes);
+  // Partial Fisher-Yates over the attribute ids, driven by a SplitMix64
+  // stream: pure function of (seed, token), no engine state to construct.
+  uint64_t state = SplitMix64(seed ^ token);
+  std::vector<int> order(static_cast<size_t>(num_attributes));
+  for (int j = 0; j < num_attributes; ++j) order[static_cast<size_t>(j)] = j;
+  std::vector<uint8_t> mask(static_cast<size_t>(num_attributes), 0);
+  for (int i = 0; i < k; ++i) {
+    state = SplitMix64(state);
+    const int j =
+        i + static_cast<int>(state % static_cast<uint64_t>(num_attributes - i));
+    std::swap(order[static_cast<size_t>(i)], order[static_cast<size_t>(j)]);
+    mask[static_cast<size_t>(order[static_cast<size_t>(i)])] = 1;
+  }
+  return mask;
+}
+
 std::unique_ptr<TreeNode> MakeFallbackLeaf(const std::vector<double>& counts,
                                            BuildStats* stats) {
   auto child = std::make_unique<TreeNode>();
@@ -46,7 +75,8 @@ std::unique_ptr<TreeNode> MakeFallbackLeaf(const std::vector<double>& counts,
 
 NodeDecision DecideNode(const NodeBuildContext& ctx, const WorkingSet& set,
                         int depth, const std::vector<bool>& used_categorical,
-                        TaskPool* scan_pool, BuildStats* stats) {
+                        uint64_t node_token, TaskPool* scan_pool,
+                        BuildStats* stats) {
   const Dataset& data = *ctx.data;
   const TreeConfig& config = *ctx.config;
 
@@ -69,10 +99,24 @@ NodeDecision DecideNode(const NodeBuildContext& ctx, const WorkingSet& set,
 
   SplitScorer scorer(config.measure, node->class_counts);
 
+  // Random-subspace restriction: sample this node's attribute mask from
+  // its (seed, token) stream — a pure function of the node's root path,
+  // so the chosen subspace is schedule-independent.
+  SplitOptions options = ctx.split_options;
+  std::vector<uint8_t> subspace_mask;
+  if (config.subspace_attributes > 0 &&
+      config.subspace_attributes < data.num_attributes()) {
+    subspace_mask =
+        SampleAttributeSubspace(config.subspace_seed, node_token,
+                                data.num_attributes(),
+                                config.subspace_attributes);
+    options.attribute_mask = &subspace_mask;
+  }
+
   // Best numerical split; the per-attribute scans run as `scan_pool` tasks
   // when the scheduler hands one in.
   SplitCandidate best = ctx.finder->FindBestSplit(
-      data, set, scorer, ctx.split_options, &stats->counters, scan_pool);
+      data, set, scorer, options, &stats->counters, scan_pool);
 
   // Categorical candidates (Section 7.2); an attribute used by an ancestor
   // cannot yield further gain and is skipped.
@@ -82,8 +126,9 @@ NodeDecision DecideNode(const NodeBuildContext& ctx, const WorkingSet& set,
       continue;
     }
     if (used_categorical[static_cast<size_t>(j)]) continue;
+    if (!options.AttributeAllowed(j)) continue;
     CategoricalSplitResult result = EvaluateCategoricalSplit(
-        data, set, j, scorer, ctx.split_options, &stats->counters);
+        data, set, j, scorer, options, &stats->counters);
     if (!result.valid) continue;
     SplitCandidate candidate;
     candidate.valid = true;

@@ -9,6 +9,7 @@
 #ifndef UDT_CORE_NODE_BUILD_H_
 #define UDT_CORE_NODE_BUILD_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -52,14 +53,34 @@ struct NodeBuildContext {
   SplitOptions split_options;
 };
 
+// Per-node identity tokens: a deterministic function of the node's path
+// from the root, independent of build order and thread schedule. The
+// random-subspace sampler keys on them, which is what keeps subspace
+// forests bitwise-identical across thread counts.
+inline constexpr uint64_t kRootNodeToken = 0x9E3779B97F4A7C15ULL;
+
+// Token of the child at `child_index` (0/1 for numerical splits, the
+// category id for categorical splits) of the node with `parent_token`.
+uint64_t ChildNodeToken(uint64_t parent_token, int child_index);
+
+// Draws `k` of `num_attributes` attribute ids without replacement from the
+// stream seeded by (seed, token); returns a num_attributes-sized 0/1 mask.
+// Requires 0 < k < num_attributes.
+std::vector<uint8_t> SampleAttributeSubspace(uint64_t seed, uint64_t token,
+                                             int num_attributes, int k);
+
 // Evaluates one node. `used_categorical` marks categorical attributes an
-// ancestor already split on. When `scan_pool` is non-null the numerical
-// split search fans its per-attribute scans out as pool tasks; the result
-// is bitwise-identical either way. `stats` accumulates node/leaf counts
-// and split counters and must not be shared across concurrent calls.
+// ancestor already split on. `node_token` is the node's ChildNodeToken
+// chain value (kRootNodeToken at the root); it only matters when the
+// config enables random subspaces. When `scan_pool` is non-null the
+// numerical split search fans its per-attribute scans out as pool tasks;
+// the result is bitwise-identical either way. `stats` accumulates
+// node/leaf counts and split counters and must not be shared across
+// concurrent calls.
 NodeDecision DecideNode(const NodeBuildContext& ctx, const WorkingSet& set,
                         int depth, const std::vector<bool>& used_categorical,
-                        TaskPool* scan_pool, BuildStats* stats);
+                        uint64_t node_token, TaskPool* scan_pool,
+                        BuildStats* stats);
 
 // A leaf carrying the parent's class counts, used for categorical buckets
 // no training mass reaches.

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "api/forest.h"
 #include "api/trainer.h"
 #include "common/random.h"
 #include "common/statusor.h"
@@ -34,6 +35,26 @@ StatusOr<CrossValidationResult> RunCrossValidation(const Dataset& data,
                                                    const TreeConfig& config,
                                                    ModelKind kind,
                                                    int folds, Rng* rng);
+
+// Cross-validation of an ensemble, plus the out-of-bag view: held-out
+// fold accuracy comes from the compiled forest serving path, and each
+// fold's OOB estimate (computed on its training split only) is averaged
+// alongside — so single-tree vs forest comparisons get both the unbiased
+// k-fold number and the cheaper OOB proxy in one run.
+struct ForestCrossValidationResult {
+  CrossValidationResult cv;
+  // Mean over folds of the per-fold out-of-bag error / coverage (zero
+  // when ForestConfig::bootstrap is off: no bags, nothing out of bag).
+  double mean_oob_error = 0.0;
+  double mean_oob_coverage = 0.0;
+};
+
+// Runs stratified k-fold cross-validation of a forest. Deterministic in
+// *rng's state and config.seed (the same forest seed is reused per fold;
+// fold diversity comes from the fold split itself).
+StatusOr<ForestCrossValidationResult> RunForestCrossValidation(
+    const Dataset& data, const ForestConfig& config, ModelKind kind,
+    int folds, Rng* rng);
 
 }  // namespace udt
 

@@ -14,6 +14,12 @@
 
 namespace udt {
 
+// Forward declarations (api/forest.h, api/forest_session.h): the forest
+// overloads below take references only, so consumers that never touch
+// forests don't pay for the ensemble headers.
+class ForestModel;
+class ForestPredictSession;
+
 // Row-per-true-class confusion matrix with weighted helpers.
 class ConfusionMatrix {
  public:
@@ -53,6 +59,19 @@ double EvaluateAccuracy(PredictSession& session, const Dataset& test,
 ConfusionMatrix EvaluateConfusion(const Model& model, const Dataset& test,
                                   const PredictOptions& options = {});
 double EvaluateAccuracy(const Model& model, const Dataset& test,
+                        const PredictOptions& options = {});
+
+// Ensemble counterparts: classify through a forest serving session (or a
+// one-shot compiled forest) and tally the same matrix.
+ConfusionMatrix EvaluateConfusion(ForestPredictSession& session,
+                                  const Dataset& test,
+                                  const PredictOptions& options = {});
+double EvaluateAccuracy(ForestPredictSession& session, const Dataset& test,
+                        const PredictOptions& options = {});
+ConfusionMatrix EvaluateConfusion(const ForestModel& forest,
+                                  const Dataset& test,
+                                  const PredictOptions& options = {});
+double EvaluateAccuracy(const ForestModel& forest, const Dataset& test,
                         const PredictOptions& options = {});
 
 }  // namespace udt

@@ -29,6 +29,26 @@ WorkingSet MakeRootWorkingSet(const Dataset& data) {
   return set;
 }
 
+WorkingSet MakeWeightedRootWorkingSet(const Dataset& data,
+                                      const std::vector<double>& weights) {
+  UDT_CHECK(weights.size() == static_cast<size_t>(data.num_tuples()));
+  WorkingSet set;
+  set.reserve(weights.size());
+  size_t k = static_cast<size_t>(data.num_attributes());
+  for (int i = 0; i < data.num_tuples(); ++i) {
+    double w = weights[static_cast<size_t>(i)];
+    if (w <= 0.0) continue;
+    FractionalTuple ft;
+    ft.tuple_index = i;
+    ft.weight = w;
+    ft.lo.assign(k, -kInf);
+    ft.hi.assign(k, kInf);
+    ft.category.assign(k, -1);
+    set.push_back(std::move(ft));
+  }
+  return set;
+}
+
 double ConstrainedMass(const SampledPdf& pdf, double lo, double hi) {
   double upper = hi == kInf ? 1.0 : pdf.CdfAtOrBelow(hi);
   double lower = lo == -kInf ? 0.0 : pdf.CdfAtOrBelow(lo);

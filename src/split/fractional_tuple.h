@@ -27,7 +27,10 @@ inline constexpr double kMinFractionWeight = 1e-9;
 // A (possibly fractional) training tuple in a node's working set.
 struct FractionalTuple {
   int tuple_index = 0;  // into the Dataset
-  double weight = 1.0;  // in (0, 1]
+  // Fraction of the tuple's mass in this working set. In (0, 1] for plain
+  // training; bootstrap bags (api/forest.h) seed the root with integer
+  // multiplicities, so descendants carry weights in (0, multiplicity].
+  double weight = 1.0;
   // Per-attribute numerical constraints; value is conditioned to (lo, hi].
   // Entries for categorical attributes are ignored.
   std::vector<double> lo;
@@ -42,6 +45,13 @@ using WorkingSet = std::vector<FractionalTuple>;
 
 // One fractional tuple of weight 1 per data-set tuple, unconstrained.
 WorkingSet MakeRootWorkingSet(const Dataset& data);
+
+// Weighted root set for bagged training: one unconstrained fractional tuple
+// of weight weights[i] per data-set tuple, with non-positive weights
+// omitted entirely (a bootstrap bag that never drew the tuple). Requires
+// weights.size() == num_tuples.
+WorkingSet MakeWeightedRootWorkingSet(const Dataset& data,
+                                      const std::vector<double>& weights);
 
 // Probability mass of `pdf` restricted to the constraint (lo, hi], i.e.
 // F(hi) - F(lo). Infinite bounds denote "unconstrained".

@@ -94,6 +94,7 @@ SplitCandidate SplitFinder::FindBestSplit(const Dataset& data,
     SplitCandidate no_seed;
     split_internal::EvalBuffers buffers;
     for (int j = 0; j < num_attributes; ++j) {
+      if (!options.AttributeAllowed(j)) continue;
       split_internal::AttributeContext ctx =
           split_internal::BuildContextForAttribute(data, set, j, options,
                                                    num_classes);
@@ -116,6 +117,7 @@ SplitCandidate SplitFinder::FindBestSplit(const Dataset& data,
   std::vector<AttributeSlot> slots(static_cast<size_t>(num_attributes));
 
   ForEachAttribute(pool, num_attributes, [&](int j) {
+    if (!options.AttributeAllowed(j)) return;  // slot stays empty
     AttributeSlot& slot = slots[static_cast<size_t>(j)];
     slot.ctx = split_internal::BuildContextForAttribute(data, set, j, options,
                                                         num_classes);

@@ -62,6 +62,18 @@ struct SplitOptions {
 
   // A split is valid only if both sides receive at least this much mass.
   double min_side_mass = 1e-9;
+
+  // Random-subspace construction (api/forest.h): when non-null, only
+  // attributes j with (*attribute_mask)[j] != 0 are searched — numerical
+  // scans and categorical scoring alike. Borrowed per node, never owned;
+  // null considers every attribute.
+  const std::vector<uint8_t>* attribute_mask = nullptr;
+
+  // True when `attribute` participates in the search under the mask.
+  bool AttributeAllowed(int attribute) const {
+    return attribute_mask == nullptr ||
+           (*attribute_mask)[static_cast<size_t>(attribute)] != 0;
+  }
 };
 
 // Work counters, accumulated across every node of a tree build. The paper's

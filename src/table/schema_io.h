@@ -1,0 +1,70 @@
+// The schema block shared by every versioned udt container ("udt-model
+// v1", "udt-compiled v1", "udt-forest v1", ...): a line-oriented classes +
+// attributes section. Historically each container carried its own copy of
+// the writer and parser; this header is the single implementation they all
+// delegate to, so a format fix lands everywhere at once.
+//
+// Block shape (names own the rest of their line and may contain spaces):
+//
+//   classes <n>
+//   <class name> x n
+//   attributes <k>
+//   attr (num 0 | cat <categories>) <attribute name> x k
+
+#ifndef UDT_TABLE_SCHEMA_IO_H_
+#define UDT_TABLE_SCHEMA_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "table/attribute.h"
+
+namespace udt {
+
+// Reads a container line by line with CRLF tolerance and context-tagged
+// errors ("<context>: truncated before <what>"). The containers' own
+// header lines go through Next()/line() too, so one reader serves a whole
+// Deserialize.
+class LineReader {
+ public:
+  // `context` tags error messages, e.g. "udt-model". `in` must outlive
+  // the reader.
+  LineReader(std::istream& in, std::string context)
+      : in_(in), context_(std::move(context)) {}
+
+  // Loads the next line into line(); `what` names the expected content in
+  // the truncation error.
+  Status Next(std::string_view what);
+
+  const std::string& line() const { return line_; }
+  const std::string& context() const { return context_; }
+  std::istream& stream() { return in_; }
+
+  // InvalidArgument("<context>: <message>") for parse errors at the
+  // current position.
+  Status Error(std::string_view message) const;
+
+ private:
+  std::istream& in_;
+  std::string context_;
+  std::string line_;
+};
+
+// Writes the classes + attributes block of `schema`.
+void WriteSchemaBlock(const Schema& schema, std::ostream& out);
+
+// Deep structural equality: same attribute names/kinds/arities and the
+// same class vocabulary, in order.
+bool SchemaEquals(const Schema& a, const Schema& b);
+
+// Parses the block written by WriteSchemaBlock. Declared counts are
+// bounded before any allocation, so hostile headers fail with a Status
+// instead of a bad_alloc.
+StatusOr<Schema> ReadSchemaBlock(LineReader* reader);
+
+}  // namespace udt
+
+#endif  // UDT_TABLE_SCHEMA_IO_H_

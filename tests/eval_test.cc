@@ -117,6 +117,43 @@ TEST(CrossValidationTest, DeterministicInSeed) {
   EXPECT_EQ(a->mean_accuracy, b->mean_accuracy);
 }
 
+TEST(ForestCrossValidationTest, ReportsAccuracyAndOob) {
+  Dataset ds = EasyDataset(80, 8);
+  ForestConfig config;
+  config.num_trees = 5;
+  config.seed = 11;
+  config.tree.algorithm = SplitAlgorithm::kUdtEs;
+  Rng rng(3);
+  auto result = RunForestCrossValidation(ds, config, ModelKind::kUdt, 4,
+                                         &rng);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->cv.fold_accuracies.size(), 4u);
+  EXPECT_GT(result->cv.mean_accuracy, 0.9);
+  EXPECT_GT(result->cv.total_build_stats.nodes, 0);
+  EXPECT_GE(result->mean_oob_error, 0.0);
+  EXPECT_LE(result->mean_oob_error, 1.0);
+  EXPECT_GT(result->mean_oob_coverage, 0.5);
+
+  // Deterministic in the rng state and the forest seed.
+  Rng rng_b(3);
+  auto again = RunForestCrossValidation(ds, config, ModelKind::kUdt, 4,
+                                        &rng_b);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(result->cv.mean_accuracy, again->cv.mean_accuracy);
+  EXPECT_EQ(result->mean_oob_error, again->mean_oob_error);
+}
+
+TEST(ForestCrossValidationTest, RejectsBadArguments) {
+  Dataset ds = EasyDataset(10, 9);
+  ForestConfig config;
+  Rng rng(1);
+  EXPECT_FALSE(
+      RunForestCrossValidation(ds, config, ModelKind::kUdt, 1, &rng).ok());
+  config.num_trees = 0;
+  EXPECT_FALSE(
+      RunForestCrossValidation(ds, config, ModelKind::kUdt, 4, &rng).ok());
+}
+
 TEST(ExperimentTest, PrepareUncertainDatasetInjector) {
   auto spec = datagen::FindUciSpec("Iris");
   ASSERT_TRUE(spec.ok());

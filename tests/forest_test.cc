@@ -1,0 +1,405 @@
+// Functional coverage for the ensemble subsystem: config validation, the
+// two voting rules, bootstrap-bag structure, out-of-bag estimation, the
+// degenerate no-diversity forest, and both persistence containers
+// (udt-forest-model v1 pointer forests, udt-forest v1 compiled forests)
+// including hostile-input rejection. The cross-thread bitwise guarantees
+// live in tests/forest_determinism_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/compiled_forest.h"
+#include "api/forest.h"
+#include "api/forest_session.h"
+#include "common/random.h"
+#include "core/node_build.h"
+#include "pdf/pdf_builder.h"
+#include "tree/classify.h"
+#include "tree/tree_io.h"
+
+namespace udt {
+namespace {
+
+Dataset SyntheticDataset(int tuples, int attributes, int classes, int s,
+                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  for (int c = 0; c < classes; ++c) names.push_back("c" + std::to_string(c));
+  Dataset ds(Schema::Numerical(attributes, names));
+  for (int i = 0; i < tuples; ++i) {
+    UncertainTuple t;
+    t.label = i % classes;
+    for (int j = 0; j < attributes; ++j) {
+      double center = rng.Gaussian(static_cast<double>(t.label) * 1.2, 1.0);
+      auto pdf = MakeGaussianErrorPdf(center, rng.Uniform(0.5, 1.5), s);
+      UDT_CHECK(pdf.ok());
+      t.values.push_back(UncertainValue::Numerical(std::move(*pdf)));
+    }
+    UDT_CHECK(ds.AddTuple(std::move(t)).ok());
+  }
+  return ds;
+}
+
+ForestConfig SmallConfig(int trees = 5) {
+  ForestConfig config;
+  config.num_trees = trees;
+  config.seed = 7;
+  config.tree.algorithm = SplitAlgorithm::kUdtEs;
+  return config;
+}
+
+TEST(ForestConfigTest, ValidatesRanges) {
+  ForestConfig config = SmallConfig();
+  EXPECT_TRUE(config.Validate().ok());
+
+  config.num_trees = 0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = SmallConfig();
+  config.subspace_attributes = -2;
+  EXPECT_FALSE(config.Validate().ok());
+  config.subspace_attributes = ForestConfig::kSubspaceSqrt;
+  EXPECT_TRUE(config.Validate().ok());
+
+  config = SmallConfig();
+  config.num_threads = -1;
+  EXPECT_FALSE(config.Validate().ok());
+
+  // The embedded tree config is validated too.
+  config = SmallConfig();
+  config.tree.max_depth = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ForestConfigTest, RejectsEmptyDataset) {
+  Dataset empty(Schema::Numerical(2, {"a", "b"}));
+  ForestTrainer trainer(SmallConfig());
+  EXPECT_FALSE(trainer.TrainUdt(empty).ok());
+}
+
+TEST(BootstrapBagTest, IsDeterministicAndConservesDraws) {
+  std::vector<double> bag = ForestBootstrapBag(/*seed=*/3, /*tree_index=*/2,
+                                               /*num_tuples=*/64);
+  ASSERT_EQ(bag.size(), 64u);
+  double total = 0.0;
+  for (double w : bag) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_EQ(w, std::floor(w)) << "bag weights are multiplicities";
+    total += w;
+  }
+  EXPECT_DOUBLE_EQ(total, 64.0) << "N draws with replacement";
+
+  EXPECT_EQ(bag, ForestBootstrapBag(3, 2, 64)) << "pure function of inputs";
+  EXPECT_NE(bag, ForestBootstrapBag(3, 3, 64)) << "trees get distinct bags";
+  EXPECT_NE(bag, ForestBootstrapBag(4, 2, 64)) << "seeds get distinct bags";
+}
+
+TEST(SubspaceSampleTest, MaskHasExactlyKAttributes) {
+  for (uint64_t token : {uint64_t{1}, uint64_t{999}, kRootNodeToken}) {
+    std::vector<uint8_t> mask = SampleAttributeSubspace(/*seed=*/5, token,
+                                                        /*num_attributes=*/10,
+                                                        /*k=*/3);
+    ASSERT_EQ(mask.size(), 10u);
+    int set = 0;
+    for (uint8_t m : mask) set += m != 0 ? 1 : 0;
+    EXPECT_EQ(set, 3);
+    EXPECT_EQ(mask, SampleAttributeSubspace(5, token, 10, 3));
+  }
+  // Different tokens disagree somewhere (overwhelmingly likely over many
+  // tokens; assert over a family to keep flakiness at zero).
+  bool any_difference = false;
+  std::vector<uint8_t> first = SampleAttributeSubspace(5, 1, 10, 3);
+  for (uint64_t token = 2; token < 40; ++token) {
+    if (SampleAttributeSubspace(5, token, 10, 3) != first) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ForestVoteTest, AverageIsMeanOfTreeDistributions) {
+  Dataset ds = SyntheticDataset(90, 3, 3, 8, 21);
+  ForestConfig config = SmallConfig(4);
+  config.vote = ForestVote::kAverage;
+  ForestTrainer trainer(config);
+  auto forest = trainer.TrainUdt(ds);
+  ASSERT_TRUE(forest.ok());
+
+  const UncertainTuple& tuple = ds.tuple(0);
+  std::vector<double> expected(3, 0.0);
+  for (int t = 0; t < forest->num_trees(); ++t) {
+    std::vector<double> dist = forest->tree(t).ClassifyDistribution(tuple);
+    for (int c = 0; c < 3; ++c) expected[static_cast<size_t>(c)] += dist[c];
+  }
+  for (double& v : expected) v /= forest->num_trees();
+  EXPECT_EQ(forest->ClassifyDistribution(tuple), expected);
+}
+
+TEST(ForestVoteTest, MajorityIsNormalisedVoteHistogram) {
+  Dataset ds = SyntheticDataset(90, 3, 3, 8, 22);
+  ForestConfig config = SmallConfig(5);
+  config.vote = ForestVote::kMajority;
+  ForestTrainer trainer(config);
+  auto forest = trainer.TrainUdt(ds);
+  ASSERT_TRUE(forest.ok());
+
+  const UncertainTuple& tuple = ds.tuple(1);
+  std::vector<double> expected(3, 0.0);
+  for (int t = 0; t < forest->num_trees(); ++t) {
+    expected[static_cast<size_t>(forest->tree(t).Predict(tuple))] += 1.0;
+  }
+  for (double& v : expected) v /= forest->num_trees();
+  std::vector<double> actual = forest->ClassifyDistribution(tuple);
+  EXPECT_EQ(actual, expected);
+  double mass = 0.0;
+  for (double v : actual) mass += v;
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST(ForestTrainerTest, NoDiversityForestEqualsSingleTree) {
+  // bootstrap off + subspaces off => every tree IS the single-trainer
+  // tree, so forest predictions agree with it (up to the vote's divide,
+  // which rounds: (d+d+d)/3 is within an ulp of d, not bitwise d).
+  Dataset ds = SyntheticDataset(80, 3, 3, 8, 23);
+  ForestConfig config = SmallConfig(3);
+  config.bootstrap = false;
+  config.subspace_attributes = 0;
+  ForestTrainer trainer(config);
+  auto forest = trainer.TrainUdt(ds);
+  ASSERT_TRUE(forest.ok());
+
+  Trainer single_trainer(config.tree);
+  auto single = single_trainer.TrainUdt(ds);
+  ASSERT_TRUE(single.ok());
+
+  const std::string single_tree = SerializeTree(single->tree());
+  for (int t = 0; t < forest->num_trees(); ++t) {
+    EXPECT_EQ(SerializeTree(forest->tree(t).tree()), single_tree)
+        << "tree " << t;
+  }
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> fd = forest->ClassifyDistribution(ds.tuple(i));
+    std::vector<double> sd = single->ClassifyDistribution(ds.tuple(i));
+    ASSERT_EQ(fd.size(), sd.size());
+    for (size_t c = 0; c < fd.size(); ++c) {
+      EXPECT_NEAR(fd[c], sd[c], 1e-15) << "tuple " << i << " class " << c;
+    }
+  }
+}
+
+TEST(ForestTrainerTest, SubspaceForestsDiversify) {
+  Dataset ds = SyntheticDataset(100, 6, 3, 8, 24);
+  ForestConfig config = SmallConfig(4);
+  config.bootstrap = false;
+  config.subspace_attributes = 2;
+  ForestTrainer trainer(config);
+  auto forest = trainer.TrainUdt(ds);
+  ASSERT_TRUE(forest.ok());
+
+  // With bags off, any disagreement between trees must come from the
+  // random subspaces.
+  bool trees_differ = false;
+  for (int t = 1; t < forest->num_trees() && !trees_differ; ++t) {
+    trees_differ = forest->tree(t).Serialize() !=
+                   forest->tree(0).Serialize();
+  }
+  EXPECT_TRUE(trees_differ);
+}
+
+TEST(ForestTrainerTest, OobEstimateIsSane) {
+  Dataset ds = SyntheticDataset(120, 3, 3, 8, 25);
+  ForestConfig config = SmallConfig(8);
+  ForestTrainer trainer(config);
+  OobEstimate oob;
+  BuildStats stats;
+  auto forest = trainer.TrainUdt(ds, &oob, &stats);
+  ASSERT_TRUE(forest.ok());
+
+  EXPECT_EQ(oob.total_tuples, 120);
+  // With 8 bags, P(no bag leaves tuple i out) is tiny; expect wide
+  // coverage but tolerate the tail.
+  EXPECT_GT(oob.evaluated_tuples, 60);
+  EXPECT_LE(oob.evaluated_tuples, 120);
+  EXPECT_GE(oob.accuracy, 0.0);
+  EXPECT_LE(oob.accuracy, 1.0);
+  EXPECT_NEAR(oob.error, 1.0 - oob.accuracy, 1e-12);
+  EXPECT_NEAR(oob.coverage,
+              static_cast<double>(oob.evaluated_tuples) / 120.0, 1e-12);
+  EXPECT_GT(stats.nodes, 0);
+  EXPECT_GT(stats.leaves, 0);
+
+  // Without bootstrap bags there is nothing out of bag.
+  ForestConfig full = config;
+  full.bootstrap = false;
+  OobEstimate no_oob;
+  auto forest2 = ForestTrainer(full).TrainUdt(ds, &no_oob);
+  ASSERT_TRUE(forest2.ok());
+  EXPECT_EQ(no_oob.evaluated_tuples, 0);
+  EXPECT_EQ(no_oob.coverage, 0.0);
+}
+
+TEST(ForestTrainerTest, AveragingForestTrains) {
+  Dataset ds = SyntheticDataset(90, 3, 3, 8, 26);
+  ForestTrainer trainer(SmallConfig(4));
+  auto forest = trainer.TrainAveraging(ds);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_EQ(forest->kind(), ModelKind::kAveraging);
+  for (int t = 0; t < forest->num_trees(); ++t) {
+    EXPECT_EQ(forest->tree(t).config().algorithm, SplitAlgorithm::kAvg);
+  }
+  // Distributions remain normalised through the vote.
+  std::vector<double> dist = forest->ClassifyDistribution(ds.tuple(0));
+  double mass = 0.0;
+  for (double v : dist) mass += v;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(ForestModelTest, SerializeRoundTripsExactly) {
+  Dataset ds = SyntheticDataset(90, 3, 3, 8, 27);
+  ForestTrainer trainer(SmallConfig(3));
+  auto forest = trainer.TrainUdt(ds);
+  ASSERT_TRUE(forest.ok());
+
+  std::string text = forest->Serialize();
+  auto loaded = ForestModel::Deserialize(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->Serialize(), text);
+  EXPECT_EQ(loaded->num_trees(), forest->num_trees());
+  EXPECT_EQ(loaded->vote(), forest->vote());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(loaded->ClassifyDistribution(ds.tuple(i)),
+              forest->ClassifyDistribution(ds.tuple(i)));
+  }
+}
+
+TEST(ForestModelTest, SaveLoadRoundTrips) {
+  Dataset ds = SyntheticDataset(80, 3, 3, 8, 28);
+  ForestTrainer trainer(SmallConfig(3));
+  auto forest = trainer.TrainUdt(ds);
+  ASSERT_TRUE(forest.ok());
+
+  std::string path = ::testing::TempDir() + "/forest_model.udtf";
+  ASSERT_TRUE(forest->Save(path).ok());
+  auto loaded = ForestModel::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->Serialize(), forest->Serialize());
+  std::remove(path.c_str());
+}
+
+TEST(ForestModelTest, RejectsHostileInput) {
+  Dataset ds = SyntheticDataset(60, 3, 3, 8, 29);
+  ForestTrainer trainer(SmallConfig(2));
+  auto forest = trainer.TrainUdt(ds);
+  ASSERT_TRUE(forest.ok());
+  std::string good = forest->Serialize();
+
+  EXPECT_FALSE(ForestModel::Deserialize("").ok());
+  EXPECT_FALSE(ForestModel::Deserialize("not a forest").ok());
+  EXPECT_FALSE(
+      ForestModel::Deserialize("udt-forest-model v1\nvote avg\ntrees 0\n")
+          .ok());
+  // Truncated mid tree body.
+  EXPECT_FALSE(
+      ForestModel::Deserialize(good.substr(0, good.size() / 2)).ok());
+  // Frame length pointing past the end.
+  std::string bad = good;
+  size_t frame = bad.find("tree 0 ");
+  ASSERT_NE(frame, std::string::npos);
+  bad.replace(frame, 7, "tree 0 999999999 ");
+  EXPECT_FALSE(ForestModel::Deserialize(bad).ok());
+}
+
+TEST(CompiledForestTest, CompileRoundTripsLayout) {
+  Dataset ds = SyntheticDataset(90, 3, 3, 8, 30);
+  ForestTrainer trainer(SmallConfig(4));
+  auto forest = trainer.TrainUdt(ds);
+  ASSERT_TRUE(forest.ok());
+
+  CompiledForest compiled = forest->Compile();
+  EXPECT_EQ(compiled.num_trees(), forest->num_trees());
+  EXPECT_EQ(compiled.kind(), forest->kind());
+  EXPECT_EQ(compiled.vote(), forest->vote());
+  EXPECT_GT(compiled.num_nodes(), 0);
+
+  std::string text = compiled.Serialize();
+  auto loaded = CompiledForest::Deserialize(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_TRUE(loaded->LayoutEquals(compiled));
+  EXPECT_EQ(loaded->Serialize(), text);
+
+  std::string path = ::testing::TempDir() + "/forest_compiled.udtf";
+  ASSERT_TRUE(compiled.Save(path).ok());
+  auto from_file = CompiledForest::Load(path);
+  ASSERT_TRUE(from_file.ok());
+  EXPECT_TRUE(from_file->LayoutEquals(compiled));
+  std::remove(path.c_str());
+}
+
+TEST(CompiledForestTest, RejectsHostileInput) {
+  Dataset ds = SyntheticDataset(60, 3, 3, 8, 31);
+  ForestTrainer trainer(SmallConfig(2));
+  auto forest = trainer.TrainUdt(ds);
+  ASSERT_TRUE(forest.ok());
+  std::string good = forest->Compile().Serialize();
+
+  EXPECT_FALSE(CompiledForest::Deserialize("").ok());
+  EXPECT_FALSE(CompiledForest::Deserialize("udt-compiled v1\n").ok());
+  EXPECT_FALSE(
+      CompiledForest::Deserialize(good.substr(0, good.size() / 2)).ok());
+
+  // A child id pointing out of range must be caught by validation.
+  std::string bad = good;
+  size_t n_line = bad.find("\nn 1 ");
+  if (n_line != std::string::npos) {
+    bad.replace(n_line + 1, 4, "n 9 ");
+    EXPECT_FALSE(CompiledForest::Deserialize(bad).ok());
+  }
+}
+
+TEST(ForestSessionTest, MatchesPointerPathAndSingleThreadBatch) {
+  Dataset ds = SyntheticDataset(100, 3, 3, 8, 32);
+  ForestTrainer trainer(SmallConfig(4));
+  auto forest = trainer.TrainUdt(ds);
+  ASSERT_TRUE(forest.ok());
+
+  ForestPredictSession session(forest->Compile());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(session.ClassifyDistribution(ds.tuple(i)),
+              forest->ClassifyDistribution(ds.tuple(i)))
+        << "tuple " << i;
+    EXPECT_EQ(session.Predict(ds.tuple(i)), forest->Predict(ds.tuple(i)));
+  }
+
+  auto batch = session.PredictBatch(ds);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->labels.size(), static_cast<size_t>(ds.num_tuples()));
+  for (int i = 0; i < ds.num_tuples(); ++i) {
+    EXPECT_EQ(batch->distributions[static_cast<size_t>(i)],
+              forest->ClassifyDistribution(ds.tuple(i)));
+  }
+
+  // The model-level shim agrees with the session.
+  auto shim = forest->PredictBatch(ds);
+  ASSERT_TRUE(shim.ok());
+  EXPECT_EQ(shim->labels, batch->labels);
+  EXPECT_EQ(shim->distributions, batch->distributions);
+}
+
+TEST(ForestSessionTest, RejectsNegativeThreads) {
+  Dataset ds = SyntheticDataset(30, 3, 3, 8, 33);
+  ForestTrainer trainer(SmallConfig(2));
+  auto forest = trainer.TrainUdt(ds);
+  ASSERT_TRUE(forest.ok());
+  ForestPredictSession session(forest->Compile());
+  PredictOptions options;
+  options.num_threads = -2;
+  EXPECT_FALSE(session.PredictBatch(ds, options).ok());
+}
+
+}  // namespace
+}  // namespace udt
