@@ -134,7 +134,9 @@ Measurement TimePasses(Pass pass) {
   pass();  // warm-up: fault in scratch, settle allocator state
   WallTimer probe;
   pass();
-  double one = probe.ElapsedSeconds();
+  // Floor the probe at 1ns: on a coarse clock both reads can land in the
+  // same tick, and casting 0.25/0.0 to int would be UB, not just wrong.
+  double one = std::max(probe.ElapsedSeconds(), 1e-9);
   int repeats = std::clamp(static_cast<int>(std::ceil(0.25 / one)), 1, 200);
   WallTimer timer;
   for (int r = 0; r < repeats; ++r) pass();

@@ -347,6 +347,9 @@ StatusOr<ForestModel> ForestTrainer::Train(const Dataset& train,
         ++oob->evaluated_tuples;
         if (ArgMax(votes) == train.tuple(i).label) ++correct;
       }
+      // With zero evaluated tuples the rates keep their NaN defaults and
+      // coverage stays 0 — the documented "no estimate" sentinel
+      // (forest.h), not a stale 0.0 pretending to be a perfect error.
       if (oob->evaluated_tuples > 0) {
         oob->accuracy = static_cast<double>(correct) /
                         static_cast<double>(oob->evaluated_tuples);

@@ -24,6 +24,7 @@
 #define UDT_API_FOREST_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <span>
 #include <string>
@@ -100,10 +101,14 @@ struct OobEstimate {
   int evaluated_tuples = 0;
   int total_tuples = 0;
   // Fraction of evaluated tuples the out-of-bag vote classifies correctly,
-  // and its complement. Both stay 0 when nothing was evaluated (no
-  // bootstrap bags, or a degenerate run) — check evaluated_tuples.
-  double accuracy = 0.0;
-  double error = 0.0;
+  // and its complement. When nothing was evaluated — bootstrap off, or
+  // every tuple in-bag (possible for 1-tree forests on tiny data) — both
+  // are quiet NaN and coverage is 0: a 0.0 would read as a catastrophic
+  // (or, for error, perfect) forest, so "no estimate" is deliberately not
+  // representable as a valid rate. Gate on evaluated_tuples > 0 (or
+  // coverage > 0) before consuming either rate.
+  double accuracy = std::numeric_limits<double>::quiet_NaN();
+  double error = std::numeric_limits<double>::quiet_NaN();
   // evaluated_tuples / total_tuples (≈ 1 - (1-1/N)^trees for real bags).
   double coverage = 0.0;
 };
@@ -194,7 +199,8 @@ class ForestTrainer {
   // the data to pdf means once and grow classical trees over the bags,
   // exactly like Trainer::Train does for one tree. When `oob` is non-null
   // and bootstrap bags are on, fills it with the out-of-bag estimate
-  // (cleared to a zero-coverage estimate otherwise). When `stats` is
+  // (reset to the zero-coverage NaN sentinel otherwise — see OobEstimate).
+  // When `stats` is
   // non-null, accumulates the per-tree BuildStats over the whole forest in
   // tree order. Fails on an empty data set or invalid config.
   StatusOr<ForestModel> Train(const Dataset& train, ModelKind kind,

@@ -1,7 +1,6 @@
 #include "api/forest_session.h"
 
 #include <algorithm>
-#include <thread>
 #include <utility>
 
 #include "api/session_shard.h"
@@ -76,6 +75,11 @@ StatusOr<int> ForestPredictSession::ResolveThreads(int num_threads,
   return session_internal::ResolveSessionThreads(num_threads, batch_size);
 }
 
+TaskPool* ForestPredictSession::EnsureExecutor(int num_threads) {
+  return executor_.Ensure(num_threads,
+                          [this](size_t slot) { ScratchFor(slot); });
+}
+
 Status ForestPredictSession::PredictBatchInto(
     std::span<const UncertainTuple> tuples, const PredictOptions& options,
     FlatBatchResult* out) {
@@ -105,11 +109,12 @@ Status ForestPredictSession::PredictBatchInto(
   };
 
   for (size_t i = 0; i < n; ++i) CheckTuple(tuples[i]);
-  // Scratch slots must exist before workers start: ScratchFor mutates the
-  // pool vector, which is not safe concurrently.
-  for (int t = 0; t < num_threads; ++t) ScratchFor(static_cast<size_t>(t));
 
-  ForEachShard(n, num_threads, classify_range);
+  ForEachShard(EnsureExecutor(num_threads), n, num_threads,
+               session_internal::EffectiveShardGrain(
+                   options.grain,
+                   static_cast<size_t>(forest_.num_trees())),
+               classify_range);
   return Status::OK();
 }
 
@@ -125,7 +130,6 @@ StatusOr<BatchResult> ForestPredictSession::PredictBatch(
   result.distributions.resize(n);
   result.labels.resize(n);
   if (options.collect_timings) result.tuple_seconds.resize(n);
-  result.num_threads_used = num_threads;
 
   auto classify_one = [&](WorkerScratch* scratch, size_t i) {
     std::vector<double>& row = result.distributions[i];
@@ -147,9 +151,13 @@ StatusOr<BatchResult> ForestPredictSession::PredictBatch(
   };
 
   for (size_t i = 0; i < n; ++i) CheckTuple(tuples[i]);
-  for (int t = 0; t < num_threads; ++t) ScratchFor(static_cast<size_t>(t));
 
-  ForEachShard(n, num_threads, classify_range);
+  result.num_threads_used =
+      ForEachShard(EnsureExecutor(num_threads), n, num_threads,
+                   session_internal::EffectiveShardGrain(
+                       options.grain,
+                       static_cast<size_t>(forest_.num_trees())),
+                   classify_range);
 
   result.total_seconds = batch_timer.ElapsedSeconds();
   return result;
@@ -167,7 +175,9 @@ StatusOr<BatchResult> ForestModel::PredictBatch(
     const PredictOptions& options) const {
   // Thin shim over the compiled serving path: flatten once, run one
   // session. Callers with steady traffic should Compile() once and hold
-  // their own ForestPredictSession to amortise the flattening.
+  // their own ForestPredictSession — that amortises both the flattening
+  // and the session's persistent worker pool, which this one-shot session
+  // tears down again on return.
   ForestPredictSession session(Compile());
   return session.PredictBatch(tuples, options);
 }

@@ -16,9 +16,16 @@
 //   auto result = session.PredictBatch(tuples);
 //
 // A session is cheap to construct and NOT thread-safe: give each request
-// worker its own. (PredictBatch with num_threads > 1 shards over internal
-// std::threads, each with its own scratch slot — that is safe; two
-// concurrent calls into one session are not.)
+// worker its own. (PredictBatch with num_threads > 1 shards over a
+// session-owned persistent worker pool, each worker with its own scratch
+// slot — that is safe; two concurrent calls into one session are not.)
+//
+// Execution model: identical to PredictSession — the first batch with
+// num_threads > 1 creates the session's TaskPool (num_threads - 1
+// workers), every later batch reuses it, and a wider request replaces
+// the pool at most once per width. The default micro-batch grain is the
+// tree-session grain divided by the ensemble size, since each tuple here
+// carries one traversal per tree.
 
 #ifndef UDT_API_FOREST_SESSION_H_
 #define UDT_API_FOREST_SESSION_H_
@@ -31,6 +38,7 @@
 #include "api/forest.h"
 #include "api/model.h"
 #include "api/predict_session.h"
+#include "api/session_shard.h"
 #include "common/statusor.h"
 #include "tree/flat_tree.h"
 
@@ -73,6 +81,14 @@ class ForestPredictSession {
                           const PredictOptions& options,
                           FlatBatchResult* out);
 
+  // ------------------------------------------------------ introspection
+
+  // Persistent executor workers this session has created: 0 until the
+  // first batch with num_threads > 1, then stable across calls (it only
+  // grows when a batch requests more threads than the pool seats). Tests
+  // and ops dashboards use this to verify the zero-spawn steady state.
+  int executor_workers() const { return executor_.num_workers(); }
+
  private:
   // Per-worker mutable state: traversal scratch shared by all trees plus
   // the row one tree's distribution lands in before aggregation.
@@ -87,6 +103,11 @@ class ForestPredictSession {
   // Resolves PredictOptions::num_threads against the batch size.
   StatusOr<int> ResolveThreads(int num_threads, size_t batch_size) const;
 
+  // The session pool sized for `num_threads` (nullptr for inline
+  // execution), with every scratch slot the pool's workers could touch
+  // pre-created.
+  TaskPool* EnsureExecutor(int num_threads);
+
   void CheckTuple(const UncertainTuple& tuple) const;
 
   // The aggregation kernel all entry points share.
@@ -95,6 +116,9 @@ class ForestPredictSession {
 
   CompiledForest forest_;
   std::vector<std::unique_ptr<WorkerScratch>> scratch_;
+  // Lazily created at the first multi-threaded batch, then reused for
+  // every later call (see "Execution model" above).
+  session_internal::SessionExecutor executor_;
 };
 
 }  // namespace udt

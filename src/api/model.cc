@@ -145,7 +145,9 @@ StatusOr<BatchResult> Model::PredictBatch(
     const PredictOptions& options) const {
   // Thin shim over the compiled serving path: flatten once, run one
   // session. Callers with steady traffic should Compile() once and hold
-  // their own PredictSession to amortise the flattening.
+  // their own PredictSession — that amortises both the flattening and the
+  // session's persistent worker pool, which this one-shot session tears
+  // down again on return.
   PredictSession session(Compile());
   return session.PredictBatch(tuples, options);
 }

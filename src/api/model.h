@@ -11,6 +11,7 @@
 #ifndef UDT_API_MODEL_H_
 #define UDT_API_MODEL_H_
 
+#include <cstddef>
 #include <memory>
 #include <span>
 #include <string>
@@ -40,8 +41,20 @@ struct PredictOptions {
   // Worker threads the batch is sharded over: 1 runs inline on the calling
   // thread, 0 uses one thread per hardware thread, values above the batch
   // size are clamped. Negative values are rejected with an InvalidArgument
-  // Status (they used to silently run inline).
+  // Status (they used to silently run inline). Sessions run multi-threaded
+  // batches on a persistent session-owned worker pool, created lazily at
+  // the first batch with num_threads > 1 and reused for every later call
+  // — steady-state serving never spawns threads per batch.
   int num_threads = 1;
+
+  // Minimum tuples per worker shard (micro-batch grain): a batch of n
+  // tuples fans out over at most ceil(n / grain) workers, so tiny batches
+  // stay on one or two threads instead of waking the whole pool. 0 picks
+  // the session default (8 tuples for tree sessions; forest sessions
+  // divide by the tree count, since each tuple there carries one
+  // traversal per tree). The grain never changes results, only how the
+  // work is spread.
+  size_t grain = 0;
 
   // When true, BatchResult::tuple_seconds records per-tuple wall time
   // (costs two clock reads per tuple).
@@ -59,7 +72,10 @@ struct BatchResult {
   std::vector<double> tuple_seconds;
   // Wall time of the whole call, including sharding overhead.
   double total_seconds = 0.0;
-  // Worker threads actually used (after clamping).
+  // Threads the batch was scheduled across (caller included), after
+  // clamping to the batch size and after grain clamping — small batches
+  // report less than the requested num_threads. An upper bound: the
+  // dynamic chunk schedule may engage fewer threads, never more.
   int num_threads_used = 1;
 };
 

@@ -1,7 +1,6 @@
 #include "api/predict_session.h"
 
 #include <algorithm>
-#include <thread>
 #include <utility>
 
 #include "api/session_shard.h"
@@ -68,6 +67,11 @@ StatusOr<int> PredictSession::ResolveThreads(int num_threads,
   return session_internal::ResolveSessionThreads(num_threads, batch_size);
 }
 
+TaskPool* PredictSession::EnsureExecutor(int num_threads) {
+  return executor_.Ensure(num_threads,
+                          [this](size_t slot) { ScratchFor(slot); });
+}
+
 Status PredictSession::PredictBatchInto(
     std::span<const UncertainTuple> tuples, const PredictOptions& options,
     FlatBatchResult* out) {
@@ -102,11 +106,10 @@ Status PredictSession::PredictBatchInto(
   };
 
   for (size_t i = 0; i < n; ++i) CheckTuple(tuples[i]);
-  // Scratch slots must exist before workers start: ScratchFor mutates the
-  // pool vector, which is not safe concurrently.
-  for (int t = 0; t < num_threads; ++t) ScratchFor(static_cast<size_t>(t));
 
-  ForEachShard(n, num_threads, classify_range);
+  ForEachShard(EnsureExecutor(num_threads), n, num_threads,
+               session_internal::EffectiveShardGrain(options.grain, 1),
+               classify_range);
   return Status::OK();
 }
 
@@ -121,7 +124,6 @@ StatusOr<BatchResult> PredictSession::PredictBatch(
   result.distributions.resize(n);
   result.labels.resize(n);
   if (options.collect_timings) result.tuple_seconds.resize(n);
-  result.num_threads_used = num_threads;
 
   const FlatTree& flat = model_.flat_tree();
   const bool averaging = model_.kind() == ModelKind::kAveraging;
@@ -149,9 +151,11 @@ StatusOr<BatchResult> PredictSession::PredictBatch(
   };
 
   for (size_t i = 0; i < n; ++i) CheckTuple(tuples[i]);
-  for (int t = 0; t < num_threads; ++t) ScratchFor(static_cast<size_t>(t));
 
-  ForEachShard(n, num_threads, classify_range);
+  result.num_threads_used =
+      ForEachShard(EnsureExecutor(num_threads), n, num_threads,
+                   session_internal::EffectiveShardGrain(options.grain, 1),
+                   classify_range);
 
   result.total_seconds = batch_timer.ElapsedSeconds();
   return result;

@@ -14,9 +14,18 @@
 //   auto result = session.PredictBatch(tuples);
 //
 // A session is cheap to construct and NOT thread-safe: give each request
-// worker its own. (PredictBatch with num_threads > 1 shards over internal
-// std::threads, each with its own scratch slot — that is safe; two
-// concurrent calls into one session are not.)
+// worker its own. (PredictBatch with num_threads > 1 shards over a
+// session-owned persistent worker pool, each worker with its own scratch
+// slot — that is safe; two concurrent calls into one session are not.)
+//
+// Execution model: the first batch with num_threads > 1 creates the
+// session's TaskPool (num_threads - 1 workers; the calling thread is the
+// remaining worker) and every later batch reuses it — steady-state
+// serving spawns zero threads per call. A later batch asking for more
+// threads than the pool seats replaces it with a larger one (join idle
+// workers, spawn the new set), so traffic with a stable thread count
+// builds the pool exactly once. Batches smaller than grain * num_threads
+// occupy proportionally fewer workers (PredictOptions::grain).
 
 #ifndef UDT_API_PREDICT_SESSION_H_
 #define UDT_API_PREDICT_SESSION_H_
@@ -27,6 +36,7 @@
 
 #include "api/compiled_model.h"
 #include "api/model.h"
+#include "api/session_shard.h"
 #include "common/statusor.h"
 #include "tree/flat_tree.h"
 
@@ -105,6 +115,14 @@ class PredictSession {
   // stream.
   void Drain(FlatBatchResult* out);
 
+  // ------------------------------------------------------ introspection
+
+  // Persistent executor workers this session has created: 0 until the
+  // first batch with num_threads > 1, then stable across calls (it only
+  // grows when a batch requests more threads than the pool seats). Tests
+  // and ops dashboards use this to verify the zero-spawn steady state.
+  int executor_workers() const { return executor_.num_workers(); }
+
  private:
   // Scratch slot for worker `index`, created on first use, reused after.
   FlatTraversalScratch* ScratchFor(size_t index);
@@ -112,11 +130,19 @@ class PredictSession {
   // Resolves PredictOptions::num_threads against the batch size.
   StatusOr<int> ResolveThreads(int num_threads, size_t batch_size) const;
 
+  // The session pool sized for `num_threads` (nullptr for inline
+  // execution), with every scratch slot the pool's workers could touch
+  // pre-created.
+  TaskPool* EnsureExecutor(int num_threads);
+
   void CheckTuple(const UncertainTuple& tuple) const;
 
   CompiledModel model_;
   std::vector<std::unique_ptr<FlatTraversalScratch>> scratch_;
   FlatBatchResult stream_;
+  // Lazily created at the first multi-threaded batch, then reused for
+  // every later call (see "Execution model" above).
+  session_internal::SessionExecutor executor_;
 };
 
 }  // namespace udt

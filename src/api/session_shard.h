@@ -3,47 +3,101 @@
 // shards, workers writing only their own slice, output independent of the
 // shard layout, and the same num_threads resolution rules — so the
 // arithmetic lives once, here, and the sessions cannot drift apart.
+//
+// Since serving executor v3 the shards run on a session-owned persistent
+// TaskPool (workers created once, reused batch after batch) instead of
+// per-batch std::thread spawn/join; ForEachShard is a thin adapter over
+// TaskPool::ParallelFor that keeps the single-threaded fast path inline.
 
 #ifndef UDT_API_SESSION_SHARD_H_
 #define UDT_API_SESSION_SHARD_H_
 
 #include <algorithm>
 #include <cstddef>
-#include <thread>
-#include <vector>
+#include <memory>
 
 #include "common/statusor.h"
 #include "common/string_util.h"
+#include "common/task_pool.h"
 
 namespace udt {
 namespace session_internal {
 
-// Runs fn(worker, begin, end) over `num_threads` contiguous shards of
-// [0, n). Workers write only into their own slice, so the output is
-// independent of the shard layout.
+// Default micro-batch grain: the minimum tuples one worker shard is worth
+// when PredictOptions::grain is 0. Small batches then occupy
+// ceil(n / grain) workers instead of fanning single tuples across the
+// whole pool; sessions serving ensembles scale it down by tree count
+// (each tuple there carries num_trees traversals of work).
+constexpr size_t kDefaultShardGrain = 8;
+
+// Resolves PredictOptions::grain: an explicit request wins, otherwise the
+// default grain divided by the per-tuple work multiplier (1 for a single
+// tree, num_trees for a forest), never below one tuple.
+inline size_t EffectiveShardGrain(size_t requested, size_t work_per_tuple) {
+  if (requested > 0) return requested;
+  return std::max<size_t>(
+      1, kDefaultShardGrain / std::max<size_t>(1, work_per_tuple));
+}
+
+// The persistent executor both serving sessions hold: a lazily-created
+// TaskPool, built at the first batch with num_threads > 1 and reused by
+// every later call, grown (replaced — idle workers joined first) at most
+// once per wider width. Lives here so the two sessions share one
+// creation/growth/scratch-preparation policy and cannot drift apart.
+class SessionExecutor {
+ public:
+  // Returns the pool sized for `num_threads` (nullptr for inline
+  // execution). Before returning a pool, calls ensure_slot(s) for every
+  // slot s the pool can name: scratch must exist before workers can touch
+  // it, since slot creation mutates session state that is not safe to
+  // grow concurrently.
+  template <typename EnsureSlot>
+  TaskPool* Ensure(int num_threads, EnsureSlot ensure_slot) {
+    if (num_threads <= 1) return nullptr;
+    const int needed_workers = num_threads - 1;
+    if (pool_ == nullptr || pool_->num_workers() < needed_workers) {
+      pool_.reset();  // join the smaller pool before spawning the new one
+      pool_ = std::make_unique<TaskPool>(needed_workers);
+    }
+    for (int s = 0; s < pool_->num_slots(); ++s) {
+      ensure_slot(static_cast<size_t>(s));
+    }
+    return pool_.get();
+  }
+
+  // Workers created so far (0 until the first multi-threaded batch).
+  int num_workers() const { return pool_ ? pool_->num_workers() : 0; }
+
+ private:
+  std::unique_ptr<TaskPool> pool_;
+};
+
+// Runs fn(slot, begin, end) over contiguous shards of [0, n), using the
+// calling thread plus at most num_threads - 1 workers of `pool`. Shards
+// write only into their own index-addressed slices, so the output is
+// byte-identical for every thread count, pool size and grain. With
+// num_threads == 1 (or no pool) the whole range runs inline under slot 0
+// — no locks, no wakeups. Returns the scheduled width (see
+// TaskPool::ParallelFor): the thread count the batch actually fanned out
+// to after grain clamping, which can be less than num_threads for small
+// batches.
 template <typename Fn>
-void ForEachShard(size_t n, int num_threads, Fn fn) {
-  if (num_threads == 1) {
+int ForEachShard(TaskPool* pool, size_t n, int num_threads, size_t grain,
+                 Fn fn) {
+  if (pool == nullptr || num_threads <= 1) {
     fn(0, size_t{0}, n);
-    return;
+    return 1;
   }
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(num_threads));
-  const size_t per_shard = n / static_cast<size_t>(num_threads);
-  const size_t remainder = n % static_cast<size_t>(num_threads);
-  size_t begin = 0;
-  for (int t = 0; t < num_threads; ++t) {
-    const size_t len =
-        per_shard + (static_cast<size_t>(t) < remainder ? 1 : 0);
-    workers.emplace_back(fn, t, begin, begin + len);
-    begin += len;
-  }
-  for (std::thread& worker : workers) worker.join();
+  return pool->ParallelFor(n, grain, num_threads, fn);
 }
 
 // Resolves a PredictOptions::num_threads request against a batch size:
-// negative is an InvalidArgument error, 0 means one per hardware thread,
-// and the result is clamped to [1, batch_size].
+// negative is an InvalidArgument error, 0 means one per hardware thread
+// (TaskPool::EffectiveConcurrency owns that resolution rule, including
+// the hardware_concurrency() == 0 fallback, so the training and serving
+// paths cannot drift), and the result is clamped to [1, batch_size]. The
+// clamp compares in size_t space: narrowing batch_size to int first would
+// overflow for batches beyond INT_MAX tuples.
 inline StatusOr<int> ResolveSessionThreads(int num_threads,
                                            size_t batch_size) {
   if (num_threads < 0) {
@@ -53,10 +107,9 @@ inline StatusOr<int> ResolveSessionThreads(int num_threads,
                   num_threads));
   }
   if (num_threads == 0) {
-    unsigned hw = std::thread::hardware_concurrency();
-    num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+    num_threads = TaskPool::EffectiveConcurrency(0);
   }
-  if (num_threads > static_cast<int>(batch_size)) {
+  if (batch_size < static_cast<size_t>(num_threads)) {
     num_threads = static_cast<int>(batch_size);
   }
   return std::max(num_threads, 1);

@@ -29,6 +29,39 @@ constexpr int kMaxNestedStealDepth = 4;
 
 thread_local int tls_nested_exec_depth = 0;
 
+// One ParallelFor invocation: lives on the caller's stack for the duration
+// of the call (the caller blocks until every helper task retires, so the
+// descriptor strictly outlives every reference to it). Helpers and the
+// caller race on next_chunk to claim chunks; the claim is mere work
+// partitioning, so relaxed ordering suffices — result visibility is
+// provided by the group-retirement mutex the caller's Wait synchronises
+// on.
+struct ParallelLoop {
+  const TaskPool* pool = nullptr;
+  void (*invoke)(void*, int, size_t, size_t) = nullptr;
+  void* ctx = nullptr;
+  size_t n = 0;
+  size_t chunk = 0;
+  size_t num_chunks = 0;
+  std::atomic<size_t> next_chunk{0};
+};
+
+// Claims and runs chunks until the loop is exhausted. The slot is the
+// executing thread's identity on the loop's pool: worker index + 1 for
+// that pool's workers, 0 for any other thread (see ParallelFor's contract
+// in the header).
+void RunLoopChunks(ParallelLoop* loop) {
+  const int slot =
+      tls_worker.pool == loop->pool ? tls_worker.index + 1 : 0;
+  for (;;) {
+    const size_t c = loop->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= loop->num_chunks) return;
+    const size_t begin = c * loop->chunk;
+    const size_t end = std::min(loop->n, begin + loop->chunk);
+    loop->invoke(loop->ctx, slot, begin, end);
+  }
+}
+
 }  // namespace
 
 int TaskPool::EffectiveConcurrency(int requested) {
@@ -151,6 +184,75 @@ void TaskPool::Wait(TaskGroup* group) {
     RunItem(std::move(item));
     --tls_nested_exec_depth;
   }
+}
+
+int TaskPool::ParallelForImpl(size_t n, size_t grain, int parallelism,
+                              void (*invoke)(void*, int, size_t, size_t),
+                              void* ctx) {
+  if (n == 0) return 1;
+  if (grain == 0) grain = 1;
+  if (parallelism < 1) parallelism = 1;
+  if (parallelism > num_slots()) parallelism = num_slots();
+
+  // Chunk length: over-decompose to several chunks per allowed runner —
+  // dynamically claimed, so one expensive index (a wide categorical
+  // attribute scan, a deep-tree tuple) cannot strand the rest of a big
+  // even share on a single thread — clamped up to the grain so tiny
+  // loops occupy few threads instead of fanning a handful of indices
+  // across every worker.
+  constexpr size_t kChunksPerRunner = 4;
+  const size_t target_chunks =
+      static_cast<size_t>(parallelism) * kChunksPerRunner;
+  size_t chunk = (n + target_chunks - 1) / target_chunks;
+  if (chunk < grain) chunk = grain;
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+
+  const int caller_slot =
+      tls_worker.pool == this ? tls_worker.index + 1 : 0;
+  if (num_chunks <= 1 || workers_.empty()) {
+    invoke(ctx, caller_slot, 0, n);
+    return 1;
+  }
+
+  ParallelLoop loop;
+  loop.pool = this;
+  loop.invoke = invoke;
+  loop.ctx = ctx;
+  loop.n = n;
+  loop.chunk = chunk;
+  loop.num_chunks = num_chunks;
+  ParallelLoop* shared = &loop;
+
+  // The caller drains chunks too, so num_chunks - 1 helpers always
+  // suffice; capping at parallelism - 1 enforces the caller's width. The
+  // helper closure captures a single pointer — small enough for
+  // std::function's inline storage, so submitting helpers allocates
+  // nothing. All helpers are enqueued under one lock acquisition (they
+  // are identical; per-item Submit calls would just multiply the lock
+  // and notify traffic this primitive exists to avoid).
+  const size_t helpers =
+      std::min(num_chunks - 1, static_cast<size_t>(parallelism - 1));
+  TaskGroup group;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t queue_index = queues_.size() - 1;  // inject queue by default
+    if (tls_worker.pool == this) {
+      queue_index = static_cast<size_t>(tls_worker.index);
+    }
+    for (size_t h = 0; h < helpers; ++h) {
+      ++group.pending_;
+      queues_[queue_index].push_back(
+          Item{&group, [shared] { RunLoopChunks(shared); }});
+    }
+  }
+  cv_.notify_all();
+
+  RunLoopChunks(shared);
+  // Any helper popped after the chunk counter ran dry retires immediately;
+  // Wait also lets the caller drain helpers still sitting in its own
+  // queue, so a fully-busy pool cannot stall the loop.
+  Wait(&group);
+  return 1 + static_cast<int>(helpers);
 }
 
 }  // namespace udt

@@ -23,11 +23,14 @@
 #ifndef UDT_COMMON_TASK_POOL_H_
 #define UDT_COMMON_TASK_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace udt {
@@ -74,6 +77,61 @@ class TaskPool {
   // executes pending tasks (of any group) while it waits.
   void Wait(TaskGroup* group);
 
+  // ------------------------------------------------------- parallel for
+  //
+  // The long-lived data-parallel primitive the serving sessions and the
+  // training engines share. One call runs fn(slot, begin, end) over
+  // contiguous chunks of [0, n) of at least `grain` indices each (the
+  // last chunk may be shorter), using the calling thread plus up to
+  // `parallelism - 1` pool workers, and returns when every index has run.
+  //
+  // Slots are stable per-thread scratch indices: pool workers own slots
+  // 1..num_workers(), and the thread driving the loop runs under slot 0
+  // when it is not a pool worker. Two chunks never run concurrently under
+  // the same slot as long as at most one non-worker thread drives loops
+  // on this pool at a time (the serving sessions guarantee that by being
+  // single-caller); fn may therefore keep per-slot mutable scratch.
+  //
+  // Chunk-to-thread assignment is first-come first-served and deliberately
+  // unobservable: callers must write results into disjoint, index-addressed
+  // slots (the same contract every engine on this pool already follows),
+  // which makes the output byte-identical for every worker count, grain
+  // and parallelism.
+  //
+  // Chunks are over-decomposed relative to the width (several per
+  // runner, never below `grain`), and runners claim them dynamically, so
+  // heterogeneous per-index costs load-balance instead of serialising
+  // behind an unlucky even split.
+  //
+  // The call allocates no per-index state: the loop descriptor lives on
+  // the caller's stack and the helper tasks capture one pointer each, so
+  // a warm steady state (same pool, batch after batch) creates no threads
+  // and performs no per-tuple allocations.
+  //
+  // Returns the scheduled width: the maximum number of threads (caller
+  // included) that may execute chunks. 1 when the loop ran inline; the
+  // dynamic schedule may engage fewer threads, never more.
+  template <typename Fn>
+  int ParallelFor(size_t n, size_t grain, Fn&& fn) {
+    return ParallelFor(n, grain, num_workers() + 1, std::forward<Fn>(fn));
+  }
+
+  // As above, but uses at most `parallelism` threads (caller included),
+  // so one pool can serve requests of different widths.
+  template <typename Fn>
+  int ParallelFor(size_t n, size_t grain, int parallelism, Fn&& fn) {
+    return ParallelForImpl(
+        n, grain, parallelism,
+        [](void* ctx, int slot, size_t begin, size_t end) {
+          (*static_cast<std::remove_reference_t<Fn>*>(ctx))(slot, begin, end);
+        },
+        &fn);
+  }
+
+  // Highest slot value ParallelFor can pass, plus one (callers size their
+  // per-slot scratch arrays with this).
+  int num_slots() const { return num_workers() + 1; }
+
  private:
   struct Item {
     TaskGroup* group = nullptr;
@@ -90,6 +148,12 @@ class TaskPool {
   void RunItem(Item item);
 
   void WorkerLoop(int worker_index);
+
+  // Type-erased body of ParallelFor: chunks [0, n), submits helper tasks
+  // that drain a shared atomic chunk counter, runs chunks on the calling
+  // thread, and waits for the helpers. Returns the scheduled width.
+  int ParallelForImpl(size_t n, size_t grain, int parallelism,
+                      void (*invoke)(void*, int, size_t, size_t), void* ctx);
 
   std::mutex mu_;
   std::condition_variable cv_;  // signalled on submit and on completion

@@ -1,6 +1,7 @@
 #include "eval/cross_validation.h"
 
 #include <cmath>
+#include <limits>
 
 #include "api/forest_session.h"
 #include "eval/metrics.h"
@@ -77,6 +78,7 @@ StatusOr<ForestCrossValidationResult> RunForestCrossValidation(
   result.cv.fold_accuracies.reserve(static_cast<size_t>(folds));
   double oob_error_sum = 0.0;
   double oob_coverage_sum = 0.0;
+  int oob_folds = 0;
   for (int f = 0; f < folds; ++f) {
     auto [train, test] = data.SplitByFold(fold_of, f);
     if (train.empty() || test.empty()) continue;
@@ -89,13 +91,21 @@ StatusOr<ForestCrossValidationResult> RunForestCrossValidation(
     ForestPredictSession session(forest.Compile());
     result.cv.fold_accuracies.push_back(EvaluateAccuracy(session, test));
     result.cv.total_build_stats += stats;
-    oob_error_sum += oob.error;
+    // A fold with zero evaluated tuples reports NaN rates (the OobEstimate
+    // sentinel); averaging it in would poison the mean, so only folds that
+    // produced an estimate contribute.
+    if (oob.evaluated_tuples > 0) {
+      oob_error_sum += oob.error;
+      ++oob_folds;
+    }
     oob_coverage_sum += oob.coverage;
   }
   UDT_RETURN_NOT_OK(FinishAccuracyStats(&result.cv));
   const double used_folds =
       static_cast<double>(result.cv.fold_accuracies.size());
-  result.mean_oob_error = oob_error_sum / used_folds;
+  result.mean_oob_error =
+      oob_folds > 0 ? oob_error_sum / static_cast<double>(oob_folds)
+                    : std::numeric_limits<double>::quiet_NaN();
   result.mean_oob_coverage = oob_coverage_sum / used_folds;
   return result;
 }

@@ -43,8 +43,11 @@ StatusOr<CrossValidationResult> RunCrossValidation(const Dataset& data,
 // k-fold number and the cheaper OOB proxy in one run.
 struct ForestCrossValidationResult {
   CrossValidationResult cv;
-  // Mean over folds of the per-fold out-of-bag error / coverage (zero
-  // when ForestConfig::bootstrap is off: no bags, nothing out of bag).
+  // Mean of the per-fold out-of-bag error, over the folds that evaluated
+  // at least one tuple; NaN when no fold produced an estimate (e.g.
+  // ForestConfig::bootstrap off — no bags, nothing out of bag). Coverage
+  // is averaged over all folds, so a degenerate fold drags it toward 0
+  // instead of vanishing silently.
   double mean_oob_error = 0.0;
   double mean_oob_coverage = 0.0;
 };

@@ -23,19 +23,23 @@ void MergeCandidate(const SplitCandidate& candidate, SplitCandidate* best) {
   }
 }
 
-// Runs fn(0), ..., fn(n-1): in index order when `pool` is null, as pool
-// tasks otherwise. The callbacks must write to disjoint state.
+// Runs fn(0), ..., fn(n-1): in index order when `pool` is null, through
+// the pool's shared ParallelFor primitive otherwise (the same executor
+// the serving sessions run on — one parallel-loop mechanism for training
+// and serving). The callbacks must write to disjoint state; the fixed-
+// order reductions after each loop keep the result schedule-independent.
 void ForEachAttribute(TaskPool* pool, int n,
                       const std::function<void(int)>& fn) {
   if (pool == nullptr || n <= 1) {
     for (int j = 0; j < n; ++j) fn(j);
     return;
   }
-  TaskGroup group;
-  for (int j = 0; j < n; ++j) {
-    pool->Submit(&group, [&fn, j] { fn(j); });
-  }
-  pool->Wait(&group);
+  pool->ParallelFor(static_cast<size_t>(n), /*grain=*/1,
+                    [&fn](int /*slot*/, size_t begin, size_t end) {
+                      for (size_t j = begin; j < end; ++j) {
+                        fn(static_cast<int>(j));
+                      }
+                    });
 }
 }  // namespace
 

@@ -10,9 +10,86 @@
 
 namespace udt {
 
+namespace {
+
+bool IsFieldBlank(char c) { return c == ' ' || c == '\t'; }
+
+}  // namespace
+
+StatusOr<std::vector<std::string>> SplitCsvRecord(std::string_view record) {
+  std::vector<std::string> fields;
+  size_t i = 0;
+  for (;;) {
+    std::string field;
+    // A field whose first non-blank character is '"' is quoted; blanks
+    // outside the quotes are decoration (hand-edited CSVs put a space
+    // after the comma), blanks inside are content. Without the skip,
+    // ` "x, y"` would silently parse as an unquoted field — quotes
+    // retained, comma mis-split — the exact failure mode this parser
+    // exists to eliminate.
+    size_t ws = i;
+    while (ws < record.size() && IsFieldBlank(record[ws])) ++ws;
+    if (ws < record.size() && record[ws] == '"') {
+      i = ws + 1;  // consume the leading blanks and the opening quote
+      bool closed = false;
+      while (i < record.size()) {
+        const char c = record[i];
+        if (c == '"') {
+          if (i + 1 < record.size() && record[i + 1] == '"') {
+            field += '"';  // escaped quote
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        field += c;
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated quoted field (quoted fields cannot span lines)");
+      }
+      while (i < record.size() && IsFieldBlank(record[i])) ++i;
+      if (i < record.size() && record[i] != ',') {
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' after a closing quote "
+                      "(expected a comma or end of record)",
+                      record[i]));
+      }
+    } else {
+      while (i < record.size() && record[i] != ',') {
+        field += record[i];
+        ++i;
+      }
+    }
+    fields.push_back(std::move(field));
+    if (i >= record.size()) break;
+    ++i;  // the separating comma
+  }
+  return fields;
+}
+
+std::string CsvEscapeField(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
 StatusOr<PointDataset> ReadCsvFromString(const std::string& text) {
   std::vector<std::string> lines;
   for (std::string& line : SplitString(text, '\n')) {
+    // Trimming the raw line strips the \r of CRLF endings; blank lines
+    // (e.g. a trailing newline at end of file) are skipped entirely.
     std::string_view trimmed = TrimWhitespace(line);
     if (!trimmed.empty()) lines.emplace_back(trimmed);
   }
@@ -20,7 +97,11 @@ StatusOr<PointDataset> ReadCsvFromString(const std::string& text) {
     return Status::InvalidArgument("CSV needs a header and at least one row");
   }
 
-  std::vector<std::string> header = SplitString(lines[0], ',');
+  StatusOr<std::vector<std::string>> header_or = SplitCsvRecord(lines[0]);
+  if (!header_or.ok()) {
+    return Status::InvalidArgument("header: " + header_or.status().message());
+  }
+  std::vector<std::string> header = std::move(header_or).value();
   if (header.size() < 2) {
     return Status::InvalidArgument(
         "CSV header needs at least one attribute and the class column");
@@ -32,7 +113,12 @@ StatusOr<PointDataset> ReadCsvFromString(const std::string& text) {
   std::vector<std::vector<std::string>> parsed_rows;
   parsed_rows.reserve(lines.size() - 1);
   for (size_t r = 1; r < lines.size(); ++r) {
-    std::vector<std::string> fields = SplitString(lines[r], ',');
+    StatusOr<std::vector<std::string>> fields_or = SplitCsvRecord(lines[r]);
+    if (!fields_or.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu: %s", r, fields_or.status().message().c_str()));
+    }
+    std::vector<std::string> fields = std::move(fields_or).value();
     if (fields.size() != header.size()) {
       return Status::InvalidArgument(
           StrFormat("row %zu has %zu fields, expected %zu", r, fields.size(),
@@ -106,7 +192,7 @@ std::string WriteCsvToString(const PointDataset& dataset) {
   std::string out;
   const Schema& schema = dataset.schema();
   for (int j = 0; j < schema.num_attributes(); ++j) {
-    out += schema.attribute(j).name;
+    out += CsvEscapeField(schema.attribute(j).name);
     out += ',';
   }
   out += "class\n";
@@ -118,7 +204,7 @@ std::string WriteCsvToString(const PointDataset& dataset) {
         out += StrFormat("%.17g,", dataset.value(i, j));
       }
     }
-    out += schema.class_name(dataset.label(i));
+    out += CsvEscapeField(schema.class_name(dataset.label(i)));
     out += '\n';
   }
   return out;

@@ -3,21 +3,52 @@
 // Format: one header line with attribute names followed by "class"; each
 // data row holds the numerical attribute values and a class-label string in
 // the final column. The class vocabulary is inferred in order of first
-// appearance.
+// appearance. Fields may be RFC-4180 double-quoted: a quoted field can
+// contain commas and escaped quotes (""), so class labels and attribute
+// names with commas round-trip. Quoted fields cannot span lines (the
+// reader is line-oriented); an embedded line break surfaces as a precise
+// unterminated-quote error rather than a misparsed row. CRLF line endings
+// and trailing blank lines are accepted.
 
 #ifndef UDT_TABLE_CSV_H_
 #define UDT_TABLE_CSV_H_
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/statusor.h"
 #include "table/point_dataset.h"
 
 namespace udt {
 
+// Splits one CSV record into its fields. A plain field runs to the next
+// comma; a field whose first non-blank character is '"' is RFC-4180
+// quoted — it runs to the matching close quote, may contain commas and
+// escaped quotes (""), and must be followed (blanks aside) by a comma or
+// the end of the record. Blanks outside the quotes are ignored, blanks
+// inside are preserved by this splitter — though ReadCsvFromString then
+// trims the surrounding whitespace of every field it consumes, quoted or
+// not, so quoting protects commas and quote characters, never padding.
+// Returns InvalidArgument on an unterminated quote
+// or stray text after a close quote (the silent mis-split these cases
+// used to produce surfaced as bogus field-count errors or corrupted
+// labels downstream).
+StatusOr<std::vector<std::string>> SplitCsvRecord(std::string_view record);
+
+// Quotes and escapes `field` when it contains a comma, quote or line
+// break, so comma- and quote-bearing names round-trip through
+// WriteCsvToString / ReadCsvFromString. Two documented limits of the
+// line-oriented reader remain: a field containing a line break is written
+// quoted but re-parsing it fails with the precise unterminated-quote
+// error (never a silent mis-split), and surrounding whitespace of any
+// field is trimmed on read.
+std::string CsvEscapeField(const std::string& field);
+
 // Parses a CSV document (in-memory string). A bare "?" in an attribute
 // column marks a missing value (stored as NaN; see table/missing.h).
-// Fails on ragged rows, unparsable numbers, or an empty body.
+// Fails on ragged rows, unparsable numbers, malformed quoting, or an
+// empty body.
 StatusOr<PointDataset> ReadCsvFromString(const std::string& text);
 
 // Reads a CSV file from disk.

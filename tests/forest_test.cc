@@ -233,7 +233,8 @@ TEST(ForestTrainerTest, OobEstimateIsSane) {
   EXPECT_GT(stats.nodes, 0);
   EXPECT_GT(stats.leaves, 0);
 
-  // Without bootstrap bags there is nothing out of bag.
+  // Without bootstrap bags there is nothing out of bag: the rates carry
+  // the documented NaN "no estimate" sentinel, never a fake 0.0.
   ForestConfig full = config;
   full.bootstrap = false;
   OobEstimate no_oob;
@@ -241,6 +242,39 @@ TEST(ForestTrainerTest, OobEstimateIsSane) {
   ASSERT_TRUE(forest2.ok());
   EXPECT_EQ(no_oob.evaluated_tuples, 0);
   EXPECT_EQ(no_oob.coverage, 0.0);
+  EXPECT_TRUE(std::isnan(no_oob.accuracy));
+  EXPECT_TRUE(std::isnan(no_oob.error));
+}
+
+TEST(ForestTrainerTest, OobWithEveryTupleInBagIsNaNNotZero) {
+  // A 1-tree forest whose single bag drew every tuple evaluates nothing
+  // out of bag. The old behaviour left accuracy/error at 0.0 — reading as
+  // a catastrophically wrong (or, via error, perfect) forest; the
+  // contract now says NaN rates with coverage == 0. Bags are a pure
+  // function of (seed, tree, n), so scan for a seed whose bag covers both
+  // tuples instead of hoping.
+  Dataset ds = SyntheticDataset(2, 2, 2, 6, 11);
+  uint64_t covering_seed = 0;
+  bool found = false;
+  for (uint64_t seed = 1; seed < 200 && !found; ++seed) {
+    std::vector<double> bag = ForestBootstrapBag(seed, 0, 2);
+    if (bag[0] > 0.0 && bag[1] > 0.0) {
+      covering_seed = seed;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no seed in [1, 200) draws both of two tuples?";
+
+  ForestConfig config = SmallConfig(1);
+  config.seed = covering_seed;
+  OobEstimate oob;
+  auto forest = ForestTrainer(config).TrainUdt(ds, &oob);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_EQ(oob.evaluated_tuples, 0);
+  EXPECT_EQ(oob.total_tuples, 2);
+  EXPECT_EQ(oob.coverage, 0.0);
+  EXPECT_TRUE(std::isnan(oob.accuracy));
+  EXPECT_TRUE(std::isnan(oob.error));
 }
 
 TEST(ForestTrainerTest, AveragingForestTrains) {
@@ -399,6 +433,42 @@ TEST(ForestSessionTest, RejectsNegativeThreads) {
   PredictOptions options;
   options.num_threads = -2;
   EXPECT_FALSE(session.PredictBatch(ds, options).ok());
+}
+
+TEST(ForestSessionTest, PersistentExecutorSpawnsOncePerSession) {
+  // The forest-session half of the executor v3 guarantee: workers are
+  // created at the first multi-threaded batch, reused by every later
+  // call, and the votes stay byte-identical to the inline loop at every
+  // thread count.
+  Dataset ds = SyntheticDataset(90, 3, 3, 8, 34);
+  ForestTrainer trainer(SmallConfig(4));
+  auto forest = trainer.TrainUdt(ds);
+  ASSERT_TRUE(forest.ok());
+  ForestPredictSession session(forest->Compile());
+
+  ASSERT_TRUE(session.PredictBatch(ds).ok());
+  EXPECT_EQ(session.executor_workers(), 0);
+
+  auto reference = session.PredictBatch(ds);
+  ASSERT_TRUE(reference.ok());
+
+  ASSERT_TRUE(session.PredictBatch(ds, {.num_threads = 4}).ok());
+  EXPECT_EQ(session.executor_workers(), 3);
+  for (int round = 0; round < 30; ++round) {
+    auto batch = session.PredictBatch(ds, {.num_threads = 1 + round % 4,
+                                           .grain = (round % 3 == 0)
+                                               ? size_t{1}
+                                               : size_t{0}});
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(session.executor_workers(), 3) << "round " << round;
+    ASSERT_EQ(batch->labels, reference->labels) << "round " << round;
+    for (size_t i = 0; i < reference->distributions.size(); ++i) {
+      ASSERT_EQ(batch->distributions[i], reference->distributions[i])
+          << "round " << round << " tuple " << i;
+    }
+  }
+  ASSERT_TRUE(session.PredictBatch(ds, {.num_threads = 8}).ok());
+  EXPECT_EQ(session.executor_workers(), 7);
 }
 
 }  // namespace

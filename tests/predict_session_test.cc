@@ -9,6 +9,7 @@
 
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/compiled_model.h"
@@ -277,6 +278,167 @@ TEST(PredictSessionTest, AveragingHandlesOverWideCategoricalPdf) {
   std::vector<double> flat_out = session.ClassifyDistribution(wide);
   std::vector<double> pointer_out = model->ClassifyDistribution(wide);
   EXPECT_TRUE(BytesEqual(flat_out, pointer_out));
+}
+
+TEST(PredictSessionTest, PersistentExecutorSpawnsOncePerSession) {
+  // The executor v3 guarantee: workers are created at the first
+  // multi-threaded batch and reused by every later call — steady-state
+  // serving spawns zero threads per PredictBatch.
+  Dataset ds = SyntheticDataset(120, 3, 3, 6, 23);
+  auto model = Trainer().TrainUdt(ds);
+  ASSERT_TRUE(model.ok());
+  PredictSession session(model->Compile());
+
+  // Single-threaded batches never build a pool.
+  ASSERT_TRUE(session.PredictBatch(ds).ok());
+  EXPECT_EQ(session.executor_workers(), 0);
+
+  auto reference = session.PredictBatch(ds);
+  ASSERT_TRUE(reference.ok());
+
+  ASSERT_TRUE(session.PredictBatch(ds, {.num_threads = 4}).ok());
+  EXPECT_EQ(session.executor_workers(), 3);
+  // Steady state: many batches of assorted sizes and narrower widths, all
+  // on the same three workers.
+  for (int round = 0; round < 50; ++round) {
+    const size_t n = static_cast<size_t>(1 + (round * 7) % 40);
+    auto batch = session.PredictBatch(
+        std::span<const UncertainTuple>(ds.tuples().data(), n),
+        {.num_threads = 1 + round % 4});
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(session.executor_workers(), 3) << "round " << round;
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(
+          BytesEqual(batch->distributions[i], reference->distributions[i]))
+          << "round " << round << " tuple " << i;
+    }
+  }
+  // A wider request grows the pool (once); narrower requests reuse it.
+  ASSERT_TRUE(session.PredictBatch(ds, {.num_threads = 8}).ok());
+  EXPECT_EQ(session.executor_workers(), 7);
+  ASSERT_TRUE(session.PredictBatch(ds, {.num_threads = 2}).ok());
+  EXPECT_EQ(session.executor_workers(), 7);
+}
+
+TEST(PredictSessionTest, ByteIdenticalAcrossThreadCountsAndGrains) {
+  // The acceptance criterion of the executor refactor: every thread count
+  // and every grain produces byte-identical output to the inline loop.
+  Dataset ds = SyntheticDataset(150, 4, 3, 8, 42);
+  auto model = Trainer().TrainUdt(ds);
+  ASSERT_TRUE(model.ok());
+  PredictSession session(model->Compile());
+
+  FlatBatchResult reference;
+  ASSERT_TRUE(session
+                  .PredictBatchInto(
+                      std::span<const UncertainTuple>(ds.tuples().data(),
+                                                      ds.tuples().size()),
+                      {.num_threads = 1}, &reference)
+                  .ok());
+  for (int threads : {2, 4, 8}) {
+    for (size_t grain : {size_t{0}, size_t{1}, size_t{5}, size_t{1000}}) {
+      FlatBatchResult flat;
+      PredictOptions options;
+      options.num_threads = threads;
+      options.grain = grain;
+      ASSERT_TRUE(session
+                      .PredictBatchInto(
+                          std::span<const UncertainTuple>(
+                              ds.tuples().data(), ds.tuples().size()),
+                          options, &flat)
+                      .ok());
+      EXPECT_EQ(flat.labels, reference.labels)
+          << "threads " << threads << " grain " << grain;
+      EXPECT_TRUE(BytesEqual(flat.distributions, reference.distributions))
+          << "threads " << threads << " grain " << grain;
+    }
+  }
+}
+
+TEST(PredictSessionTest, NumThreadsUsedReflectsGrainClamping) {
+  Dataset ds = SyntheticDataset(64, 2, 2, 6, 9);
+  auto model = Trainer().TrainUdt(ds);
+  ASSERT_TRUE(model.ok());
+  PredictSession session(model->Compile());
+
+  // 8 tuples at the default grain of 8 make one chunk: the batch runs
+  // inline and num_threads_used reports that honestly instead of echoing
+  // the request.
+  auto small = session.PredictBatch(
+      std::span<const UncertainTuple>(ds.tuples().data(), 8),
+      {.num_threads = 4});
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->num_threads_used, 1);
+
+  // 64 tuples at grain 8 fan out across the full requested width.
+  auto big = session.PredictBatch(ds, {.num_threads = 4});
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->num_threads_used, 4);
+}
+
+TEST(PredictSessionTest, DrainOnEmptySessionYieldsEmptyResult) {
+  Dataset ds = SyntheticDataset(40, 2, 2, 6, 5);
+  auto model = Trainer().TrainUdt(ds);
+  ASSERT_TRUE(model.ok());
+  PredictSession session(model->Compile());
+
+  // Drain with nothing pushed: well-defined empty result, num_classes
+  // still set so downstream code can size buffers.
+  FlatBatchResult out;
+  session.Drain(&out);
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_TRUE(out.distributions.empty());
+  EXPECT_EQ(out.num_classes, session.num_classes());
+  EXPECT_EQ(session.pending(), 0u);
+
+  // Drain called twice: the second drain is empty, not a replay, and
+  // recycles the caller's buffers without leaking earlier results.
+  session.Push(ds.tuple(0));
+  session.Push(ds.tuple(1));
+  session.Drain(&out);
+  ASSERT_EQ(out.size(), 2u);
+  FlatBatchResult again = std::move(out);
+  session.Drain(&again);
+  EXPECT_EQ(again.size(), 0u);
+  EXPECT_EQ(session.pending(), 0u);
+}
+
+TEST(PredictSessionTest, InterleavedPushSizesMatchOneShotBatch) {
+  // Streamed results must equal the one-shot batch byte for byte under
+  // the new executor, including when the push cadence straddles the
+  // default shard grain (1, then 8, then 3, ...).
+  Dataset ds = SyntheticDataset(96, 3, 3, 6, 31);
+  auto model = Trainer().TrainUdt(ds);
+  ASSERT_TRUE(model.ok());
+  PredictSession session(model->Compile());
+
+  FlatBatchResult oneshot;
+  ASSERT_TRUE(session
+                  .PredictBatchInto(
+                      std::span<const UncertainTuple>(ds.tuples().data(),
+                                                      ds.tuples().size()),
+                      {.num_threads = 4}, &oneshot)
+                  .ok());
+
+  const int sizes[] = {1, 8, 3, 16, 1, 1, 64, 2};
+  int next = 0;
+  FlatBatchResult streamed;
+  std::vector<double> all_distributions;
+  std::vector<int> all_labels;
+  for (int size : sizes) {
+    for (int p = 0; p < size && next < ds.num_tuples(); ++p) {
+      session.Push(ds.tuple(next++));
+    }
+    session.Drain(&streamed);
+    all_distributions.insert(all_distributions.end(),
+                             streamed.distributions.begin(),
+                             streamed.distributions.end());
+    all_labels.insert(all_labels.end(), streamed.labels.begin(),
+                      streamed.labels.end());
+  }
+  ASSERT_EQ(next, ds.num_tuples());  // the cadence consumed every tuple
+  EXPECT_EQ(all_labels, oneshot.labels);
+  EXPECT_TRUE(BytesEqual(all_distributions, oneshot.distributions));
 }
 
 TEST(PredictSessionTest, SharedCompiledModelAcrossSessions) {

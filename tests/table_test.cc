@@ -259,6 +259,111 @@ TEST(CsvTest, RejectsMalformed) {
   EXPECT_FALSE(ReadCsvFromString("class\nc\n").ok());              // no attrs
 }
 
+TEST(CsvTest, QuotedFieldsMayContainCommas) {
+  // Pre-fix these rows silently mis-split: "de Boer, Jan" became two
+  // fields and surfaced as a bogus field-count error.
+  auto ds = ReadCsvFromString(
+      "height,\"group, cohort\",class\n"
+      "1.0,2.0,\"de Boer, Jan\"\n"
+      "3.0,4.0,plain\n"
+      "5.0,6.0,\"de Boer, Jan\"\n");
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->schema().attribute(1).name, "group, cohort");
+  EXPECT_EQ(ds->num_classes(), 2);
+  EXPECT_EQ(ds->schema().class_name(0), "de Boer, Jan");
+  EXPECT_EQ(ds->label(2), 0);
+}
+
+TEST(CsvTest, EscapedQuotesUnescape) {
+  auto ds = ReadCsvFromString(
+      "a,class\n"
+      "1.0,\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->schema().class_name(0), "say \"hi\"");
+}
+
+TEST(CsvTest, QuotingErrorsArePrecise) {
+  // Unterminated quote (also what an embedded line break degrades to,
+  // since the reader is line-oriented): rejected with the row number, not
+  // mis-split.
+  auto unterminated = ReadCsvFromString(
+      "a,class\n"
+      "1.0,\"oops\n");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.status().message().find("row 1"), std::string::npos);
+  EXPECT_NE(unterminated.status().message().find("unterminated"),
+            std::string::npos);
+
+  // Stray text after a closing quote.
+  auto stray = ReadCsvFromString(
+      "a,class\n"
+      "1.0,\"x\"y\n");
+  ASSERT_FALSE(stray.ok());
+  EXPECT_NE(stray.status().message().find("closing quote"),
+            std::string::npos);
+}
+
+TEST(CsvTest, CrlfAndTrailingBlankLines) {
+  // CRLF endings and trailing blank lines both parse (the \r is stripped
+  // with the line's surrounding whitespace, blank lines are skipped).
+  auto ds = ReadCsvFromString(
+      "a,b,class\r\n"
+      "1.0,2.0,cat\r\n"
+      "3.0,4.0,dog\r\n"
+      "\r\n"
+      "\n");
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_tuples(), 2);
+  EXPECT_EQ(ds->num_classes(), 2);
+  EXPECT_DOUBLE_EQ(ds->value(1, 1), 4.0);
+}
+
+TEST(CsvTest, RoundTripsCommaBearingNames) {
+  // The writer quotes what the reader unquotes: schema names and class
+  // labels containing commas or quotes survive a full write/read cycle.
+  auto schema = Schema::Create({{"x, raw", AttributeKind::kNumerical, 0}},
+                               {"a \"b\"", "c,d"});
+  ASSERT_TRUE(schema.ok());
+  PointDataset ds(std::move(*schema));
+  ASSERT_TRUE(ds.AddRow({1.0}, 0).ok());
+  ASSERT_TRUE(ds.AddRow({2.0}, 1).ok());
+
+  auto parsed = ReadCsvFromString(WriteCsvToString(ds));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->schema().attribute(0).name, "x, raw");
+  EXPECT_EQ(parsed->schema().class_name(0), "a \"b\"");
+  EXPECT_EQ(parsed->schema().class_name(1), "c,d");
+  EXPECT_EQ(parsed->label(1), 1);
+}
+
+TEST(CsvTest, SplitCsvRecordEdgeCases) {
+  auto plain = SplitCsvRecord("a,b,c");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(*plain, (std::vector<std::string>{"a", "b", "c"}));
+
+  auto empty_fields = SplitCsvRecord("a,,c,");
+  ASSERT_TRUE(empty_fields.ok());
+  EXPECT_EQ(*empty_fields, (std::vector<std::string>{"a", "", "c", ""}));
+
+  auto quoted_empty = SplitCsvRecord("\"\",x");
+  ASSERT_TRUE(quoted_empty.ok());
+  EXPECT_EQ(*quoted_empty, (std::vector<std::string>{"", "x"}));
+
+  // Blanks around the quotes are decoration (space after the comma in
+  // hand-edited files); blanks inside are content.
+  auto padded = SplitCsvRecord("1.0, \"x, y\" ,z");
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(*padded, (std::vector<std::string>{"1.0", "x, y", "z"}));
+  auto inner = SplitCsvRecord("\" a \",b");
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(*inner, (std::vector<std::string>{" a ", "b"}));
+
+  EXPECT_FALSE(SplitCsvRecord("\"open").ok());
+  EXPECT_FALSE(SplitCsvRecord("\"a\"b").ok());
+  EXPECT_FALSE(SplitCsvRecord(" \"open").ok());
+  EXPECT_FALSE(SplitCsvRecord("\"a\" b").ok());
+}
+
 TEST(CsvTest, FileRoundTrip) {
   PointDataset ds(TwoClassSchema(1));
   ASSERT_TRUE(ds.AddRow({7.0}, 1).ok());

@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
 """Check a freshly generated bench JSON against its committed sidecar.
 
-The bench harnesses emit one JSON object per line (bench_common JsonRows).
-CI regenerates each file in the Release smoke job and this script fails on
-*schema* drift only — keys added or removed, value types changed, or the
-categorical dimensions (dataset / path / kind...) no longer covering what
-the sidecar covers. Timing values are expected to move run to run and are
-deliberately not compared.
+The bench harnesses emit one JSON object per line (bench_common JsonRows):
+bench_serving_throughput, bench_forest_throughput and
+bench_sustained_serving all write BENCH_<name>.json sidecars this script
+understands. CI regenerates each file in the Release smoke job and this
+script fails on *schema* drift only — keys added or removed, value types
+changed, or the categorical dimensions (dataset / path / kind /
+batch_size...) no longer covering what the sidecar covers. Timing values
+are expected to move run to run and are deliberately not compared.
+
+Rows must be strict JSON: NaN / Infinity (which Python's json module
+accepts by default, and which a degenerate measurement could print) are
+rejected, so a sidecar can never commit a value other consumers cannot
+parse.
 
 Usage: check_bench_schema.py <committed.json> <fresh.json> [...pairs]
 Exits non-zero with a per-file report on drift.
@@ -20,6 +27,13 @@ import sys
 IDENTITY_TYPES = (str,)
 
 
+def _reject_constant(token):
+    # json.loads maps NaN/Infinity to floats unless told otherwise; a bench
+    # row carrying them is a harness bug (e.g. a zero-coverage OOB estimate
+    # or a division by a zero timer), not a measurement.
+    raise ValueError(f"non-finite constant {token!r} is not valid JSON")
+
+
 def load_rows(path):
     rows = []
     with open(path, "r", encoding="utf-8") as f:
@@ -28,8 +42,8 @@ def load_rows(path):
             if not line:
                 continue
             try:
-                row = json.loads(line)
-            except json.JSONDecodeError as e:
+                row = json.loads(line, parse_constant=_reject_constant)
+            except (json.JSONDecodeError, ValueError) as e:
                 raise SystemExit(f"{path}:{lineno}: not valid JSON: {e}")
             if not isinstance(row, dict):
                 raise SystemExit(f"{path}:{lineno}: row is not an object")
