@@ -12,8 +12,20 @@ namespace udt {
 
 using session_internal::ForEachShard;
 
+namespace {
+const CompiledForest& DerefForest(
+    const std::shared_ptr<const CompiledForest>& forest) {
+  UDT_CHECK(forest != nullptr);
+  return *forest;
+}
+}  // namespace
+
 ForestPredictSession::ForestPredictSession(CompiledForest forest)
     : forest_(std::move(forest)) {}
+
+ForestPredictSession::ForestPredictSession(
+    std::shared_ptr<const CompiledForest> forest)
+    : ForestPredictSession(DerefForest(forest)) {}
 
 ForestPredictSession::WorkerScratch* ForestPredictSession::ScratchFor(
     size_t index) {
@@ -80,11 +92,11 @@ TaskPool* ForestPredictSession::EnsureExecutor(int num_threads) {
                           [this](size_t slot) { ScratchFor(slot); });
 }
 
-Status ForestPredictSession::PredictBatchInto(
-    std::span<const UncertainTuple> tuples, const PredictOptions& options,
+template <typename TupleAt>
+Status ForestPredictSession::PredictBatchIntoImpl(
+    size_t n, TupleAt tuple_at, const PredictOptions& options,
     FlatBatchResult* out) {
   UDT_CHECK(out != nullptr);
-  const size_t n = tuples.size();
   const size_t k = static_cast<size_t>(num_classes());
   UDT_ASSIGN_OR_RETURN(int num_threads,
                        ResolveThreads(options.num_threads, n));
@@ -97,7 +109,7 @@ Status ForestPredictSession::PredictBatchInto(
     WorkerScratch* scratch = ScratchFor(static_cast<size_t>(worker));
     for (size_t i = begin; i < end; ++i) {
       double* row = out->distributions.data() + i * k;
-      ClassifyWith(scratch, tuples[i], row);
+      ClassifyWith(scratch, tuple_at(i), row);
       int best = 0;
       for (size_t c = 1; c < k; ++c) {
         if (row[c] > row[static_cast<size_t>(best)]) {
@@ -108,7 +120,7 @@ Status ForestPredictSession::PredictBatchInto(
     }
   };
 
-  for (size_t i = 0; i < n; ++i) CheckTuple(tuples[i]);
+  for (size_t i = 0; i < n; ++i) CheckTuple(tuple_at(i));
 
   ForEachShard(EnsureExecutor(num_threads), n, num_threads,
                session_internal::EffectiveShardGrain(
@@ -116,6 +128,25 @@ Status ForestPredictSession::PredictBatchInto(
                    static_cast<size_t>(forest_.num_trees())),
                classify_range);
   return Status::OK();
+}
+
+Status ForestPredictSession::PredictBatchInto(
+    std::span<const UncertainTuple> tuples, const PredictOptions& options,
+    FlatBatchResult* out) {
+  return PredictBatchIntoImpl(
+      tuples.size(),
+      [&tuples](size_t i) -> const UncertainTuple& { return tuples[i]; },
+      options, out);
+}
+
+Status ForestPredictSession::PredictBatchInto(
+    std::span<const UncertainTuple* const> tuples,
+    const PredictOptions& options, FlatBatchResult* out) {
+  for (const UncertainTuple* tuple : tuples) UDT_CHECK(tuple != nullptr);
+  return PredictBatchIntoImpl(
+      tuples.size(),
+      [&tuples](size_t i) -> const UncertainTuple& { return *tuples[i]; },
+      options, out);
 }
 
 StatusOr<BatchResult> ForestPredictSession::PredictBatch(

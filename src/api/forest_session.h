@@ -46,7 +46,19 @@ namespace udt {
 
 class ForestPredictSession {
  public:
+  // Ownership contract: a CompiledForest is a shared handle (one
+  // shared_ptr wide), and the session stores its own copy — so the
+  // session co-owns the compiled artifact for its whole lifetime. A
+  // model registry may retire/drop its reference while this session is
+  // mid-batch without dangling anything; the flat trees are freed when
+  // the last session (or registry entry) lets go.
   explicit ForestPredictSession(CompiledForest forest);
+
+  // Same contract for callers that manage compiled artifacts behind
+  // shared_ptr (e.g. a registry handing out snapshots): the pointee's
+  // inner handle is copied, so the session stays valid even after
+  // `forest` itself is reset. `forest` must be non-null.
+  explicit ForestPredictSession(std::shared_ptr<const CompiledForest> forest);
 
   const CompiledForest& forest() const { return forest_; }
   int num_classes() const { return forest_.num_classes(); }
@@ -81,6 +93,16 @@ class ForestPredictSession {
                           const PredictOptions& options,
                           FlatBatchResult* out);
 
+  // Gather form for admission queues: the tuples of one micro-batch
+  // arrive from different clients and are not contiguous, so the batch
+  // is a span of pointers (each non-null, alive until the call returns).
+  // Identical sharding, scratch and output contract to the contiguous
+  // overload — results are byte-identical to classifying each tuple
+  // alone.
+  Status PredictBatchInto(std::span<const UncertainTuple* const> tuples,
+                          const PredictOptions& options,
+                          FlatBatchResult* out);
+
   // ------------------------------------------------------ introspection
 
   // Persistent executor workers this session has created: 0 until the
@@ -96,6 +118,14 @@ class ForestPredictSession {
     FlatTraversalScratch traversal;
     std::vector<double> tree_row;
   };
+
+  // Shared body of both PredictBatchInto overloads; `tuple_at(i)` yields
+  // a const UncertainTuple& for batch position i. Defined in the .cc —
+  // both instantiations live there.
+  template <typename TupleAt>
+  Status PredictBatchIntoImpl(size_t n, TupleAt tuple_at,
+                              const PredictOptions& options,
+                              FlatBatchResult* out);
 
   // Scratch slot for worker `index`, created on first use, reused after.
   WorkerScratch* ScratchFor(size_t index);

@@ -77,6 +77,20 @@ struct BatchResult {
   // report less than the requested num_threads. An upper bound: the
   // dynamic chunk schedule may engage fewer threads, never more.
   int num_threads_used = 1;
+
+  // Reuse contract: resets every field — per-tuple vectors AND the
+  // per-call scalars (total_seconds, num_threads_used) — so a serving
+  // loop can recycle one BatchResult across batches without state from a
+  // previous drain (e.g. a wider num_threads_used, stale vote rows)
+  // leaking into the next. Capacity is retained; a warm buffer stays
+  // allocation-free.
+  void Clear() {
+    distributions.clear();
+    labels.clear();
+    tuple_seconds.clear();
+    total_seconds = 0.0;
+    num_threads_used = 1;
+  }
 };
 
 // An immutable trained model. Obtain one from Trainer::Train, Model::Load

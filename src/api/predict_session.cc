@@ -12,10 +12,21 @@ namespace udt {
 
 using session_internal::ForEachShard;
 
+namespace {
+const CompiledModel& DerefModel(
+    const std::shared_ptr<const CompiledModel>& model) {
+  UDT_CHECK(model != nullptr);
+  return *model;
+}
+}  // namespace
+
 PredictSession::PredictSession(CompiledModel model)
     : model_(std::move(model)) {
   stream_.num_classes = model_.num_classes();
 }
+
+PredictSession::PredictSession(std::shared_ptr<const CompiledModel> model)
+    : PredictSession(DerefModel(model)) {}
 
 FlatTraversalScratch* PredictSession::ScratchFor(size_t index) {
   while (scratch_.size() <= index) {
@@ -72,11 +83,11 @@ TaskPool* PredictSession::EnsureExecutor(int num_threads) {
                           [this](size_t slot) { ScratchFor(slot); });
 }
 
-Status PredictSession::PredictBatchInto(
-    std::span<const UncertainTuple> tuples, const PredictOptions& options,
-    FlatBatchResult* out) {
+template <typename TupleAt>
+Status PredictSession::PredictBatchIntoImpl(size_t n, TupleAt tuple_at,
+                                            const PredictOptions& options,
+                                            FlatBatchResult* out) {
   UDT_CHECK(out != nullptr);
-  const size_t n = tuples.size();
   const size_t k = static_cast<size_t>(num_classes());
   UDT_ASSIGN_OR_RETURN(int num_threads, ResolveThreads(options.num_threads, n));
 
@@ -91,9 +102,9 @@ Status PredictSession::PredictBatchInto(
     for (size_t i = begin; i < end; ++i) {
       double* row = out->distributions.data() + i * k;
       if (averaging) {
-        ClassifyFlatMeans(flat, tuples[i], scratch, row);
+        ClassifyFlatMeans(flat, tuple_at(i), scratch, row);
       } else {
-        ClassifyFlat(flat, tuples[i], scratch, row);
+        ClassifyFlat(flat, tuple_at(i), scratch, row);
       }
       int best = 0;
       for (size_t c = 1; c < k; ++c) {
@@ -105,12 +116,31 @@ Status PredictSession::PredictBatchInto(
     }
   };
 
-  for (size_t i = 0; i < n; ++i) CheckTuple(tuples[i]);
+  for (size_t i = 0; i < n; ++i) CheckTuple(tuple_at(i));
 
   ForEachShard(EnsureExecutor(num_threads), n, num_threads,
                session_internal::EffectiveShardGrain(options.grain, 1),
                classify_range);
   return Status::OK();
+}
+
+Status PredictSession::PredictBatchInto(
+    std::span<const UncertainTuple> tuples, const PredictOptions& options,
+    FlatBatchResult* out) {
+  return PredictBatchIntoImpl(
+      tuples.size(),
+      [&tuples](size_t i) -> const UncertainTuple& { return tuples[i]; },
+      options, out);
+}
+
+Status PredictSession::PredictBatchInto(
+    std::span<const UncertainTuple* const> tuples,
+    const PredictOptions& options, FlatBatchResult* out) {
+  for (const UncertainTuple* tuple : tuples) UDT_CHECK(tuple != nullptr);
+  return PredictBatchIntoImpl(
+      tuples.size(),
+      [&tuples](size_t i) -> const UncertainTuple& { return *tuples[i]; },
+      options, out);
 }
 
 StatusOr<BatchResult> PredictSession::PredictBatch(

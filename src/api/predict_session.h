@@ -58,15 +58,34 @@ struct FlatBatchResult {
         distributions.data() + i * static_cast<size_t>(num_classes),
         static_cast<size_t>(num_classes));
   }
+  // Reuse contract: resets everything, including num_classes, so a
+  // recycled buffer carries no trace of the previous batch (a serving
+  // queue may drain models with different class counts through one
+  // buffer). Capacity is retained; a warm buffer stays allocation-free.
+  // PredictBatchInto overwrites all three fields anyway, so calling
+  // Clear() between drains is belt-and-braces, not a requirement.
   void Clear() {
     distributions.clear();
     labels.clear();
+    num_classes = 0;
   }
 };
 
 class PredictSession {
  public:
+  // Ownership contract: a CompiledModel is a shared handle (one
+  // shared_ptr wide), and the session stores its own copy — so the
+  // session co-owns the compiled artifact for its whole lifetime. A
+  // model registry may retire/drop its reference while this session is
+  // mid-batch without dangling anything; the flat arrays are freed when
+  // the last session (or registry entry) lets go.
   explicit PredictSession(CompiledModel model);
+
+  // Same contract for callers that manage compiled artifacts behind
+  // shared_ptr (e.g. a registry handing out snapshots): the pointee's
+  // inner handle is copied, so the session stays valid even after
+  // `model` itself is reset. `model` must be non-null.
+  explicit PredictSession(std::shared_ptr<const CompiledModel> model);
 
   const CompiledModel& model() const { return model_; }
   int num_classes() const { return model_.num_classes(); }
@@ -100,6 +119,16 @@ class PredictSession {
                           const PredictOptions& options,
                           FlatBatchResult* out);
 
+  // Gather form for admission queues: the tuples of one micro-batch
+  // arrive from different clients and are not contiguous, so the batch
+  // is a span of pointers (each non-null, alive until the call returns).
+  // Identical sharding, scratch and output contract to the contiguous
+  // overload — results are byte-identical to classifying each tuple
+  // alone.
+  Status PredictBatchInto(std::span<const UncertainTuple* const> tuples,
+                          const PredictOptions& options,
+                          FlatBatchResult* out);
+
   // ---------------------------------------------------------- streaming
 
   // Classifies `tuple` immediately (inline, on the calling thread) and
@@ -124,6 +153,14 @@ class PredictSession {
   int executor_workers() const { return executor_.num_workers(); }
 
  private:
+  // Shared body of both PredictBatchInto overloads; `tuple_at(i)` yields
+  // a const UncertainTuple& for batch position i. Defined in the .cc —
+  // both instantiations live there.
+  template <typename TupleAt>
+  Status PredictBatchIntoImpl(size_t n, TupleAt tuple_at,
+                              const PredictOptions& options,
+                              FlatBatchResult* out);
+
   // Scratch slot for worker `index`, created on first use, reused after.
   FlatTraversalScratch* ScratchFor(size_t index);
 

@@ -16,6 +16,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

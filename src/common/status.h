@@ -21,6 +21,10 @@ enum class StatusCode {
   kOutOfRange,
   kIOError,
   kInternal,
+  // The operation cannot be served right now (admission queue full or
+  // closed, no live model version); the caller may retry later or shed
+  // load. Serving-front-end analogue of gRPC UNAVAILABLE.
+  kUnavailable,
 };
 
 // Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -56,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

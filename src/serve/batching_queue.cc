@@ -1,0 +1,190 @@
+#include "serve/batching_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace udt {
+namespace serve {
+
+BatchingQueue::BatchingQueue(SnapshotProvider provider,
+                             const BatchingConfig& config)
+    : config_(config), provider_(std::move(provider)) {
+  UDT_CHECK(provider_ != nullptr);
+  UDT_CHECK(config_.max_batch > 0);
+  UDT_CHECK(config_.max_queue > 0);
+  UDT_CHECK(config_.max_delay_us >= 0);
+  drainer_ = std::thread([this] { DrainLoop(); });
+}
+
+BatchingQueue::BatchingQueue(const ModelRegistry* registry, std::string name,
+                             const BatchingConfig& config)
+    : BatchingQueue(
+          [registry, name = std::move(name)] {
+            return registry->Resolve(name);
+          },
+          config) {
+  UDT_CHECK(registry != nullptr);
+}
+
+BatchingQueue::~BatchingQueue() { Close(); }
+
+void BatchingQueue::SubmitWithCallback(const UncertainTuple* tuple,
+                                       ServeCallback done) {
+  UDT_CHECK(tuple != nullptr);
+  UDT_CHECK(done != nullptr);
+  Status rejection;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      rejection = Status::Unavailable("BatchingQueue is closed");
+    } else if (pending_.size() >= config_.max_queue) {
+      rejection = Status::Unavailable(
+          StrFormat("BatchingQueue admission limit reached (%zu pending)",
+                    pending_.size()));
+    } else {
+      ++stats_.submitted;
+      pending_.push_back(
+          Pending{tuple, std::move(done), std::chrono::steady_clock::now()});
+      // Wake the drainer when the batch fills; the first admission after
+      // an idle stretch must wake it too, so it can arm the deadline.
+      if (pending_.size() == 1 || pending_.size() >= config_.max_batch) {
+        cv_.notify_all();
+      }
+      return;
+    }
+    ++stats_.rejected;
+  }
+  // Inline completion, outside the lock: the callback may re-enter
+  // Submit or take arbitrary time.
+  ServeResult result;
+  result.status = std::move(rejection);
+  done(std::move(result));
+}
+
+std::future<ServeResult> BatchingQueue::Submit(const UncertainTuple* tuple) {
+  auto promise = std::make_shared<std::promise<ServeResult>>();
+  std::future<ServeResult> future = promise->get_future();
+  SubmitWithCallback(tuple, [promise](ServeResult result) {
+    promise->set_value(std::move(result));
+  });
+  return future;
+}
+
+void BatchingQueue::Close() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_.notify_all();
+    // Only the first closer receives a joinable thread; concurrent or
+    // repeated Close() calls are no-ops past this point.
+    to_join = std::move(drainer_);
+  }
+  if (to_join.joinable()) to_join.join();
+}
+
+BatchingQueue::Stats BatchingQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t BatchingQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+void BatchingQueue::DrainLoop() {
+  const auto max_delay = std::chrono::microseconds(config_.max_delay_us);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return closed_ || !pending_.empty(); });
+    if (pending_.empty()) break;  // closed_ and fully drained
+
+    // Coalescing window: wait for a full batch, the oldest request's
+    // deadline, or shutdown (which serves whatever is pending, now).
+    const auto deadline = pending_.front().admitted_at + max_delay;
+    while (!closed_ && pending_.size() < config_.max_batch &&
+           std::chrono::steady_clock::now() < deadline) {
+      cv_.wait_until(lock, deadline);
+    }
+
+    const size_t take = std::min(pending_.size(), config_.max_batch);
+    batch_.clear();
+    batch_.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch_.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    ++stats_.drains;
+    stats_.max_drain = std::max<uint64_t>(stats_.max_drain, take);
+    // Counted at take time, before completions run: a client reading
+    // stats() right after its future resolves must already see itself in
+    // `served` (the increment-after-drain ordering would lag).
+    stats_.served += take;
+
+    lock.unlock();
+    // One registry snapshot per micro-batch: the atomic-hot-swap point.
+    ServeBatch(batch_, provider_());
+    lock.lock();
+  }
+}
+
+void BatchingQueue::FailBatch(std::vector<Pending>& batch,
+                              const Status& status) {
+  for (Pending& request : batch) {
+    ServeResult result;
+    result.status = status;
+    request.done(std::move(result));
+  }
+  batch.clear();
+}
+
+void BatchingQueue::ServeBatch(std::vector<Pending>& batch,
+                               ModelHandle handle) {
+  if (handle == nullptr) {
+    FailBatch(batch, Status::Unavailable("no live model version to serve"));
+    return;
+  }
+  if (handle != bound_) {
+    // Hot swap observed: bind the new artifact. The session copies the
+    // shared handle, so retiring the old registry entry cannot dangle an
+    // in-flight batch.
+    session_.emplace(handle->servable);
+    bound_ = std::move(handle);
+  }
+
+  tuple_ptrs_.clear();
+  tuple_ptrs_.reserve(batch.size());
+  for (const Pending& request : batch) tuple_ptrs_.push_back(request.tuple);
+
+  PredictOptions options;
+  options.num_threads = config_.num_threads;
+  options.grain = config_.grain;
+  flat_.Clear();
+  Status status = session_->PredictBatchInto(
+      std::span<const UncertainTuple* const>(tuple_ptrs_.data(),
+                                             tuple_ptrs_.size()),
+      options, &flat_);
+  if (!status.ok()) {
+    FailBatch(batch, status);
+    return;
+  }
+
+  const size_t k = static_cast<size_t>(flat_.num_classes);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ServeResult result;
+    result.label = flat_.labels[i];
+    result.distribution.assign(flat_.distributions.data() + i * k,
+                               flat_.distributions.data() + (i + 1) * k);
+    result.model_name = bound_->name;
+    result.model_version = bound_->version;
+    batch[i].done(std::move(result));
+  }
+  batch.clear();
+}
+
+}  // namespace serve
+}  // namespace udt

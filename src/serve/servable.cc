@@ -1,0 +1,80 @@
+#include "serve/servable.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace udt {
+namespace serve {
+
+Servable::Servable(CompiledModel model) : artifact_(std::move(model)) {}
+
+Servable::Servable(CompiledForest forest) : artifact_(std::move(forest)) {}
+
+bool Servable::is_forest() const {
+  return std::holds_alternative<CompiledForest>(artifact_);
+}
+
+int Servable::num_classes() const {
+  return std::visit([](const auto& a) { return a.num_classes(); }, artifact_);
+}
+
+const Schema& Servable::schema() const {
+  return std::visit([](const auto& a) -> const Schema& { return a.schema(); },
+                    artifact_);
+}
+
+int Servable::num_nodes() const {
+  return std::visit([](const auto& a) { return a.num_nodes(); }, artifact_);
+}
+
+std::string Servable::Describe() const {
+  if (const CompiledForest* f = forest()) {
+    return StrFormat("udt-forest v1 x%d trees (%d nodes)", f->num_trees(),
+                     f->num_nodes());
+  }
+  return StrFormat("udt-compiled v1 tree (%d nodes)", model()->num_nodes());
+}
+
+const CompiledModel* Servable::model() const {
+  return std::get_if<CompiledModel>(&artifact_);
+}
+
+const CompiledForest* Servable::forest() const {
+  return std::get_if<CompiledForest>(&artifact_);
+}
+
+ServeSession::ServeSession(const Servable& servable)
+    : impl_(servable.is_forest()
+                ? std::variant<PredictSession, ForestPredictSession>(
+                      std::in_place_type<ForestPredictSession>,
+                      *servable.forest())
+                : std::variant<PredictSession, ForestPredictSession>(
+                      std::in_place_type<PredictSession>, *servable.model())) {}
+
+int ServeSession::num_classes() const {
+  return std::visit([](const auto& s) { return s.num_classes(); }, impl_);
+}
+
+void ServeSession::ClassifyInto(const UncertainTuple& tuple, double* out) {
+  std::visit([&](auto& s) { s.ClassifyInto(tuple, out); }, impl_);
+}
+
+Status ServeSession::PredictBatchInto(std::span<const UncertainTuple> tuples,
+                                      const PredictOptions& options,
+                                      FlatBatchResult* out) {
+  return std::visit(
+      [&](auto& s) { return s.PredictBatchInto(tuples, options, out); },
+      impl_);
+}
+
+Status ServeSession::PredictBatchInto(
+    std::span<const UncertainTuple* const> tuples,
+    const PredictOptions& options, FlatBatchResult* out) {
+  return std::visit(
+      [&](auto& s) { return s.PredictBatchInto(tuples, options, out); },
+      impl_);
+}
+
+}  // namespace serve
+}  // namespace udt
