@@ -146,6 +146,7 @@ void RunModel(const char* model_name, const serve::Servable& servable,
           .Str("mode", mode)
           .Str("clients", std::to_string(clients))
           .Int("requests", static_cast<long long>(s.requests))
+          .Int("failed", static_cast<long long>(s.failed))
           .Num("seconds", s.wall_seconds)
           .Num("qps", s.qps)
           .Num("p50_us", s.p50_us)

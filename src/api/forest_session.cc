@@ -65,6 +65,43 @@ void ForestPredictSession::ClassifyWith(WorkerScratch* scratch,
   for (int c = 0; c < k; ++c) out[c] /= trees;
 }
 
+void ForestPredictSession::ClassifyBatchWith(
+    WorkerScratch* scratch, const UncertainTuple* const* tuples,
+    double* const* rows, size_t count) {
+  const int k = num_classes();
+  const bool averaging = forest_.kind() == ModelKind::kAveraging;
+  const ForestVote vote = forest_.vote();
+  for (size_t i = 0; i < count; ++i) {
+    std::fill(rows[i], rows[i] + k, 0.0);
+  }
+  scratch->tree_rows.resize(count * static_cast<size_t>(k));
+  std::vector<double*>& tree_rows = scratch->tree_row_ptrs;
+  tree_rows.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    tree_rows[i] = scratch->tree_rows.data() + i * static_cast<size_t>(k);
+  }
+  // Tree-outer: one batch traversal per tree over the whole shard, votes
+  // folded in per tuple before the next tree. Any single tuple still sees
+  // zero → per-tree accumulation in tree order → one final division,
+  // exactly ClassifyWith's float sequence.
+  for (const FlatTree& tree : forest_.trees()) {
+    if (averaging) {
+      ClassifyFlatMeansBatch(tree, tuples, tree_rows.data(), count,
+                             &scratch->traversal);
+    } else {
+      ClassifyFlatBatch(tree, tuples, tree_rows.data(), count,
+                        &scratch->traversal);
+    }
+    for (size_t i = 0; i < count; ++i) {
+      AccumulateForestVote(vote, tree_rows[i], k, rows[i]);
+    }
+  }
+  const double trees = static_cast<double>(forest_.num_trees());
+  for (size_t i = 0; i < count; ++i) {
+    for (int c = 0; c < k; ++c) rows[i][c] /= trees;
+  }
+}
+
 void ForestPredictSession::ClassifyInto(const UncertainTuple& tuple,
                                         double* out) {
   CheckTuple(tuple);
@@ -107,9 +144,19 @@ Status ForestPredictSession::PredictBatchIntoImpl(
 
   auto classify_range = [&](int worker, size_t begin, size_t end) {
     WorkerScratch* scratch = ScratchFor(static_cast<size_t>(worker));
+    const size_t count = end - begin;
+    std::vector<const UncertainTuple*>& tp =
+        scratch->traversal.batch.tuple_ptrs;
+    std::vector<double*>& rp = scratch->traversal.batch.row_ptrs;
+    tp.resize(count);
+    rp.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      tp[i] = &tuple_at(begin + i);
+      rp[i] = out->distributions.data() + (begin + i) * k;
+    }
+    ClassifyBatchWith(scratch, tp.data(), rp.data(), count);
     for (size_t i = begin; i < end; ++i) {
-      double* row = out->distributions.data() + i * k;
-      ClassifyWith(scratch, tuple_at(i), row);
+      const double* row = out->distributions.data() + i * k;
       int best = 0;
       for (size_t c = 1; c < k; ++c) {
         if (row[c] > row[static_cast<size_t>(best)]) {
@@ -170,14 +217,31 @@ StatusOr<BatchResult> ForestPredictSession::PredictBatch(
   };
   auto classify_range = [&](int worker, size_t begin, size_t end) {
     WorkerScratch* scratch = ScratchFor(static_cast<size_t>(worker));
-    for (size_t i = begin; i < end; ++i) {
-      if (options.collect_timings) {
+    if (options.collect_timings) {
+      // Per-tuple timing requires per-tuple kernel launches; keep the
+      // scalar path (bitwise-identical output, just not batched).
+      for (size_t i = begin; i < end; ++i) {
         WallTimer tuple_timer;
         classify_one(scratch, i);
         result.tuple_seconds[i] = tuple_timer.ElapsedSeconds();
-      } else {
-        classify_one(scratch, i);
       }
+      return;
+    }
+    const size_t count = end - begin;
+    std::vector<const UncertainTuple*>& tp =
+        scratch->traversal.batch.tuple_ptrs;
+    std::vector<double*>& rp = scratch->traversal.batch.row_ptrs;
+    tp.resize(count);
+    rp.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      std::vector<double>& row = result.distributions[begin + i];
+      row.resize(k);
+      tp[i] = &tuples[begin + i];
+      rp[i] = row.data();
+    }
+    ClassifyBatchWith(scratch, tp.data(), rp.data(), count);
+    for (size_t i = begin; i < end; ++i) {
+      result.labels[i] = ArgMax(result.distributions[i]);
     }
   };
 

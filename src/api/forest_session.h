@@ -112,11 +112,14 @@ class ForestPredictSession {
   int executor_workers() const { return executor_.num_workers(); }
 
  private:
-  // Per-worker mutable state: traversal scratch shared by all trees plus
-  // the row one tree's distribution lands in before aggregation.
+  // Per-worker mutable state: traversal scratch shared by all trees, the
+  // row one tree's distribution lands in before aggregation (scalar path),
+  // and the shard-wide per-tree row block of the batch path.
   struct WorkerScratch {
     FlatTraversalScratch traversal;
     std::vector<double> tree_row;
+    std::vector<double> tree_rows;
+    std::vector<double*> tree_row_ptrs;
   };
 
   // Shared body of both PredictBatchInto overloads; `tuple_at(i)` yields
@@ -143,6 +146,14 @@ class ForestPredictSession {
   // The aggregation kernel all entry points share.
   void ClassifyWith(WorkerScratch* scratch, const UncertainTuple& tuple,
                     double* out);
+
+  // Batch twin of ClassifyWith: classifies tuples[0..count) through every
+  // tree with the level-synchronous batch kernel, tree-outer, then
+  // aggregates votes per tuple in tree order — per tuple the identical
+  // operation sequence, so rows are bitwise-identical to ClassifyWith.
+  void ClassifyBatchWith(WorkerScratch* scratch,
+                         const UncertainTuple* const* tuples,
+                         double* const* rows, size_t count);
 
   CompiledForest forest_;
   std::vector<std::unique_ptr<WorkerScratch>> scratch_;

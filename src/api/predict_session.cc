@@ -97,15 +97,27 @@ Status PredictSession::PredictBatchIntoImpl(size_t n, TupleAt tuple_at,
 
   const FlatTree& flat = model_.flat_tree();
   const bool averaging = model_.kind() == ModelKind::kAveraging;
+  // Each shard runs the level-synchronous batch kernel over its whole
+  // range (bitwise-identical to the per-tuple scalar kernels, so sharding
+  // and thread count still cannot change results).
   auto classify_range = [&](int worker, size_t begin, size_t end) {
     FlatTraversalScratch* scratch = ScratchFor(static_cast<size_t>(worker));
+    const size_t count = end - begin;
+    std::vector<const UncertainTuple*>& tp = scratch->batch.tuple_ptrs;
+    std::vector<double*>& rp = scratch->batch.row_ptrs;
+    tp.resize(count);
+    rp.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      tp[i] = &tuple_at(begin + i);
+      rp[i] = out->distributions.data() + (begin + i) * k;
+    }
+    if (averaging) {
+      ClassifyFlatMeansBatch(flat, tp.data(), rp.data(), count, scratch);
+    } else {
+      ClassifyFlatBatch(flat, tp.data(), rp.data(), count, scratch);
+    }
     for (size_t i = begin; i < end; ++i) {
-      double* row = out->distributions.data() + i * k;
-      if (averaging) {
-        ClassifyFlatMeans(flat, tuple_at(i), scratch, row);
-      } else {
-        ClassifyFlat(flat, tuple_at(i), scratch, row);
-      }
+      const double* row = out->distributions.data() + i * k;
       int best = 0;
       for (size_t c = 1; c < k; ++c) {
         if (row[c] > row[static_cast<size_t>(best)]) {
@@ -169,14 +181,34 @@ StatusOr<BatchResult> PredictSession::PredictBatch(
   };
   auto classify_range = [&](int worker, size_t begin, size_t end) {
     FlatTraversalScratch* scratch = ScratchFor(static_cast<size_t>(worker));
-    for (size_t i = begin; i < end; ++i) {
-      if (options.collect_timings) {
+    if (options.collect_timings) {
+      // Per-tuple timing requires per-tuple kernel launches; keep the
+      // scalar path (bitwise-identical output, just not batched).
+      for (size_t i = begin; i < end; ++i) {
         WallTimer tuple_timer;
         classify_one(scratch, i);
         result.tuple_seconds[i] = tuple_timer.ElapsedSeconds();
-      } else {
-        classify_one(scratch, i);
       }
+      return;
+    }
+    const size_t count = end - begin;
+    std::vector<const UncertainTuple*>& tp = scratch->batch.tuple_ptrs;
+    std::vector<double*>& rp = scratch->batch.row_ptrs;
+    tp.resize(count);
+    rp.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      std::vector<double>& row = result.distributions[begin + i];
+      row.resize(k);
+      tp[i] = &tuples[begin + i];
+      rp[i] = row.data();
+    }
+    if (averaging) {
+      ClassifyFlatMeansBatch(flat, tp.data(), rp.data(), count, scratch);
+    } else {
+      ClassifyFlatBatch(flat, tp.data(), rp.data(), count, scratch);
+    }
+    for (size_t i = begin; i < end; ++i) {
+      result.labels[i] = ArgMax(result.distributions[i]);
     }
   };
 

@@ -94,11 +94,43 @@ double PessimisticErrorCount(double errors, double total, double cf) {
 }
 
 double GiniFromCounts(const std::vector<double>& counts) {
+  return GiniGivenTotal(counts, SumPositiveCounts(counts));
+}
+
+double SumPositiveCounts(const std::vector<double>& counts) {
   double total = 0.0;
   for (double c : counts) {
     UDT_DCHECK(c >= -kMassEpsilon);
     if (c > 0.0) total += c;
   }
+  return total;
+}
+
+void FusedEntropyFromCounts(const std::vector<double>& counts,
+                            double* total_out, double* entropy_out) {
+  // One pass, two independent sequential accumulators: `total` receives
+  // exactly the adds of SumPositiveCounts and `sum_xlogx` exactly the adds
+  // of EntropyFromCounts' second loop, each in the original order, so both
+  // outputs are bitwise-identical to the unfused pair.
+  double total = 0.0;
+  double sum_xlogx = 0.0;
+  for (double c : counts) {
+    UDT_DCHECK(c >= -kMassEpsilon);
+    if (c > 0.0) {
+      total += c;
+      sum_xlogx += XLog2X(c);
+    }
+  }
+  *total_out = total;
+  if (total <= 0.0) {
+    *entropy_out = 0.0;
+    return;
+  }
+  double h = std::log2(total) - sum_xlogx / total;
+  *entropy_out = h < 0.0 ? 0.0 : h;
+}
+
+double GiniGivenTotal(const std::vector<double>& counts, double total) {
   if (total <= 0.0) return 0.0;
   double sum_sq = 0.0;
   for (double c : counts) {
@@ -106,6 +138,20 @@ double GiniFromCounts(const std::vector<double>& counts) {
   }
   double g = 1.0 - sum_sq;
   return g < 0.0 ? 0.0 : g;
+}
+
+double EntropyFromPair(double a, double b) {
+  // Replays EntropyFromCounts({a, b}) without the vector: same filters,
+  // same add order, same formula.
+  double total = 0.0;
+  if (a > 0.0) total += a;
+  if (b > 0.0) total += b;
+  if (total <= 0.0) return 0.0;
+  double sum_xlogx = 0.0;
+  if (a > 0.0) sum_xlogx += XLog2X(a);
+  if (b > 0.0) sum_xlogx += XLog2X(b);
+  double h = std::log2(total) - sum_xlogx / total;
+  return h < 0.0 ? 0.0 : h;
 }
 
 }  // namespace udt

@@ -35,6 +35,34 @@ double EntropyFromCounts(const std::vector<double>& counts);
 // an empty or all-zero input.
 double GiniFromCounts(const std::vector<double>& counts);
 
+// ------------------------------------------------------------------------
+// Fused single-pass forms used by the split-scoring hot loop
+// (split/dispersion.cc). Each is bitwise-identical to the separate
+// reference computation it replaces: the accumulators receive the same
+// operands in the same order, only redundant passes over `counts` are
+// merged. Tree construction is bitwise-deterministic across thread counts,
+// so any reordering here would change built trees — don't "optimise" these
+// into multi-accumulator/unrolled reductions.
+
+// Sum of the strictly positive entries, in order — the total both
+// EntropyFromCounts and GiniFromCounts compute internally.
+double SumPositiveCounts(const std::vector<double>& counts);
+
+// One pass computing both SumPositiveCounts(counts) and
+// EntropyFromCounts(counts); results are bitwise-identical to the two
+// separate calls.
+void FusedEntropyFromCounts(const std::vector<double>& counts,
+                            double* total_out, double* entropy_out);
+
+// GiniFromCounts(counts) given a precomputed SumPositiveCounts(counts)
+// (Gini inherently needs the total before its squared pass, so the best
+// fusion is reusing the caller's total).
+double GiniGivenTotal(const std::vector<double>& counts, double total);
+
+// EntropyFromCounts({a, b}) without materialising the two-element vector
+// (the gain-ratio split-info term, evaluated once per candidate split).
+double EntropyFromPair(double a, double b);
+
 // True if |a - b| <= eps.
 inline bool AlmostEqual(double a, double b, double eps = kMassEpsilon) {
   return std::fabs(a - b) <= eps;

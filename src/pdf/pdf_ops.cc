@@ -64,7 +64,22 @@ StatusOr<SampledPdf> DownsamplePdf(const SampledPdf& pdf, int s) {
   double lo = pdf.support_min();
   double hi = pdf.support_max();
   double cell = (hi - lo) / s;
-  UDT_DCHECK(cell > 0.0);
+  if (!(cell > 0.0)) {
+    // Zero-width support: every sample point coincides (or the width
+    // underflows to zero against s). The cell walk below would assign all
+    // mass to the first cell anyway, but only by accident of its boundary
+    // arithmetic — and in Release builds the old DCHECK silently let that
+    // accident carry the result. Collapse explicitly to the single
+    // mass-weighted point instead.
+    KahanSum mass_sum;
+    KahanSum moment_sum;
+    for (int p = 0; p < pdf.num_points(); ++p) {
+      mass_sum.Add(pdf.mass(p));
+      moment_sum.Add(pdf.point(p) * pdf.mass(p));
+    }
+    return SampledPdf::Create({moment_sum.value() / mass_sum.value()},
+                              {mass_sum.value()});
+  }
 
   std::vector<double> points;
   std::vector<double> masses;

@@ -27,7 +27,8 @@ namespace udt {
 namespace serve {
 
 struct LatencyStats {
-  size_t requests = 0;
+  size_t requests = 0;  // successfully served requests (latency samples)
+  size_t failed = 0;    // non-OK responses (shed/rejected), queue mode only
   double wall_seconds = 0.0;  // slowest client, start barrier to last reply
   double qps = 0.0;           // requests / wall_seconds
   double p50_us = 0.0;
@@ -53,8 +54,11 @@ LatencyStats RunDirectClients(const Servable& servable,
                               const HarnessOptions& options);
 
 // Queue mode: `num_clients` threads submitting to `queue` and blocking on
-// each future. Requests that complete with a non-OK status are counted by
-// `*failures` (pass nullptr to require all-OK via UDT_CHECK).
+// each future. Requests that complete with a non-OK status (shed by a full
+// queue, rejected after shutdown) are excluded from the latency sample set
+// — a shed response returns in microseconds and would otherwise drag
+// p50/p95/p99 optimistically low — and reported in LatencyStats::failed
+// (and `*failures` when non-null) instead of crashing the harness.
 LatencyStats RunQueueClients(BatchingQueue* queue,
                              std::span<const UncertainTuple> pool,
                              const HarnessOptions& options,

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/math.h"
+#include "pdf/pdf_kernels.h"
 
 namespace udt {
 
@@ -49,21 +50,19 @@ WorkingSet MakeWeightedRootWorkingSet(const Dataset& data,
   return set;
 }
 
+// Both functions route through the branchless lockstep kernels of
+// pdf/pdf_kernels.h; their results are bitwise-identical to the previous
+// std::upper_bound formulation (same cumulative reads, same arithmetic
+// order — the +-inf special cases resolve to the exact endpoint values),
+// which tests/pdf_kernels_test.cc pins against SampledPdf::CdfAtOrBelow.
 double ConstrainedMass(const SampledPdf& pdf, double lo, double hi) {
-  double upper = hi == kInf ? 1.0 : pdf.CdfAtOrBelow(hi);
-  double lower = lo == -kInf ? 0.0 : pdf.CdfAtOrBelow(lo);
-  return upper - lower;
+  return PdfConstrainedMass(pdf, lo, hi);
 }
 
 double ConditionalCdf(const SampledPdf& pdf, double lo, double hi, double z) {
-  double mass = ConstrainedMass(pdf, lo, hi);
-  UDT_DCHECK(mass > 0.0);
-  if (z >= hi) return 1.0;
-  double lower = lo == -kInf ? 0.0 : pdf.CdfAtOrBelow(lo);
-  double part = pdf.CdfAtOrBelow(z) - lower;
-  if (part <= 0.0) return 0.0;
-  double p = part / mass;
-  return p > 1.0 ? 1.0 : p;
+  const PdfSplitEval eval = PdfEvalNumericalSplit(pdf, lo, hi, z);
+  UDT_DCHECK(eval.mass > 0.0);
+  return eval.p_left;
 }
 
 double ConditionalMean(const SampledPdf& pdf, double lo, double hi) {

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "pdf/pdf_kernels.h"
 #include "split/fractional_tuple.h"
 
 namespace udt {
@@ -109,70 +110,115 @@ FlatTree FlattenTree(const DecisionTree& tree) {
 
 // ---------------------------------------------------------------- kernels
 //
-// PropagateFlat mirrors the Propagate recursion of tree/classify.cc
+// PropagateFlat mirrors the Propagate traversal of tree/classify.cc
 // statement for statement, reading struct-of-arrays records instead of
 // chasing TreeNode pointers. Identical control flow over identical
 // constraint state means the identical sequence of ConstrainedMass /
 // ConditionalCdf evaluations, weight products and leaf accumulations — the
-// bitwise guarantee. The only per-tuple storage is the constraint arrays
-// in the reusable scratch; recursion locals live on the machine stack, so
-// the kernel performs no heap allocation.
+// bitwise guarantee. The former recursion is replayed by an explicit op
+// stack in the reusable scratch: each node visit pushes, in reverse, the
+// exact statement sequence the recursive body executed (constraint
+// mutation, child visit, constraint restore), so a pathological
+// million-node split chain costs heap capacity instead of overflowing the
+// machine stack.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define UDT_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define UDT_PREFETCH(addr) ((void)0)
+#endif
 
 namespace {
 
 void PropagateFlat(const FlatTree& flat, const UncertainTuple& tuple,
-                   int32_t node, double weight, FlatTraversalScratch* scratch,
-                   double* out) {
-  if (weight < kMinFractionWeight) return;
-  const size_t i = static_cast<size_t>(node);
-  const FlatNodeKind kind = flat.node_kind(node);
-  if (kind == FlatNodeKind::kLeaf) {
-    const double* dist = flat.leaf_values.data() + flat.first[i];
-    for (int c = 0; c < flat.num_classes; ++c) {
-      out[c] += weight * dist[c];
+                   FlatTraversalScratch* scratch, double* out) {
+  std::vector<FlatTraversalOp>& ops = scratch->ops;
+  ops.clear();
+  ops.push_back({FlatTraversalOp::kVisit, 0, -1, 1.0});
+  while (!ops.empty()) {
+    const FlatTraversalOp op = ops.back();
+    ops.pop_back();
+    const size_t j_op = static_cast<size_t>(op.node_or_attribute);
+    switch (op.kind) {
+      case FlatTraversalOp::kSetLo:
+        scratch->lo[j_op] = op.value;
+        continue;
+      case FlatTraversalOp::kSetHi:
+        scratch->hi[j_op] = op.value;
+        continue;
+      case FlatTraversalOp::kSetCategory:
+        scratch->category[j_op] = op.category;
+        continue;
+      default:
+        break;
     }
-    return;
-  }
 
-  const size_t j = static_cast<size_t>(flat.attribute[i]);
-  if (kind == FlatNodeKind::kCategorical) {
-    const CategoricalPdf& dist = tuple.values[j].categorical();
-    const int32_t* children = flat.child_table.data() + flat.first[i];
-    if (scratch->category[j] >= 0) {
-      const int32_t child = children[scratch->category[j]];
-      UDT_DCHECK(child >= 0);
-      PropagateFlat(flat, tuple, child, weight, scratch, out);
-      return;
+    const double weight = op.value;
+    if (weight < kMinFractionWeight) continue;
+    const size_t i = static_cast<size_t>(op.node_or_attribute);
+    const int32_t node = op.node_or_attribute;
+    const FlatNodeKind kind = flat.node_kind(node);
+    if (kind == FlatNodeKind::kLeaf) {
+      const double* dist = flat.leaf_values.data() + flat.first[i];
+      for (int c = 0; c < flat.num_classes; ++c) {
+        out[c] += weight * dist[c];
+      }
+      continue;
     }
-    for (int32_t v = 0; v < flat.num_children[i]; ++v) {
-      double p = dist.probability(v);
-      if (p <= 0.0 || children[v] < 0) continue;
-      scratch->category[j] = v;
-      PropagateFlat(flat, tuple, children[v], weight * p, scratch, out);
-      scratch->category[j] = -1;
+
+    const int32_t attribute = flat.attribute[i];
+    const size_t j = static_cast<size_t>(attribute);
+    if (kind == FlatNodeKind::kCategorical) {
+      const CategoricalPdf& dist = tuple.values[j].categorical();
+      const int32_t* children = flat.child_table.data() + flat.first[i];
+      if (scratch->category[j] >= 0) {
+        const int32_t child = children[scratch->category[j]];
+        UDT_DCHECK(child >= 0);
+        ops.push_back({FlatTraversalOp::kVisit, child, -1, weight});
+        continue;
+      }
+      // The recursion visited categories ascending, restoring category[j]
+      // to -1 between children; push each (set, visit, restore) triple in
+      // reverse so the pops replay that exact order.
+      for (int32_t v = flat.num_children[i] - 1; v >= 0; --v) {
+        double p = dist.probability(v);
+        if (p <= 0.0 || children[v] < 0) continue;
+        ops.push_back({FlatTraversalOp::kSetCategory, attribute, -1, 0.0});
+        ops.push_back({FlatTraversalOp::kVisit, children[v], -1, weight * p});
+        ops.push_back({FlatTraversalOp::kSetCategory, attribute, v, 0.0});
+      }
+      continue;
     }
-    return;
-  }
 
-  const SampledPdf& pdf = tuple.values[j].pdf();
-  double mass = ConstrainedMass(pdf, scratch->lo[j], scratch->hi[j]);
-  if (mass <= 0.0) return;
-  double p_left =
-      ConditionalCdf(pdf, scratch->lo[j], scratch->hi[j], flat.split_point[i]);
+    const SampledPdf& pdf = tuple.values[j].pdf();
+    double mass = ConstrainedMass(pdf, scratch->lo[j], scratch->hi[j]);
+    if (mass <= 0.0) continue;
+    double p_left = ConditionalCdf(pdf, scratch->lo[j], scratch->hi[j],
+                                   flat.split_point[i]);
 
-  double w_left = weight * p_left;
-  if (w_left >= kMinFractionWeight) {
-    double saved_hi = scratch->hi[j];
-    scratch->hi[j] = std::min(saved_hi, flat.split_point[i]);
-    PropagateFlat(flat, tuple, flat.first[i], w_left, scratch, out);
-    scratch->hi[j] = saved_hi;
-  }
-  double w_right = weight - w_left;
-  if (w_right >= kMinFractionWeight) {
-    double saved_lo = scratch->lo[j];
-    scratch->lo[j] = std::max(saved_lo, flat.split_point[i]);
-    PropagateFlat(flat, tuple, flat.first[i] + 1, w_right, scratch, out);
-    scratch->lo[j] = saved_lo;
+    // The recursive order was: narrow hi, visit left, restore hi, narrow
+    // lo, visit right, restore lo. Both saved bounds are read now — safe
+    // because a subtree always restores every bound it touches before
+    // control returns to this level.
+    double w_left = weight * p_left;
+    double w_right = weight - w_left;
+    const bool go_left = w_left >= kMinFractionWeight;
+    const bool go_right = w_right >= kMinFractionWeight;
+    if (go_right) {
+      double saved_lo = scratch->lo[j];
+      ops.push_back({FlatTraversalOp::kSetLo, attribute, -1, saved_lo});
+      ops.push_back(
+          {FlatTraversalOp::kVisit, flat.first[i] + 1, -1, w_right});
+      ops.push_back({FlatTraversalOp::kSetLo, attribute, -1,
+                     std::max(saved_lo, flat.split_point[i])});
+    }
+    if (go_left) {
+      double saved_hi = scratch->hi[j];
+      ops.push_back({FlatTraversalOp::kSetHi, attribute, -1, saved_hi});
+      ops.push_back({FlatTraversalOp::kVisit, flat.first[i], -1, w_left});
+      ops.push_back({FlatTraversalOp::kSetHi, attribute, -1,
+                     std::min(saved_hi, flat.split_point[i])});
+    }
   }
 }
 
@@ -189,6 +235,113 @@ void Renormalise(int num_classes, double* out) {
   }
 }
 
+// ------------------------------------------------------ batch machinery
+
+// DFS-preorder rank of every node, visiting children in the scalar
+// traversal's order (numerical: left then right; categorical: present
+// children by ascending category). Two leaves reached by the same tuple
+// are accumulated by the scalar kernel in exactly this rank order, so the
+// batch kernel sorts its deferred leaf hits by rank to replay it.
+// Computed once per tree and cached in the scratch (see the lifetime
+// contract on FlatBatchScratch).
+const std::vector<int32_t>& DfsRanksFor(const FlatTree& flat,
+                                        FlatBatchScratch* bs) {
+  for (const FlatBatchScratch::RankCacheEntry& entry : bs->rank_cache) {
+    if (entry.tree == &flat) return entry.ranks;
+  }
+  bs->rank_cache.push_back({&flat, {}});
+  std::vector<int32_t>& ranks = bs->rank_cache.back().ranks;
+  ranks.assign(static_cast<size_t>(flat.num_nodes()), 0);
+  std::vector<int32_t> stack;
+  stack.push_back(0);
+  int32_t next_rank = 0;
+  while (!stack.empty()) {
+    const int32_t node = stack.back();
+    stack.pop_back();
+    const size_t i = static_cast<size_t>(node);
+    ranks[i] = next_rank++;
+    switch (flat.node_kind(node)) {
+      case FlatNodeKind::kLeaf:
+        break;
+      case FlatNodeKind::kNumerical:
+        stack.push_back(flat.first[i] + 1);
+        stack.push_back(flat.first[i]);
+        break;
+      case FlatNodeKind::kCategorical: {
+        const int32_t* children = flat.child_table.data() + flat.first[i];
+        for (int32_t v = flat.num_children[i] - 1; v >= 0; --v) {
+          if (children[v] >= 0) stack.push_back(children[v]);
+        }
+        break;
+      }
+    }
+  }
+  return ranks;
+}
+
+// Effective numerical bounds for `attribute` on a constraint chain. Each
+// record stores fully-updated bounds, so the nearest record wins; no
+// record means the root default (-inf, +inf].
+void LookupNumericalBounds(const std::vector<FlatBatchConstraint>& arena,
+                           int32_t head, int32_t attribute, double* lo,
+                           double* hi) {
+  for (int32_t c = head; c >= 0;
+       c = arena[static_cast<size_t>(c)].parent) {
+    const FlatBatchConstraint& rec = arena[static_cast<size_t>(c)];
+    if (rec.attribute == attribute) {
+      *lo = rec.lo;
+      *hi = rec.hi;
+      return;
+    }
+  }
+  *lo = -kInf;
+  *hi = kInf;
+}
+
+// Fixed category for `attribute` on a constraint chain, -1 if free.
+int32_t LookupCategory(const std::vector<FlatBatchConstraint>& arena,
+                       int32_t head, int32_t attribute) {
+  for (int32_t c = head; c >= 0;
+       c = arena[static_cast<size_t>(c)].parent) {
+    const FlatBatchConstraint& rec = arena[static_cast<size_t>(c)];
+    if (rec.attribute == attribute) return rec.category;
+  }
+  return -1;
+}
+
+// Regroups the frontier (all items on one BFS level, whose node ids are
+// contiguous by construction of FlattenTree) into bs->sorted by node id —
+// a counting sort over the level's id range. Grouping turns the dispatch
+// switch of the processing loop into long same-kind runs (effectively
+// branch-free) and makes the node-record loads stride-1.
+void GroupFrontierByNode(FlatBatchScratch* bs) {
+  const std::vector<FlatBatchItem>& frontier = bs->frontier;
+  int32_t min_id = frontier[0].node;
+  int32_t max_id = frontier[0].node;
+  for (const FlatBatchItem& item : frontier) {
+    min_id = std::min(min_id, item.node);
+    max_id = std::max(max_id, item.node);
+  }
+  const size_t width = static_cast<size_t>(max_id - min_id) + 1;
+  std::vector<int32_t>& offsets = bs->group_offsets;
+  offsets.assign(width + 1, 0);
+  for (const FlatBatchItem& item : frontier) {
+    ++offsets[static_cast<size_t>(item.node - min_id) + 1];
+  }
+  for (size_t g = 1; g <= width; ++g) offsets[g] += offsets[g - 1];
+  bs->sorted.resize(frontier.size());
+  for (const FlatBatchItem& item : frontier) {
+    const size_t slot = static_cast<size_t>(
+        offsets[static_cast<size_t>(item.node - min_id)]++);
+    bs->sorted[slot] = item;
+  }
+}
+
+// How far ahead of the processing cursor to issue prefetches. The
+// per-item work (a couple of branchless binary searches) comfortably
+// covers an L2 latency at this distance.
+constexpr size_t kPrefetchAhead = 8;
+
 }  // namespace
 
 void ClassifyFlat(const FlatTree& flat, const UncertainTuple& tuple,
@@ -198,7 +351,7 @@ void ClassifyFlat(const FlatTree& flat, const UncertainTuple& tuple,
   scratch->hi.assign(k, kInf);
   scratch->category.assign(k, -1);
   std::fill(out, out + flat.num_classes, 0.0);
-  PropagateFlat(flat, tuple, 0, 1.0, scratch, out);
+  PropagateFlat(flat, tuple, scratch, out);
   Renormalise(flat.num_classes, out);
 }
 
@@ -255,6 +408,238 @@ void ClassifyFlatMeans(const FlatTree& flat, const UncertainTuple& tuple,
     }
   }
   Renormalise(flat.num_classes, out);
+}
+
+// ----------------------------------------------------- batch kernels
+//
+// Level-synchronous traversal: instead of finishing one tuple's tree walk
+// before starting the next, a frontier of (tuple, node, weight,
+// constraint-chain) work items advances one BFS level per round. Every
+// round groups the frontier by node id (counting sort over the level's
+// contiguous id range), then streams through the groups — same node
+// record, same dispatch arm, prefetched tuple data — so the memory system
+// sees long regular runs instead of per-tuple pointer chases. Fragments
+// that reach leaves are not accumulated on the spot (frontier order is
+// level order, not DFS order); they are collected as (tuple, DFS rank,
+// leaf, weight) hits and replayed per tuple in rank order, which is
+// precisely the scalar kernel's accumulation order. Identical per-split
+// arithmetic (shared with the scalar path via pdf/pdf_kernels.h) plus
+// identical accumulation order gives output bitwise-identical to n
+// ClassifyFlat calls — pinned by tests/batch_traversal_test.cc.
+//
+// Memory note: the frontier and hit buffers scale with the total number
+// of live fragments in the block, where the scalar path only ever holds
+// one root-leaf chain. For real trees fragments per tuple are modest; the
+// buffers retain capacity across calls.
+
+void ClassifyFlatBatch(const FlatTree& flat,
+                       const UncertainTuple* const* tuples,
+                       double* const* rows, size_t n,
+                       FlatTraversalScratch* scratch) {
+  UDT_CHECK(n <= static_cast<size_t>(
+                     std::numeric_limits<int32_t>::max()));
+  FlatBatchScratch& bs = scratch->batch;
+  const std::vector<int32_t>& ranks = DfsRanksFor(flat, &bs);
+
+  bs.frontier.clear();
+  bs.constraints.clear();
+  bs.hits.clear();
+  bs.frontier.reserve(n);
+  for (size_t t = 0; t < n; ++t) {
+    bs.frontier.push_back({static_cast<int32_t>(t), 0, -1, 1.0});
+  }
+
+  while (!bs.frontier.empty()) {
+    GroupFrontierByNode(&bs);
+    bs.frontier.clear();
+    const std::vector<FlatBatchItem>& level = bs.sorted;
+    for (size_t idx = 0; idx < level.size(); ++idx) {
+      if (idx + kPrefetchAhead < level.size()) {
+        const FlatBatchItem& pf = level[idx + kPrefetchAhead];
+        UDT_PREFETCH(tuples[pf.tuple]);
+        if (flat.node_kind(pf.node) == FlatNodeKind::kLeaf) {
+          UDT_PREFETCH(flat.leaf_values.data() +
+                       flat.first[static_cast<size_t>(pf.node)]);
+        }
+      }
+      const FlatBatchItem item = level[idx];
+      const size_t i = static_cast<size_t>(item.node);
+      const FlatNodeKind kind = flat.node_kind(item.node);
+      if (kind == FlatNodeKind::kLeaf) {
+        bs.hits.push_back({item.tuple, ranks[i], flat.first[i], item.weight});
+        continue;
+      }
+
+      const int32_t attribute = flat.attribute[i];
+      const size_t j = static_cast<size_t>(attribute);
+      const UncertainTuple& tuple = *tuples[item.tuple];
+      if (kind == FlatNodeKind::kCategorical) {
+        const CategoricalPdf& dist = tuple.values[j].categorical();
+        const int32_t* children = flat.child_table.data() + flat.first[i];
+        const int32_t fixed =
+            LookupCategory(bs.constraints, item.constraint, attribute);
+        if (fixed >= 0) {
+          const int32_t child = children[fixed];
+          UDT_DCHECK(child >= 0);
+          bs.frontier.push_back(
+              {item.tuple, child, item.constraint, item.weight});
+          continue;
+        }
+        for (int32_t v = 0; v < flat.num_children[i]; ++v) {
+          const double p = dist.probability(v);
+          if (p <= 0.0 || children[v] < 0) continue;
+          const double w = item.weight * p;
+          // The scalar path lets the child visit's entry guard drop the
+          // fragment; dropping it at push time is the same observable
+          // behaviour without a dead work item.
+          if (w < kMinFractionWeight) continue;
+          const int32_t rec = static_cast<int32_t>(bs.constraints.size());
+          bs.constraints.push_back(
+              {item.constraint, attribute, v, -kInf, kInf});
+          bs.frontier.push_back({item.tuple, children[v], rec, w});
+        }
+        continue;
+      }
+
+      double lo;
+      double hi;
+      LookupNumericalBounds(bs.constraints, item.constraint, attribute, &lo,
+                            &hi);
+      const SampledPdf& pdf = tuple.values[j].pdf();
+      // One fused lockstep evaluation yields both the constrained mass and
+      // p_left of the scalar path's ConstrainedMass + ConditionalCdf pair,
+      // bit for bit (see pdf/pdf_kernels.h).
+      const PdfSplitEval eval =
+          PdfEvalNumericalSplit(pdf, lo, hi, flat.split_point[i]);
+      if (eval.mass <= 0.0) continue;
+      const double w_left = item.weight * eval.p_left;
+      if (w_left >= kMinFractionWeight) {
+        const int32_t rec = static_cast<int32_t>(bs.constraints.size());
+        bs.constraints.push_back({item.constraint, attribute, -1, lo,
+                                  std::min(hi, flat.split_point[i])});
+        bs.frontier.push_back({item.tuple, flat.first[i], rec, w_left});
+      }
+      const double w_right = item.weight - w_left;
+      if (w_right >= kMinFractionWeight) {
+        const int32_t rec = static_cast<int32_t>(bs.constraints.size());
+        bs.constraints.push_back({item.constraint, attribute, -1,
+                                  std::max(lo, flat.split_point[i]), hi});
+        bs.frontier.push_back({item.tuple, flat.first[i] + 1, rec, w_right});
+      }
+    }
+  }
+
+  // Replay the deferred leaf hits in the scalar accumulation order: per
+  // tuple, ascending DFS rank. A tuple never holds two fragments on the
+  // same node (fragments split onto distinct children), so (tuple, rank)
+  // is a strict key and the sort is fully deterministic.
+  std::sort(bs.hits.begin(), bs.hits.end(),
+            [](const FlatLeafHit& a, const FlatLeafHit& b) {
+              return a.tuple != b.tuple ? a.tuple < b.tuple : a.rank < b.rank;
+            });
+  const int k = flat.num_classes;
+  for (size_t t = 0; t < n; ++t) std::fill(rows[t], rows[t] + k, 0.0);
+  for (const FlatLeafHit& hit : bs.hits) {
+    double* row = rows[hit.tuple];
+    const double* dist = flat.leaf_values.data() + hit.leaf_offset;
+    for (int c = 0; c < k; ++c) row[c] += hit.weight * dist[c];
+  }
+  for (size_t t = 0; t < n; ++t) Renormalise(k, rows[t]);
+}
+
+void ClassifyFlatMeansBatch(const FlatTree& flat,
+                            const UncertainTuple* const* tuples,
+                            double* const* rows, size_t n,
+                            FlatTraversalScratch* scratch) {
+  UDT_CHECK(n <= static_cast<size_t>(
+                     std::numeric_limits<int32_t>::max()));
+  FlatBatchScratch& bs = scratch->batch;
+  const int k = flat.num_classes;
+
+  // Reduce every tuple to its means up front (block-major), exactly the
+  // per-attribute reduction of ClassifyFlatMeans; tuples are independent,
+  // so computing them batch-first changes nothing.
+  const size_t attrs = n > 0 ? tuples[0]->values.size() : 0;
+  bs.mean_values.assign(n * attrs, 0.0);
+  bs.mean_categories.assign(n * attrs, -1);
+  for (size_t t = 0; t < n; ++t) {
+    const UncertainTuple& tuple = *tuples[t];
+    UDT_DCHECK(tuple.values.size() == attrs);
+    for (size_t j = 0; j < attrs; ++j) {
+      const UncertainValue& v = tuple.values[j];
+      if (v.is_numerical()) {
+        bs.mean_values[t * attrs + j] = v.pdf().Mean();
+      } else {
+        bs.mean_categories[t * attrs + j] =
+            v.categorical().MostLikely();
+      }
+    }
+  }
+
+  for (size_t t = 0; t < n; ++t) std::fill(rows[t], rows[t] + k, 0.0);
+
+  // Lockstep single-path walks: each round advances every live tuple one
+  // level, compacting finished walkers out in place. Unlike the full UDT
+  // kernel there is no grouping pass — a means walk never fragments, so a
+  // per-round counting sort would cost more than the one-node advance it
+  // organises (measured 2-6x slower than the scalar walk); the dense
+  // sweep with prefetch already exposes the memory-level parallelism
+  // across tuples. Weight and constraint fields of the items are unused —
+  // a means walk carries weight exactly 1.0 and needs no path
+  // constraints. Each tuple accumulates at most one leaf, so no rank
+  // replay is needed; a tuple whose walk breaks on an absent categorical
+  // child accumulates nothing and falls back to the uniform distribution
+  // in Renormalise, as in the scalar kernel.
+  bs.frontier.clear();
+  bs.frontier.reserve(n);
+  for (size_t t = 0; t < n; ++t) {
+    bs.frontier.push_back({static_cast<int32_t>(t), 0, -1, 1.0});
+  }
+  size_t live = bs.frontier.size();
+  while (live > 0) {
+    size_t out = 0;
+    for (size_t idx = 0; idx < live; ++idx) {
+      if (idx + kPrefetchAhead < live) {
+        const FlatBatchItem& pf = bs.frontier[idx + kPrefetchAhead];
+        if (flat.node_kind(pf.node) == FlatNodeKind::kLeaf) {
+          UDT_PREFETCH(flat.leaf_values.data() +
+                       flat.first[static_cast<size_t>(pf.node)]);
+        }
+      }
+      const FlatBatchItem item = bs.frontier[idx];
+      const size_t i = static_cast<size_t>(item.node);
+      const FlatNodeKind kind = flat.node_kind(item.node);
+      if (kind == FlatNodeKind::kLeaf) {
+        double* row = rows[item.tuple];
+        const double* dist = flat.leaf_values.data() + flat.first[i];
+        for (int c = 0; c < k; ++c) row[c] += 1.0 * dist[c];
+        continue;
+      }
+      const size_t j = static_cast<size_t>(flat.attribute[i]);
+      const size_t mean_index = static_cast<size_t>(item.tuple) * attrs + j;
+      int32_t next;
+      if (kind == FlatNodeKind::kCategorical) {
+        // Same out-of-arity bounds check as the scalar kernel: a
+        // most-likely category beyond the node's child table behaves like
+        // an absent child.
+        const int32_t cat = bs.mean_categories[mean_index];
+        next = cat < flat.num_children[i]
+                   ? flat.child_table[static_cast<size_t>(flat.first[i]) +
+                                      static_cast<size_t>(cat)]
+                   : -1;
+        if (next < 0) continue;
+      } else {
+        next = bs.mean_values[mean_index] <= flat.split_point[i]
+                   ? flat.first[i]
+                   : flat.first[i] + 1;
+      }
+      // out <= idx always, so the in-place compaction never overtakes
+      // the read cursor.
+      bs.frontier[out++] = {item.tuple, next, -1, 1.0};
+    }
+    live = out;
+  }
+  for (size_t t = 0; t < n; ++t) Renormalise(k, rows[t]);
 }
 
 }  // namespace udt

@@ -13,6 +13,7 @@
 #ifndef UDT_TREE_FLAT_TREE_H_
 #define UDT_TREE_FLAT_TREE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -70,6 +71,84 @@ struct FlatTree {
 // to the source tree through the kernels below.
 FlatTree FlattenTree(const DecisionTree& tree);
 
+// One deferred operation of the scalar traversal's explicit stack: visit a
+// node with a fractional weight, or set/restore one per-attribute path
+// constraint. The stack replays the former recursion's statement order
+// exactly, but with O(depth) heap instead of O(depth) machine stack — deep
+// degenerate trees can no longer overflow the native stack.
+struct FlatTraversalOp {
+  enum Kind : uint8_t { kVisit = 0, kSetLo = 1, kSetHi = 2, kSetCategory = 3 };
+  uint8_t kind;
+  int32_t node_or_attribute;  // node id for kVisit, attribute otherwise
+  int32_t category;           // kSetCategory payload
+  double value;               // weight for kVisit, bound for kSetLo/kSetHi
+};
+
+// ----------------------------------------------------- batch work items
+// State of the level-synchronous batch kernel (ClassifyFlatBatch below).
+// All per-item path state is explicit data: a frontier of (tuple, node,
+// weight, constraint-chain) work items advances one tree level at a time.
+
+// One in-flight tuple fragment of the batch frontier.
+struct FlatBatchItem {
+  int32_t tuple;       // index into the batch block
+  int32_t node;        // node the fragment sits on
+  int32_t constraint;  // head of its constraint chain, -1 for none
+  double weight;       // fractional mass carried by the fragment
+};
+
+// Path-copied constraint record. Each descent appends one record holding
+// the attribute's fully-updated bounds (or fixed category), so a lookup
+// only needs the nearest record for that attribute; chains share ancestor
+// records structurally (an arena of records, never freed mid-batch).
+struct FlatBatchConstraint {
+  int32_t parent;     // previous record on the path, -1 terminates
+  int32_t attribute;  // attribute this record constrains
+  int32_t category;   // fixed category; -1 for numerical records
+  double lo;          // numerical (lo, hi] interval
+  double hi;
+};
+
+// A fragment that reached a leaf. Accumulation is deferred and replayed in
+// DFS-preorder rank order per tuple, which is exactly the order the scalar
+// depth-first traversal adds leaf distributions — the float-summation
+// order that makes the batch kernel bitwise-identical to the scalar one.
+struct FlatLeafHit {
+  int32_t tuple;
+  int32_t rank;         // DFS-preorder rank of the leaf node
+  int32_t leaf_offset;  // offset of its distribution in leaf_values
+  double weight;
+};
+
+// Reusable buffers of the batch kernels. Lifetime contract for the rank
+// cache: every distinct FlatTree pointer classified through one scratch
+// must stay alive (and unmoved) for the scratch's lifetime — true for
+// sessions, which co-own their compiled artifact; direct kernel callers
+// juggling short-lived trees should use a fresh scratch per tree.
+struct FlatBatchScratch {
+  std::vector<FlatBatchItem> frontier;
+  std::vector<FlatBatchItem> sorted;  // frontier grouped by node id
+  std::vector<int32_t> group_offsets;
+  std::vector<FlatBatchConstraint> constraints;
+  std::vector<FlatLeafHit> hits;
+
+  // Shard-local gather buffers the sessions use to assemble the kernels'
+  // pointer-array arguments without per-call allocation.
+  std::vector<const UncertainTuple*> tuple_ptrs;
+  std::vector<double*> row_ptrs;
+
+  // Batch means cache for the averaging fast path (block-major).
+  std::vector<double> mean_values;
+  std::vector<int32_t> mean_categories;
+
+  // DFS-preorder node ranks, one entry per tree seen by this scratch.
+  struct RankCacheEntry {
+    const FlatTree* tree;
+    std::vector<int32_t> ranks;
+  };
+  std::vector<RankCacheEntry> rank_cache;
+};
+
 // Reusable per-worker traversal state. One instance supports any number of
 // sequential Classify* calls; after the first call on a given tree/schema
 // shape the kernels perform no heap allocation (all buffers retain their
@@ -78,14 +157,20 @@ struct FlatTraversalScratch {
   // Per-attribute path constraints, identical to classify.cc's
   // TraversalState: the tuple's pdf conditioned to (lo, hi] per numerical
   // attribute, fixed category per categorical attribute. The fractional
-  // masses themselves ride the machine stack of the traversal recursion.
+  // masses ride the explicit op stack below (not the machine stack).
   std::vector<double> lo;
   std::vector<double> hi;
   std::vector<int> category;
 
+  // The scalar traversal's explicit operation stack.
+  std::vector<FlatTraversalOp> ops;
+
   // Means cache for the averaging fast path.
   std::vector<double> mean_value;
   std::vector<int> mean_category;
+
+  // Level-synchronous batch kernel state.
+  FlatBatchScratch batch;
 };
 
 // Full distribution-based classification (UDT traversal, Section 3.2) over
@@ -101,6 +186,25 @@ void ClassifyFlat(const FlatTree& flat, const UncertainTuple& tuple,
 // TupleToMeans(tuple)).
 void ClassifyFlatMeans(const FlatTree& flat, const UncertainTuple& tuple,
                        FlatTraversalScratch* scratch, double* out);
+
+// Level-synchronous batch form of ClassifyFlat: classifies tuples[0..n)
+// in one traversal whose frontier advances level by level, grouped by
+// node for branch-free dispatch and prefetching. Writes tuple t's
+// normalised distribution into rows[t][0..num_classes). The output is
+// bitwise-identical to n sequential ClassifyFlat calls (deferred leaf
+// hits are replayed in the scalar DFS accumulation order); pinned by
+// tests/batch_traversal_test.cc.
+void ClassifyFlatBatch(const FlatTree& flat,
+                       const UncertainTuple* const* tuples,
+                       double* const* rows, size_t n,
+                       FlatTraversalScratch* scratch);
+
+// Batch form of ClassifyFlatMeans: lockstep single-path walks, one per
+// tuple. Bitwise-identical to n sequential ClassifyFlatMeans calls.
+void ClassifyFlatMeansBatch(const FlatTree& flat,
+                            const UncertainTuple* const* tuples,
+                            double* const* rows, size_t n,
+                            FlatTraversalScratch* scratch);
 
 }  // namespace udt
 

@@ -92,6 +92,42 @@ TEST(DownsampleTest, RejectsBadS) {
   EXPECT_FALSE(DownsamplePdf(pdf, 0).ok());
 }
 
+TEST(DownsampleTest, SubnormalWidthSupportSurvives) {
+  // Support width of a few denormal ulps: the per-cell boundary arithmetic
+  // operates entirely in the rounding regime the old `DCHECK(cell > 0)`
+  // assumed away in Release builds. The result must still be a valid pdf
+  // conserving mass and mean (a true zero-width cell collapses to the
+  // single mass-weighted point instead of tripping undefined behaviour).
+  constexpr double kUlp = 4.9406564584124654e-324;  // min denormal
+  auto pdf = SampledPdf::Create({0.0, kUlp, 2 * kUlp, 3 * kUlp},
+                                {0.25, 0.25, 0.25, 0.25});
+  ASSERT_TRUE(pdf.ok());
+  auto small = DownsamplePdf(*pdf, 2);
+  ASSERT_TRUE(small.ok());
+  EXPECT_GE(small->num_points(), 1);
+  EXPECT_LE(small->num_points(), 2);
+  double total = 0.0;
+  for (int i = 0; i < small->num_points(); ++i) total += small->mass(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(DownsampleTest, TightClusterAtHugeMagnitudeSurvives) {
+  // Points one ulp apart at 1e300: cell width underflows relative to the
+  // support location, stressing the `lo + (c+1) * cell` boundary walk.
+  const double base = 1e300;
+  const double u1 = std::nextafter(base, 1e301);
+  const double u2 = std::nextafter(u1, 1e301);
+  auto pdf = SampledPdf::Create({base, u1, u2}, {0.5, 0.25, 0.25});
+  ASSERT_TRUE(pdf.ok());
+  auto small = DownsamplePdf(*pdf, 2);
+  ASSERT_TRUE(small.ok());
+  EXPECT_GE(small->num_points(), 1);
+  double total = 0.0;
+  for (int i = 0; i < small->num_points(); ++i) total += small->mass(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(small->Mean() / base, pdf->Mean() / base, 1e-12);
+}
+
 TEST(ConvolveTest, PointMassesAdd) {
   auto a = SampledPdf::PointMass(2.0);
   auto b = SampledPdf::PointMass(3.0);
