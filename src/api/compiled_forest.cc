@@ -117,9 +117,8 @@ StatusOr<CompiledForest> CompiledForest::Deserialize(const std::string& text) {
   std::vector<FlatTree> trees;
   trees.reserve(static_cast<size_t>(*num_trees));
   for (int t = 0; t < *num_trees; ++t) {
-    UDT_ASSIGN_OR_RETURN(
-        FlatTree tree,
-        ReadFlatTreeBody(in, schema.num_classes(), kContext));
+    UDT_ASSIGN_OR_RETURN(FlatTree tree,
+                         ReadFlatTreeBody(&reader, schema.num_classes()));
     UDT_RETURN_NOT_OK(ValidateFlatTree(tree, schema, kContext));
     trees.push_back(std::move(tree));
   }

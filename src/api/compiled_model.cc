@@ -74,7 +74,7 @@ StatusOr<CompiledModel> CompiledModel::Deserialize(const std::string& text) {
 
   UDT_ASSIGN_OR_RETURN(Schema schema, ReadSchemaBlock(&reader));
   UDT_ASSIGN_OR_RETURN(FlatTree flat,
-                       ReadFlatTreeBody(in, schema.num_classes(), kContext));
+                       ReadFlatTreeBody(&reader, schema.num_classes()));
   UDT_RETURN_NOT_OK(ValidateFlatTree(flat, schema, kContext));
   auto rep =
       std::make_shared<Rep>(Rep{std::move(schema), kind, std::move(flat)});

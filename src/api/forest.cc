@@ -362,4 +362,13 @@ StatusOr<ForestModel> ForestTrainer::Train(const Dataset& train,
   return forest;
 }
 
+StatusOr<ForestModel> ForestTrainer::TrainFromStorage(
+    PdfStorage* storage, ModelKind kind, const StorageBudget& budget,
+    OobEstimate* oob, BuildStats* stats) const {
+  // One pooled materialisation feeds every tree: the bags reweight the
+  // shared working set per tree, they never duplicate it.
+  UDT_ASSIGN_OR_RETURN(Dataset train, MaterializeDataset(storage, budget));
+  return Train(train, kind, oob, stats);
+}
+
 }  // namespace udt

@@ -221,6 +221,16 @@ class ForestTrainer {
     return Train(train, ModelKind::kAveraging, oob, stats);
   }
 
+  // Trains from a storage backend (storage/pdf_storage.h): one pooled,
+  // budget-checked materialisation — chunk-streamed, dictionary-shared pdf
+  // instances — feeds every tree of the ensemble; the bootstrap bags
+  // reweight that shared working set instead of duplicating it. See
+  // Trainer::TrainFromStorage for the single-tree counterpart.
+  StatusOr<ForestModel> TrainFromStorage(PdfStorage* storage, ModelKind kind,
+                                         const StorageBudget& budget = {},
+                                         OobEstimate* oob = nullptr,
+                                         BuildStats* stats = nullptr) const;
+
  private:
   ForestConfig config_;
 };

@@ -1,5 +1,7 @@
 #include "api/trainer.h"
 
+#include <utility>
+
 namespace udt {
 
 StatusOr<Model> Trainer::Train(const Dataset& train, ModelKind kind,
@@ -18,6 +20,13 @@ StatusOr<Model> Trainer::Train(const Dataset& train, ModelKind kind,
   TreeBuilder builder(config_);
   UDT_ASSIGN_OR_RETURN(DecisionTree tree, builder.Build(train, stats));
   return Model::FromTree(std::move(tree), kind, config_);
+}
+
+StatusOr<Model> Trainer::TrainFromStorage(PdfStorage* storage, ModelKind kind,
+                                          const StorageBudget& budget,
+                                          BuildStats* stats) const {
+  UDT_ASSIGN_OR_RETURN(Dataset train, MaterializeDataset(storage, budget));
+  return Train(train, kind, stats);
 }
 
 }  // namespace udt

@@ -12,6 +12,7 @@
 #include "common/statusor.h"
 #include "core/builder.h"
 #include "core/config.h"
+#include "storage/pdf_storage.h"
 #include "table/dataset.h"
 
 namespace udt {
@@ -52,6 +53,17 @@ class Trainer {
                                  BuildStats* stats = nullptr) const {
     return Train(train, ModelKind::kAveraging, stats);
   }
+
+  // Trains from a storage backend (storage/pdf_storage.h): streams the
+  // backend's chunks into a pooled in-memory working set — tuples decoded
+  // from the same dictionary entry share one pdf instance — enforcing
+  // `budget` against the pooled footprint after every chunk, then trains
+  // exactly like Train. A "udt-dataset v1" file whose exact decoded size
+  // dwarfs the budget still trains as long as its distinct distributions
+  // fit (the out-of-core path; see storage/dataset_file.h).
+  StatusOr<Model> TrainFromStorage(PdfStorage* storage, ModelKind kind,
+                                   const StorageBudget& budget = {},
+                                   BuildStats* stats = nullptr) const;
 
  private:
   TreeConfig config_;

@@ -105,6 +105,13 @@ int SampledPdf::FirstPointAbove(double z) const {
   return static_cast<int>(it - points_.begin());
 }
 
+size_t SampledPdf::MemoryUsageBytes() const {
+  // Capacities, not sizes: the allocator handed out the capacity.
+  return sizeof(SampledPdf) +
+         sizeof(double) *
+             (points_.capacity() + masses_.capacity() + cumulative_.capacity());
+}
+
 std::string SampledPdf::ToString() const {
   std::string out = "{";
   for (size_t i = 0; i < points_.size(); ++i) {

@@ -79,6 +79,11 @@ class SampledPdf {
   // Human-readable one-line summary, e.g. "{-1:0.625, 1:0.125, 10:0.25}".
   std::string ToString() const;
 
+  // Heap + struct footprint of this pdf: sizeof(SampledPdf) plus the three
+  // sample arrays' allocations. The storage tier's memory accounting
+  // (table/dataset.h MemoryBreakdown) sums this per distinct instance.
+  size_t MemoryUsageBytes() const;
+
  private:
   SampledPdf(std::vector<double> points, std::vector<double> masses,
              std::vector<double> cumulative, double mean)

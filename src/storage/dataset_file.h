@@ -1,0 +1,142 @@
+// The "udt-dataset v1" on-disk container: a columnar, quantized uncertain
+// data set laid out for chunk-streamed reading. Like every udt container
+// it is line-oriented text with hexfloat doubles (grids round-trip
+// bitwise) and a versioned magic line; the schema block is the shared
+// table/schema_io one.
+//
+// Layout:
+//
+//   udt-dataset v1
+//   quantized bins <B> chunk <C>
+//   tuples <N>
+//   source bytes <S>                  (exact decoded footprint of the source)
+//   <schema block>                    (classes + attributes)
+//   columns <K>
+//   per numerical attribute j:
+//     column <j> num grid <G> dict <D>
+//     g <hexfloat> x G                (one line: the shared grid)
+//     d <u16> x G                     (D lines: the dictionary entries)
+//   per categorical attribute j:
+//     column <j> cat width <W> dict <D>
+//     d <u16> x W                     (D lines)
+//   chunks <M>                        (M = ceil(N / C))
+//   per chunk i:
+//     chunk <i> tuples <n>
+//     l <label> x n                   (one line)
+//     c <j> <u32 id> x n              (one line per attribute, ascending j)
+//   end
+//
+// Everything before `chunks` is the resident part: grids and dictionaries
+// load once and stay in memory; the per-chunk id rows stream. That is what
+// makes the reader out-of-core — its resident footprint is the dictionary
+// footprint, independent of N.
+
+#ifndef UDT_STORAGE_DATASET_FILE_H_
+#define UDT_STORAGE_DATASET_FILE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+#include "storage/pdf_storage.h"
+#include "storage/quantized_dataset.h"
+#include "table/schema_io.h"
+
+namespace udt {
+
+// Writes `data` as a "udt-dataset v1" container. `source_decoded_bytes`
+// records the exact (unshared) footprint the source data set would occupy
+// decoded — the figure out-of-core demos compare their budget against.
+Status WriteDatasetFile(const QuantizedDataset& data,
+                        size_t source_decoded_bytes, const std::string& path);
+
+// What ConvertDatasetToFile measured while writing.
+struct DatasetFileStats {
+  int64_t num_tuples = 0;
+  int64_t dictionary_entries = 0;
+  double dictionary_hit_rate = 0.0;
+  // Exact decoded footprint of the source (unshared accounting).
+  size_t source_decoded_bytes = 0;
+  // Resident footprint of the quantized representation.
+  size_t quantized_bytes = 0;
+  // Bytes of the container on disk.
+  size_t file_bytes = 0;
+};
+
+// Quantizes `source` under `options` and writes it to `path`.
+StatusOr<DatasetFileStats> ConvertDatasetToFile(
+    const Dataset& source, const std::string& path,
+    const QuantizationOptions& options = {});
+
+// Chunk-streaming reader over a "udt-dataset v1" file. Open parses the
+// resident part (header, schema, grids, dictionaries) and stops at the
+// first chunk; AppendChunk then decodes one chunk at a time, in ascending
+// order, sharing decoded pdf instances across chunks (and across passes —
+// Rewind seeks back to the first chunk without dropping the decode
+// caches). Parse errors carry the absolute 1-based line number.
+class DatasetReader final : public PdfStorage {
+ public:
+  static StatusOr<DatasetReader> Open(const std::string& path);
+
+  DatasetReader(DatasetReader&&) = default;
+  DatasetReader& operator=(DatasetReader&&) = default;
+
+  // ---------------------------------------------------------- PdfStorage
+
+  const Schema& schema() const override { return schema_; }
+  int64_t num_tuples() const override { return num_tuples_; }
+  int64_t num_chunks() const override { return num_chunks_; }
+  // Streaming: `chunk` must be exactly the next unread chunk (0, 1, ...).
+  // Reading the final chunk also consumes and checks the `end` sentinel,
+  // so a truncated file fails on its last chunk, not silently.
+  Status AppendChunk(int64_t chunk, Dataset* out) override;
+  // Grids + dictionaries — the only per-data parts held resident; the id
+  // rows stream through the chunk buffer and are not retained.
+  size_t MemoryUsageBytes() const override;
+
+  // ------------------------------------------------------- introspection
+
+  int bins() const { return bins_; }
+  int chunk_tuples() const { return chunk_tuples_; }
+  // The header's record of the source's exact decoded footprint.
+  size_t source_decoded_bytes() const { return source_decoded_bytes_; }
+  int64_t dictionary_entries() const;
+
+  // Seeks back to the first chunk for another streaming pass. The decode
+  // caches survive, so a second pass reuses every already-decoded pdf.
+  Status Rewind();
+
+ private:
+  struct Column {
+    AttributeKind kind = AttributeKind::kNumerical;
+    int width = 0;
+    AttributeGrid grid;  // numerical only
+    PdfDictionary dict;
+    DecodedPdfCache cache;  // numerical only
+  };
+
+  explicit DatasetReader(Schema schema) : schema_(std::move(schema)) {}
+
+  // The stream and reader live behind pointers so the reader type stays
+  // movable (LineReader holds an istream reference).
+  std::unique_ptr<std::ifstream> in_;
+  std::unique_ptr<LineReader> reader_;
+  Schema schema_;
+  std::vector<Column> columns_;
+  int bins_ = 0;
+  int chunk_tuples_ = 0;
+  int64_t num_tuples_ = 0;
+  int64_t num_chunks_ = 0;
+  size_t source_decoded_bytes_ = 0;
+  int64_t next_chunk_ = 0;
+  std::streampos chunks_pos_;  // stream position of the first chunk line
+  int chunks_line_ = 0;        // line count at that position
+};
+
+}  // namespace udt
+
+#endif  // UDT_STORAGE_DATASET_FILE_H_

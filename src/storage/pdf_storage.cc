@@ -1,0 +1,66 @@
+#include "storage/pdf_storage.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "table/schema_io.h"
+
+namespace udt {
+
+ExactPdfStorage::ExactPdfStorage(const Dataset* source, int64_t chunk_tuples)
+    : source_(source), chunk_tuples_(chunk_tuples) {
+  UDT_CHECK(source_ != nullptr);
+  UDT_CHECK(chunk_tuples_ >= 1);
+}
+
+int64_t ExactPdfStorage::num_chunks() const {
+  return (num_tuples() + chunk_tuples_ - 1) / chunk_tuples_;
+}
+
+Status ExactPdfStorage::AppendChunk(int64_t chunk, Dataset* out) {
+  if (chunk < 0 || chunk >= num_chunks()) {
+    return Status::InvalidArgument(
+        StrFormat("chunk %lld out of range (storage holds %lld)",
+                  static_cast<long long>(chunk),
+                  static_cast<long long>(num_chunks())));
+  }
+  if (!SchemaEquals(out->schema(), schema())) {
+    return Status::InvalidArgument(
+        "destination schema does not match the storage schema");
+  }
+  const int64_t begin = chunk * chunk_tuples_;
+  const int64_t end =
+      std::min<int64_t>(begin + chunk_tuples_, num_tuples());
+  for (int64_t i = begin; i < end; ++i) {
+    // A tuple copy shares the pdf instances behind the value handles.
+    UDT_RETURN_NOT_OK(out->AddTuple(source_->tuple(static_cast<int>(i))));
+  }
+  return Status::OK();
+}
+
+StatusOr<Dataset> MaterializeDataset(PdfStorage* storage,
+                                     const StorageBudget& budget) {
+  UDT_CHECK(storage != nullptr);
+  Dataset out(storage->schema());
+  const int64_t chunks = storage->num_chunks();
+  for (int64_t c = 0; c < chunks; ++c) {
+    UDT_RETURN_NOT_OK(storage->AppendChunk(c, &out));
+    if (budget.max_materialized_bytes > 0) {
+      const size_t used = out.MemoryUsageBytes();
+      if (used > budget.max_materialized_bytes) {
+        return Status::OutOfRange(StrFormat(
+            "materialised working set exceeds the memory budget after chunk "
+            "%lld of %lld: %zu > %zu bytes",
+            static_cast<long long>(c + 1), static_cast<long long>(chunks),
+            used, budget.max_materialized_bytes));
+      }
+    }
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("storage holds no tuples");
+  }
+  return out;
+}
+
+}  // namespace udt

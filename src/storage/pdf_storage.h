@@ -1,0 +1,90 @@
+// PdfStorage: the seam between how uncertain tuples are *stored* and how
+// the trainers consume them. A storage backend exposes its tuples as
+// decodable chunks; MaterializeDataset streams every chunk into one
+// in-memory Dataset under a byte budget, and the result feeds the existing
+// Trainer/ForestTrainer unchanged — the split search and the kernels never
+// see the storage representation, only ordinary SampledPdfs.
+//
+// Backends:
+//   * ExactPdfStorage (here)            — a view over an in-memory Dataset,
+//     chunked; the identity baseline every quantized result is compared
+//     against.
+//   * QuantizedDataset (quantized_dataset.h) — columnar quantized form.
+//   * DatasetReader (dataset_file.h)    — the "udt-dataset v1" on-disk
+//     container, chunk-streamed so only grids + dictionaries stay resident.
+
+#ifndef UDT_STORAGE_PDF_STORAGE_H_
+#define UDT_STORAGE_PDF_STORAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/statusor.h"
+#include "table/dataset.h"
+
+namespace udt {
+
+// Memory ceiling for a training materialisation. The budget is enforced
+// against the *pooled* footprint (Dataset::MemoryUsageBytes, which counts
+// each shared pdf instance once) — the bytes the working set actually
+// occupies — so a source whose exact decoded size dwarfs the budget still
+// trains as long as its distinct distributions fit.
+struct StorageBudget {
+  // 0 = unlimited.
+  size_t max_materialized_bytes = 0;
+};
+
+// Abstract chunked source of uncertain tuples.
+class PdfStorage {
+ public:
+  virtual ~PdfStorage() = default;
+
+  virtual const Schema& schema() const = 0;
+  virtual int64_t num_tuples() const = 0;
+  virtual int64_t num_chunks() const = 0;
+
+  // Decodes chunk `chunk` (0-based) and appends its tuples to `out`, whose
+  // schema must match. Streaming backends may require ascending chunk
+  // order; all backends accept the 0..num_chunks()-1 sweep
+  // MaterializeDataset performs.
+  virtual Status AppendChunk(int64_t chunk, Dataset* out) = 0;
+
+  // Resident bytes of the storage representation itself (grids,
+  // dictionaries, id columns) — not of anything decoded from it.
+  virtual size_t MemoryUsageBytes() const = 0;
+};
+
+// The identity backend: a chunked view over an existing in-memory Dataset.
+// AppendChunk copies tuples by value, which shares the underlying pdf
+// instances (UncertainValue holds them behind shared handles), so
+// materialising through this backend costs tuple structs, not pdf payloads.
+class ExactPdfStorage final : public PdfStorage {
+ public:
+  // `source` must outlive the storage. `chunk_tuples` sets the streaming
+  // granularity.
+  explicit ExactPdfStorage(const Dataset* source, int64_t chunk_tuples = 1024);
+
+  const Schema& schema() const override { return source_->schema(); }
+  int64_t num_tuples() const override { return source_->num_tuples(); }
+  int64_t num_chunks() const override;
+  Status AppendChunk(int64_t chunk, Dataset* out) override;
+  size_t MemoryUsageBytes() const override {
+    return source_->MemoryUsageBytes();
+  }
+
+ private:
+  const Dataset* source_;
+  int64_t chunk_tuples_;
+};
+
+// Streams chunks 0..num_chunks()-1 of `storage` into one Dataset, checking
+// `budget` against the materialised footprint after every chunk, so an
+// oversized source fails at the first chunk that bursts the ceiling
+// instead of after decoding everything. Fails (OutOfRange) on a burst
+// budget and (InvalidArgument) on an empty source.
+StatusOr<Dataset> MaterializeDataset(PdfStorage* storage,
+                                     const StorageBudget& budget = {});
+
+}  // namespace udt
+
+#endif  // UDT_STORAGE_PDF_STORAGE_H_

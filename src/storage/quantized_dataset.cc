@@ -1,0 +1,180 @@
+#include "storage/quantized_dataset.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "table/schema_io.h"
+
+namespace udt {
+
+StatusOr<QuantizedDataset> QuantizedDataset::FromDataset(
+    const Dataset& source, const QuantizationOptions& options) {
+  UDT_RETURN_NOT_OK(options.Validate());
+  if (source.empty()) {
+    return Status::InvalidArgument("cannot quantize an empty data set");
+  }
+
+  QuantizedDataset result(source.schema(), options);
+  const int num_attributes = source.num_attributes();
+  const int num_tuples = source.num_tuples();
+  result.columns_.resize(static_cast<size_t>(num_attributes));
+  result.labels_.reserve(static_cast<size_t>(num_tuples));
+  for (int i = 0; i < num_tuples; ++i) {
+    result.labels_.push_back(source.tuple(i).label);
+  }
+
+  for (int j = 0; j < num_attributes; ++j) {
+    Column& column = result.columns_[static_cast<size_t>(j)];
+    const AttributeInfo& info = source.schema().attribute(j);
+    column.kind = info.kind;
+    column.ids.reserve(static_cast<size_t>(num_tuples));
+
+    if (info.kind == AttributeKind::kCategorical) {
+      column.width = info.num_categories;
+      column.dict = PdfDictionary(column.width);
+      std::vector<double> weights(static_cast<size_t>(column.width), 0.0);
+      for (int i = 0; i < num_tuples; ++i) {
+        const CategoricalPdf& pdf = source.tuple(i).values[
+            static_cast<size_t>(j)].categorical();
+        UDT_CHECK(pdf.num_categories() == column.width);
+        for (int c = 0; c < column.width; ++c) {
+          weights[static_cast<size_t>(c)] = pdf.probability(c);
+        }
+        const std::vector<uint16_t> fixed =
+            FixedPointMasses(weights.data(), column.width);
+        column.ids.push_back(column.dict.Intern(fixed.data()));
+      }
+      continue;
+    }
+
+    // Numerical: gather the distinct sample points, bailing to a uniform
+    // grid as soon as they outgrow the bin budget (the set stays bounded
+    // either way).
+    std::set<double> distinct;
+    bool exact = true;
+    for (int i = 0; i < num_tuples && exact; ++i) {
+      const SampledPdf& pdf =
+          source.tuple(i).values[static_cast<size_t>(j)].pdf();
+      for (int p = 0; p < pdf.num_points(); ++p) {
+        distinct.insert(pdf.point(p));
+        if (distinct.size() > static_cast<size_t>(options.bins)) {
+          exact = false;
+          break;
+        }
+      }
+    }
+    if (exact) {
+      UDT_ASSIGN_OR_RETURN(
+          column.grid,
+          AttributeGrid::FromSortedPoints(
+              std::vector<double>(distinct.begin(), distinct.end())));
+    } else {
+      const auto [lo, hi] = source.AttributeRange(j);
+      column.grid = AttributeGrid::Uniform(lo, hi, options.bins);
+    }
+    column.width = column.grid.num_points();
+    column.dict = PdfDictionary(column.width);
+    for (int i = 0; i < num_tuples; ++i) {
+      const std::vector<uint16_t> fixed = QuantizeToGrid(
+          source.tuple(i).values[static_cast<size_t>(j)].pdf(), column.grid);
+      column.ids.push_back(column.dict.Intern(fixed.data()));
+    }
+  }
+  return result;
+}
+
+int64_t QuantizedDataset::num_chunks() const {
+  const int64_t chunk = options_.chunk_tuples;
+  return (num_tuples() + chunk - 1) / chunk;
+}
+
+Status QuantizedDataset::AppendChunk(int64_t chunk, Dataset* out) {
+  if (chunk < 0 || chunk >= num_chunks()) {
+    return Status::InvalidArgument(
+        StrFormat("chunk %lld out of range (storage holds %lld)",
+                  static_cast<long long>(chunk),
+                  static_cast<long long>(num_chunks())));
+  }
+  const int64_t begin = chunk * options_.chunk_tuples;
+  const int64_t end =
+      std::min<int64_t>(begin + options_.chunk_tuples, num_tuples());
+  return AppendRange(begin, end, out);
+}
+
+Status QuantizedDataset::AppendRange(int64_t begin, int64_t end,
+                                     Dataset* out) {
+  if (begin < 0 || end > num_tuples() || begin > end) {
+    return Status::InvalidArgument("bad tuple range");
+  }
+  if (!SchemaEquals(out->schema(), schema_)) {
+    return Status::InvalidArgument(
+        "destination schema does not match the storage schema");
+  }
+  const int num_attributes = schema_.num_attributes();
+  for (int64_t i = begin; i < end; ++i) {
+    UncertainTuple tuple;
+    tuple.label = labels_[static_cast<size_t>(i)];
+    tuple.values.reserve(static_cast<size_t>(num_attributes));
+    for (int j = 0; j < num_attributes; ++j) {
+      Column& column = columns_[static_cast<size_t>(j)];
+      const uint32_t id = column.ids[static_cast<size_t>(i)];
+      if (column.kind == AttributeKind::kNumerical) {
+        UDT_ASSIGN_OR_RETURN(std::shared_ptr<const SampledPdf> pdf,
+                             column.cache.Get(column.grid, column.dict, id));
+        tuple.values.push_back(UncertainValue::NumericalShared(std::move(pdf)));
+      } else {
+        UDT_ASSIGN_OR_RETURN(
+            CategoricalPdf pdf,
+            DecodeCategorical(column.dict.entry(id), column.width));
+        tuple.values.push_back(UncertainValue::Categorical(std::move(pdf)));
+      }
+    }
+    UDT_RETURN_NOT_OK(out->AddTuple(std::move(tuple)));
+  }
+  return Status::OK();
+}
+
+size_t QuantizedDataset::MemoryUsageBytes() const {
+  size_t bytes = sizeof(QuantizedDataset) +
+                 sizeof(int32_t) * labels_.capacity();
+  for (const Column& column : columns_) {
+    bytes += column.grid.MemoryUsageBytes() + column.dict.MemoryUsageBytes() +
+             sizeof(uint32_t) * column.ids.capacity();
+  }
+  return bytes;
+}
+
+int64_t QuantizedDataset::dictionary_entries() const {
+  int64_t total = 0;
+  for (const Column& column : columns_) {
+    total += column.dict.num_entries();
+  }
+  return total;
+}
+
+double QuantizedDataset::dictionary_hit_rate() const {
+  const double values =
+      static_cast<double>(num_tuples()) * schema_.num_attributes();
+  if (values <= 0.0) return 0.0;
+  return 1.0 - static_cast<double>(dictionary_entries()) / values;
+}
+
+const AttributeGrid& QuantizedDataset::grid(int attribute) const {
+  const Column& column = columns_[static_cast<size_t>(attribute)];
+  UDT_CHECK(column.kind == AttributeKind::kNumerical);
+  return column.grid;
+}
+
+const PdfDictionary& QuantizedDataset::dictionary(int attribute) const {
+  return columns_[static_cast<size_t>(attribute)].dict;
+}
+
+const std::vector<uint32_t>& QuantizedDataset::column_ids(
+    int attribute) const {
+  return columns_[static_cast<size_t>(attribute)].ids;
+}
+
+}  // namespace udt

@@ -1,0 +1,91 @@
+// QuantizedDataset: the columnar, dictionary-compressed in-memory form of
+// an uncertain data set. Per attribute it holds one AttributeGrid (numeric
+// axis, stored once), one PdfDictionary of distinct quantized mass
+// vectors, and one uint32 dictionary id per tuple; labels are a flat int32
+// column. It is both the compression result (FromDataset) and a
+// PdfStorage backend, so the trainers can materialise straight from it —
+// and it is what the "udt-dataset v1" writer serialises
+// (storage/dataset_file.h).
+
+#ifndef UDT_STORAGE_QUANTIZED_DATASET_H_
+#define UDT_STORAGE_QUANTIZED_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "storage/pdf_storage.h"
+#include "storage/quantized_pdf.h"
+#include "table/dataset.h"
+
+namespace udt {
+
+class QuantizedDataset final : public PdfStorage {
+ public:
+  // Quantizes `source` column by column. Numerical attributes whose
+  // distinct sample points fit in options.bins keep them exactly (the
+  // decode is lossless up to uint16 mass rounding); denser attributes
+  // snap to a uniform grid over the observed range. Categorical columns
+  // dictionary-compress their probability vectors at full width. Fails on
+  // an empty source or invalid options.
+  static StatusOr<QuantizedDataset> FromDataset(
+      const Dataset& source, const QuantizationOptions& options = {});
+
+  // ---------------------------------------------------------- PdfStorage
+
+  const Schema& schema() const override { return schema_; }
+  int64_t num_tuples() const override {
+    return static_cast<int64_t>(labels_.size());
+  }
+  int64_t num_chunks() const override;
+  // Decodes [chunk * chunk_tuples, ...) through the per-attribute decode
+  // caches: tuples sharing a dictionary entry share one SampledPdf
+  // instance in `out`.
+  Status AppendChunk(int64_t chunk, Dataset* out) override;
+  // Resident bytes of the quantized representation (grids + dictionaries +
+  // id columns + labels). Excludes the decode caches — decoded pdfs are
+  // accounted on the materialised Dataset they end up in.
+  size_t MemoryUsageBytes() const override;
+
+  // -------------------------------------------------------- introspection
+
+  const QuantizationOptions& options() const { return options_; }
+
+  // Distinct dictionary entries across all attributes; the hit rate is the
+  // fraction of tuple values that reused an existing entry,
+  // 1 - entries / (tuples * attributes).
+  int64_t dictionary_entries() const;
+  double dictionary_hit_rate() const;
+
+  // Per-attribute pieces, for the file writer and the bench. `grid`
+  // requires a numerical attribute.
+  const AttributeGrid& grid(int attribute) const;
+  const PdfDictionary& dictionary(int attribute) const;
+  const std::vector<uint32_t>& column_ids(int attribute) const;
+  const std::vector<int32_t>& labels() const { return labels_; }
+
+  // Decodes tuples [begin, end) into `out` (schema must match).
+  Status AppendRange(int64_t begin, int64_t end, Dataset* out);
+
+ private:
+  struct Column {
+    AttributeKind kind = AttributeKind::kNumerical;
+    int width = 0;            // grid points (num) or categories (cat)
+    AttributeGrid grid;       // numerical only
+    PdfDictionary dict;
+    std::vector<uint32_t> ids;  // one per tuple
+    DecodedPdfCache cache;      // numerical only
+  };
+
+  QuantizedDataset(Schema schema, QuantizationOptions options)
+      : schema_(std::move(schema)), options_(options) {}
+
+  Schema schema_;
+  QuantizationOptions options_;
+  std::vector<Column> columns_;
+  std::vector<int32_t> labels_;
+};
+
+}  // namespace udt
+
+#endif  // UDT_STORAGE_QUANTIZED_DATASET_H_

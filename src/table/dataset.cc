@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -99,6 +100,43 @@ std::vector<int> Dataset::ClassHistogram() const {
     ++histogram[static_cast<size_t>(t.label)];
   }
   return histogram;
+}
+
+size_t Dataset::MemoryUsageBytes() const {
+  return MemoryBreakdown().total_bytes;
+}
+
+DatasetMemoryBreakdown Dataset::MemoryBreakdown() const {
+  DatasetMemoryBreakdown b;
+  b.num_tuples = static_cast<int64_t>(tuples_.size());
+  b.tuple_bytes = sizeof(Dataset) + sizeof(UncertainTuple) * tuples_.capacity();
+  std::unordered_set<const SampledPdf*> seen;
+  for (const UncertainTuple& t : tuples_) {
+    b.num_values += static_cast<int64_t>(t.values.size());
+    b.tuple_bytes += sizeof(UncertainValue) * t.values.capacity();
+    for (const UncertainValue& v : t.values) {
+      if (v.is_numerical()) {
+        const size_t bytes = v.pdf().MemoryUsageBytes();
+        b.unshared_pdf_bytes += bytes;
+        if (seen.insert(v.pdf_instance()).second) b.pdf_bytes += bytes;
+      } else {
+        b.categorical_bytes +=
+            sizeof(double) *
+            static_cast<size_t>(v.categorical().num_categories());
+      }
+    }
+  }
+  b.unique_pdfs = static_cast<int64_t>(seen.size());
+  b.total_bytes = b.tuple_bytes + b.pdf_bytes + b.categorical_bytes;
+  b.unshared_total_bytes =
+      b.tuple_bytes + b.unshared_pdf_bytes + b.categorical_bytes;
+  if (!tuples_.empty()) {
+    const double n = static_cast<double>(tuples_.size());
+    b.bytes_per_tuple = static_cast<double>(b.total_bytes) / n;
+    b.unshared_bytes_per_tuple =
+        static_cast<double>(b.unshared_total_bytes) / n;
+  }
+  return b;
 }
 
 UncertainTuple TupleToMeans(const UncertainTuple& tuple) {

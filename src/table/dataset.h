@@ -4,11 +4,14 @@
 #ifndef UDT_TABLE_DATASET_H_
 #define UDT_TABLE_DATASET_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <variant>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/statusor.h"
 #include "pdf/pdf.h"
@@ -45,9 +48,24 @@ class CategoricalPdf {
 
 // One attribute value of an uncertain tuple: either a numerical pdf or a
 // categorical distribution.
+//
+// Numerical pdfs live behind an immutable shared handle: copying a value
+// (fold splits, bootstrap views, storage-tier materialisation) bumps a
+// refcount instead of duplicating three sample arrays, and values decoded
+// from the same dictionary entry of a quantized container
+// (storage/quantized_dataset.h) share one SampledPdf instance outright.
+// Dataset::MemoryUsageBytes counts each distinct instance once.
 class UncertainValue {
  public:
   static UncertainValue Numerical(SampledPdf pdf) {
+    return UncertainValue(std::make_shared<const SampledPdf>(std::move(pdf)));
+  }
+  // Adopts an already-materialised shared pdf without copying it — the
+  // storage tier's dictionary decode hands the same instance to every
+  // tuple carrying that distribution. `pdf` must be non-null.
+  static UncertainValue NumericalShared(
+      std::shared_ptr<const SampledPdf> pdf) {
+    UDT_CHECK(pdf != nullptr);
     return UncertainValue(std::move(pdf));
   }
   static UncertainValue Categorical(CategoricalPdf pdf) {
@@ -55,11 +73,25 @@ class UncertainValue {
   }
 
   bool is_numerical() const {
-    return std::holds_alternative<SampledPdf>(value_);
+    return std::holds_alternative<std::shared_ptr<const SampledPdf>>(value_);
   }
 
   // Requires is_numerical().
-  const SampledPdf& pdf() const { return std::get<SampledPdf>(value_); }
+  const SampledPdf& pdf() const {
+    return *std::get<std::shared_ptr<const SampledPdf>>(value_);
+  }
+
+  // Identity of the shared pdf instance (memory accounting and sharing
+  // introspection). Requires is_numerical().
+  const SampledPdf* pdf_instance() const {
+    return std::get<std::shared_ptr<const SampledPdf>>(value_).get();
+  }
+
+  // The shared handle itself, for callers that propagate sharing (e.g.
+  // TupleToMeans on an already-pooled data set). Requires is_numerical().
+  const std::shared_ptr<const SampledPdf>& shared_pdf() const {
+    return std::get<std::shared_ptr<const SampledPdf>>(value_);
+  }
 
   // Requires !is_numerical().
   const CategoricalPdf& categorical() const {
@@ -67,10 +99,11 @@ class UncertainValue {
   }
 
  private:
-  explicit UncertainValue(SampledPdf pdf) : value_(std::move(pdf)) {}
+  explicit UncertainValue(std::shared_ptr<const SampledPdf> pdf)
+      : value_(std::move(pdf)) {}
   explicit UncertainValue(CategoricalPdf pdf) : value_(std::move(pdf)) {}
 
-  std::variant<SampledPdf, CategoricalPdf> value_;
+  std::variant<std::shared_ptr<const SampledPdf>, CategoricalPdf> value_;
 };
 
 // A training/testing tuple: k uncertain values plus a class label id.
@@ -83,6 +116,29 @@ struct UncertainTuple {
 // point mass at their mean, categorical distributions collapse to their
 // most likely category (the Averaging view of a tuple, Section 4.1).
 UncertainTuple TupleToMeans(const UncertainTuple& tuple);
+
+// Exact in-memory footprint of a Dataset, split by where the bytes live.
+// Shared pdf instances are counted once under `pdf_bytes`; what sharing
+// saves is visible as the gap to `unshared_pdf_bytes` (the footprint the
+// same data would have if every tuple owned a private copy — the figure
+// the storage-tier memory budget is compared against).
+struct DatasetMemoryBreakdown {
+  int64_t num_tuples = 0;
+  int64_t num_values = 0;          // tuple values across all tuples
+  int64_t unique_pdfs = 0;         // distinct SampledPdf instances
+  size_t tuple_bytes = 0;          // tuple structs + value handles
+  size_t pdf_bytes = 0;            // distinct pdf payloads, counted once
+  size_t unshared_pdf_bytes = 0;   // pdf payloads counted per reference
+  size_t categorical_bytes = 0;    // categorical probability vectors
+  // tuple_bytes + pdf_bytes + categorical_bytes (== MemoryUsageBytes()).
+  size_t total_bytes = 0;
+  // tuple_bytes + unshared_pdf_bytes + categorical_bytes: the exact
+  // footprint without instance sharing.
+  size_t unshared_total_bytes = 0;
+  // Mean bytes per tuple under each accounting.
+  double bytes_per_tuple = 0.0;
+  double unshared_bytes_per_tuple = 0.0;
+};
 
 // An uncertain data set: schema plus tuples. Copyable; folds and splits
 // produce independent Dataset values sharing nothing mutable.
@@ -112,6 +168,14 @@ class Dataset {
 
   // Number of tuples per class label.
   std::vector<int> ClassHistogram() const;
+
+  // Heap + struct footprint of the data set, counting each shared pdf
+  // instance once (see DatasetMemoryBreakdown). Excludes the schema.
+  size_t MemoryUsageBytes() const;
+
+  // The per-component breakdown behind MemoryUsageBytes, including the
+  // per-tuple averages the compression bench and docs report.
+  DatasetMemoryBreakdown MemoryBreakdown() const;
 
   // Replaces every numerical pdf by a point mass at its mean: the data the
   // Averaging approach trains on (Section 4.1).

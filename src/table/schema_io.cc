@@ -17,9 +17,12 @@ constexpr int kMaxDeclaredCount = 1 << 20;
 
 Status LineReader::Next(std::string_view what) {
   if (!std::getline(in_, line_)) {
-    return Status::InvalidArgument(context_ + ": truncated before " +
-                                   std::string(what));
+    // The missing line would have been line_number_ + 1.
+    return Status::InvalidArgument(
+        StrFormat("%s: line %d: truncated before %s", context_.c_str(),
+                  line_number_ + 1, std::string(what).c_str()));
   }
+  ++line_number_;
   // Tolerate CRLF line endings (a file saved through a text-mode stream on
   // Windows must load everywhere).
   if (!line_.empty() && line_.back() == '\r') line_.pop_back();
@@ -27,7 +30,9 @@ Status LineReader::Next(std::string_view what) {
 }
 
 Status LineReader::Error(std::string_view message) const {
-  return Status::InvalidArgument(context_ + ": " + std::string(message));
+  return Status::InvalidArgument(StrFormat("%s: line %d: %s", context_.c_str(),
+                                           line_number_,
+                                           std::string(message).c_str()));
 }
 
 void WriteSchemaBlock(const Schema& schema, std::ostream& out) {

@@ -24,16 +24,24 @@
 
 namespace udt {
 
-// Reads a container line by line with CRLF tolerance and context-tagged
-// errors ("<context>: truncated before <what>"). The containers' own
-// header lines go through Next()/line() too, so one reader serves a whole
-// Deserialize.
+// Reads a container line by line with CRLF tolerance and context- and
+// position-tagged errors ("<context>: line <n>: truncated before <what>").
+// The containers' own header lines go through Next()/line() too, so one
+// reader serves a whole Deserialize and every error it reports carries the
+// offending 1-based line number. Read paths that consume lines behind the
+// reader's back (raw getline on stream()) would desynchronise the count —
+// route every line through Next(), as tree/flat_tree_io does for the tree
+// bodies embedded in the compiled containers.
 class LineReader {
  public:
   // `context` tags error messages, e.g. "udt-model". `in` must outlive
-  // the reader.
-  LineReader(std::istream& in, std::string context)
-      : in_(in), context_(std::move(context)) {}
+  // the reader. `start_line_number` seeds the 1-based line counter for
+  // readers that resume mid-file (a rewound chunk stream seeks back to a
+  // known position and keeps reporting absolute line numbers).
+  LineReader(std::istream& in, std::string context, int start_line_number = 0)
+      : in_(in),
+        context_(std::move(context)),
+        line_number_(start_line_number) {}
 
   // Loads the next line into line(); `what` names the expected content in
   // the truncation error.
@@ -43,14 +51,19 @@ class LineReader {
   const std::string& context() const { return context_; }
   std::istream& stream() { return in_; }
 
-  // InvalidArgument("<context>: <message>") for parse errors at the
-  // current position.
+  // 1-based number of the line currently in line(); 0 before the first
+  // Next().
+  int line_number() const { return line_number_; }
+
+  // InvalidArgument("<context>: line <n>: <message>") for parse errors at
+  // the current position.
   Status Error(std::string_view message) const;
 
  private:
   std::istream& in_;
   std::string context_;
   std::string line_;
+  int line_number_ = 0;
 };
 
 // Writes the classes + attributes block of `schema`.

@@ -19,23 +19,27 @@ namespace {
 constexpr int kMaxDeclaredCount = 1 << 20;
 constexpr long long kMaxTableCount = 1ll << 26;
 
-// Reads `count` whitespace-separated tokens parsed by `parse_one`.
+// Reads one table line of exactly `count` space-separated tokens parsed by
+// `parse_one`. Serialize writes each table on a single line; a count
+// mismatch (a truncated or padded table) fails with the reader's absolute
+// line number. A zero-entry table writes no line at all, so none is read.
 template <typename T, typename Parser>
-Status ReadTokens(std::istream& in, size_t count, const std::string& context,
-                  const char* what, Parser parse_one, std::vector<T>* out) {
+Status ReadTokenLine(LineReader* reader, size_t count, const char* what,
+                     Parser parse_one, std::vector<T>* out) {
   out->clear();
   out->reserve(count);
-  std::string token;
-  for (size_t i = 0; i < count; ++i) {
-    if (!(in >> token)) {
-      return Status::InvalidArgument(
-          StrFormat("%s: truncated %s table", context.c_str(), what));
-    }
+  if (count == 0) return Status::OK();
+  UDT_RETURN_NOT_OK(reader->Next(StrFormat("%s table", what)));
+  const std::vector<std::string> tokens = SplitString(reader->line(), ' ');
+  if (tokens.size() != count) {
+    return reader->Error(StrFormat("%s table holds %zu entries, expected %zu",
+                                   what, tokens.size(), count));
+  }
+  for (const std::string& token : tokens) {
     std::optional<T> value = parse_one(token);
     if (!value) {
-      return Status::InvalidArgument(StrFormat("%s: bad %s entry: %s",
-                                               context.c_str(), what,
-                                               token.c_str()));
+      return reader->Error(
+          StrFormat("bad %s entry: %s", what, token.c_str()));
     }
     out->push_back(*value);
   }
@@ -78,27 +82,18 @@ void WriteFlatTreeBody(const FlatTree& flat, std::ostream& out) {
   }
 }
 
-StatusOr<FlatTree> ReadFlatTreeBody(std::istream& in, int num_classes,
-                                    const std::string& context) {
-  std::string line;
-  auto next_line = [&](const char* what) -> Status {
-    if (!std::getline(in, line)) {
-      return Status::InvalidArgument(context + ": truncated before " + what);
-    }
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    return Status::OK();
-  };
-
-  UDT_RETURN_NOT_OK(next_line("tables"));
+StatusOr<FlatTree> ReadFlatTreeBody(LineReader* reader, int num_classes) {
+  UDT_RETURN_NOT_OK(reader->Next("tables"));
   int num_nodes = -1;
   long long num_child_entries = -1;
   long long num_leaf_values = -1;
-  if (std::sscanf(line.c_str(), "tables nodes=%d children=%lld leaves=%lld",
-                  &num_nodes, &num_child_entries, &num_leaf_values) != 3 ||
+  if (std::sscanf(reader->line().c_str(),
+                  "tables nodes=%d children=%lld leaves=%lld", &num_nodes,
+                  &num_child_entries, &num_leaf_values) != 3 ||
       num_nodes < 1 || num_nodes > kMaxDeclaredCount ||
       num_child_entries < 0 || num_child_entries > kMaxTableCount ||
       num_leaf_values < 0 || num_leaf_values > kMaxTableCount) {
-    return Status::InvalidArgument(context + ": bad tables line: " + line);
+    return reader->Error("bad tables line: " + reader->line());
   }
 
   FlatTree flat;
@@ -109,10 +104,11 @@ StatusOr<FlatTree> ReadFlatTreeBody(std::istream& in, int num_classes,
   flat.first.reserve(static_cast<size_t>(num_nodes));
   flat.num_children.reserve(static_cast<size_t>(num_nodes));
   for (int i = 0; i < num_nodes; ++i) {
-    UDT_RETURN_NOT_OK(next_line("node record"));
+    UDT_RETURN_NOT_OK(reader->Next("node record"));
+    const std::string& line = reader->line();
     std::vector<std::string> fields = SplitString(line, ' ');
     if (fields.size() != 6 || fields[0] != "n") {
-      return Status::InvalidArgument(context + ": bad node record: " + line);
+      return reader->Error("bad node record: " + line);
     }
     std::optional<int> node_kind = ParseInt(fields[1]);
     std::optional<int32_t> attribute = ParseInt32(fields[2]);
@@ -121,7 +117,7 @@ StatusOr<FlatTree> ReadFlatTreeBody(std::istream& in, int num_classes,
     std::optional<int32_t> children = ParseInt32(fields[5]);
     if (!node_kind || *node_kind < 0 || *node_kind > 2 || !attribute ||
         !split || !first || !children) {
-      return Status::InvalidArgument(context + ": bad node record: " + line);
+      return reader->Error("bad node record: " + line);
     }
     flat.kind.push_back(static_cast<uint8_t>(*node_kind));
     flat.attribute.push_back(*attribute);
@@ -130,15 +126,12 @@ StatusOr<FlatTree> ReadFlatTreeBody(std::istream& in, int num_classes,
     flat.num_children.push_back(*children);
   }
 
-  UDT_RETURN_NOT_OK(ReadTokens(
-      in, static_cast<size_t>(num_child_entries), context, "child",
+  UDT_RETURN_NOT_OK(ReadTokenLine(
+      reader, static_cast<size_t>(num_child_entries), "child",
       [](const std::string& t) { return ParseInt32(t); }, &flat.child_table));
-  UDT_RETURN_NOT_OK(ReadTokens(
-      in, static_cast<size_t>(num_leaf_values), context, "leaf",
+  UDT_RETURN_NOT_OK(ReadTokenLine(
+      reader, static_cast<size_t>(num_leaf_values), "leaf",
       [](const std::string& t) { return ParseDouble(t); }, &flat.leaf_values));
-  // Token extraction stops before the trailing newline; consume it so a
-  // container holding several bodies reads the next header cleanly.
-  std::getline(in, line);
   return flat;
 }
 

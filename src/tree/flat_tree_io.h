@@ -15,11 +15,11 @@
 #ifndef UDT_TREE_FLAT_TREE_IO_H_
 #define UDT_TREE_FLAT_TREE_IO_H_
 
-#include <istream>
 #include <ostream>
 
 #include "common/statusor.h"
 #include "table/attribute.h"
+#include "table/schema_io.h"
 #include "tree/flat_tree.h"
 
 namespace udt {
@@ -27,12 +27,13 @@ namespace udt {
 // Writes the tables header and the three array sections of `flat`.
 void WriteFlatTreeBody(const FlatTree& flat, std::ostream& out);
 
-// Parses one body from `in`, leaving the stream positioned after the
-// body's final newline (ready for a sibling body or EOF). `num_classes`
-// sizes the leaf rows; `context` tags error messages (e.g. "udt-compiled").
+// Parses one body through the container's LineReader, leaving the reader
+// positioned after the body's final line (ready for a sibling body or
+// EOF). `num_classes` sizes the leaf rows; the reader supplies the error
+// context and the offending line number, so a parse error in the third
+// tree of a forest container points at the absolute line in the file.
 // The result is unvalidated — run ValidateFlatTree before traversing it.
-StatusOr<FlatTree> ReadFlatTreeBody(std::istream& in, int num_classes,
-                                    const std::string& context);
+StatusOr<FlatTree> ReadFlatTreeBody(LineReader* reader, int num_classes);
 
 // Structural validation of an untrusted flat layout: every index a
 // traversal will follow must land in range, child ids must point strictly
