@@ -1,0 +1,270 @@
+// Adaptive serving under churn: sustained QPS and tail latency through
+// the AdaptiveServer loop, with forced mid-run retrain + hot swap.
+//
+// Motivation (ROADMAP streaming item): the adaptive loop promises that
+// recalibration, drift-triggered retraining and registry hot swap never
+// stall or tear the serving path. This harness measures that promise:
+//   * steady:   the serving path with the loop idle (baseline QPS/tail),
+//   * churn:    identical traffic while ForceRetrain runs every
+//               `retrain_every` requests — retrains happen on the bench
+//               thread, swaps land between micro-batches,
+//   * post:     the serving path again, now on a later model generation.
+// Each phase reports windowed throughput (requests submitted in flight,
+// then drained) plus single-in-flight latency percentiles, and the
+// shed/failed counters that must stay zero for the swap to count as
+// seamless. The calibrated SubmitReading path is measured separately —
+// its cost over Submit is the online uncertainty wrap.
+//
+// Output: one table row and one JSON row per (phase, path) with
+// requests/sec, p50/p95 microseconds, shed and retrain counts. `phase`
+// and `path` are identity dimensions (string-valued) for
+// tools/check_bench_schema.py.
+//
+// Run: build/bench/bench_adaptive_serving [--full] [--scale=F] [--s=N]
+//      [--json=PATH]
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "pdf/pdf_builder.h"
+#include "stream/adaptive_server.h"
+
+namespace udt {
+namespace {
+
+Dataset StreamDataset(int tuples, int attributes, uint64_t seed, int s) {
+  Rng rng(seed);
+  Dataset ds(Schema::Numerical(attributes, {"c0", "c1", "c2"}));
+  for (int i = 0; i < tuples; ++i) {
+    UncertainTuple t;
+    t.label = static_cast<int>(rng.UniformInt(3));
+    for (int j = 0; j < attributes; ++j) {
+      double center = rng.Gaussian(static_cast<double>(t.label) * 1.5, 0.8);
+      auto pdf = MakeGaussianErrorPdf(center, 1.0, s);
+      UDT_CHECK(pdf.ok());
+      t.values.push_back(UncertainValue::Numerical(std::move(*pdf)));
+    }
+    UDT_CHECK(ds.AddTuple(std::move(t)).ok());
+  }
+  return ds;
+}
+
+double Percentile(std::vector<double>* sorted_in_place, double q) {
+  std::vector<double>& v = *sorted_in_place;
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t rank = std::min(
+      v.size() - 1, static_cast<size_t>(q * static_cast<double>(v.size() - 1) +
+                                        0.5));
+  return v[rank];
+}
+
+struct PhaseResult {
+  long long requests = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  long long failed = 0;
+  long long retrains = 0;
+  double retrain_seconds = 0.0;
+};
+
+// Drives `requests` submissions through `server` in windows of
+// `in_flight`, forcing a retrain every `retrain_every` requests (0 =
+// never). Then samples `latency_probes` single-in-flight requests for the
+// percentiles.
+PhaseResult RunPhase(stream::AdaptiveServer* server, const Dataset& pool,
+                     int requests, int in_flight, int retrain_every,
+                     int latency_probes) {
+  PhaseResult result;
+  result.requests = requests;
+  const int pool_size = pool.num_tuples();
+
+  WallTimer timer;
+  int issued = 0;
+  int since_retrain = 0;
+  std::vector<std::future<serve::ServeResult>> window;
+  window.reserve(static_cast<size_t>(in_flight));
+  while (issued < requests) {
+    window.clear();
+    const int take = std::min(in_flight, requests - issued);
+    for (int i = 0; i < take; ++i) {
+      window.push_back(server->Submit(&pool.tuple(issued % pool_size)));
+      ++issued;
+    }
+    for (auto& f : window) {
+      if (!f.get().status.ok()) ++result.failed;
+    }
+    since_retrain += take;
+    if (retrain_every > 0 && since_retrain >= retrain_every) {
+      since_retrain = 0;
+      WallTimer swap_timer;
+      auto report = server->ForceRetrain("bench-churn");
+      UDT_CHECK(report.ok());
+      result.retrain_seconds += swap_timer.ElapsedSeconds();
+      ++result.retrains;
+    }
+  }
+  result.qps = requests / std::max(timer.ElapsedSeconds(), 1e-12);
+
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<size_t>(latency_probes));
+  for (int i = 0; i < latency_probes; ++i) {
+    WallTimer one;
+    serve::ServeResult r = server->Submit(&pool.tuple(i % pool_size)).get();
+    latencies_us.push_back(one.ElapsedSeconds() * 1e6);
+    if (!r.status.ok()) ++result.failed;
+  }
+  result.p50_us = Percentile(&latencies_us, 0.50);
+  result.p95_us = Percentile(&latencies_us, 0.95);
+  return result;
+}
+
+void Report(const char* phase, const char* path, const PhaseResult& r,
+            bench::JsonRows* sink) {
+  std::printf("%-7s %-8s %6lld req  %9.0f req/s  p50 %7.1fus  p95 %7.1fus  "
+              "failed %lld  retrains %lld (%.3fs)\n",
+              phase, path, r.requests, r.qps, r.p50_us, r.p95_us, r.failed,
+              r.retrains, r.retrain_seconds);
+  sink->AddRow()
+      .Str("phase", phase)
+      .Str("path", path)
+      .Int("requests", r.requests)
+      .Num("qps", r.qps)
+      .Num("p50_us", r.p50_us)
+      .Num("p95_us", r.p95_us)
+      .Int("failed", r.failed)
+      .Int("retrains", r.retrains)
+      .Num("retrain_seconds", r.retrain_seconds);
+}
+
+}  // namespace
+}  // namespace udt
+
+int main(int argc, char** argv) {
+  udt::BenchOptions options = udt::ParseBenchOptions(argc, argv);
+  udt::bench::PrintBanner(
+      "Adaptive serving under churn: QPS and tail latency across forced "
+      "retrain + hot swap",
+      "streaming extension (not a paper figure); Section 3.2 traversal",
+      options);
+  udt::bench::JsonRows sink("adaptive_serving", options);
+
+  const double scale = options.scale > 0.0 ? options.scale
+                       : options.full      ? 1.0
+                                           : 0.25;
+  const int s = udt::bench::SamplesFor(options, 12);
+  const int seed_n = static_cast<int>(600 * scale);
+  const int requests = static_cast<int>(4000 * scale);
+  const int probes = static_cast<int>(800 * scale);
+
+  udt::stream::AdaptiveServerOptions server_options;
+  server_options.batching.max_batch = 16;
+  server_options.batching.max_delay_us = 100;
+  server_options.retrain.window_capacity = 256;
+  server_options.retrain.min_window = 64;
+  // The bench measures serving under swap churn, so every forced retrain
+  // must actually publish: disable the validation gate (a small-window
+  // candidate regularly loses a holdout point or two to the seed-trained
+  // incumbent) and park the drift monitor so no surprise retrain rides
+  // the warmup feedback.
+  server_options.retrain.max_regression = 1.0;
+  server_options.drift.lambda = 1e9;
+  udt::ForestConfig forest;
+  forest.num_trees = 8;
+  forest.seed = 11;
+
+  std::printf("seed %d tuples, %d requests/phase, %d latency probes, "
+              "s=%d per pdf, %d-tree forest\n\n",
+              seed_n, requests, probes, s, forest.num_trees);
+
+  const udt::Dataset seed = udt::StreamDataset(seed_n, 3, 42, s);
+  const udt::Dataset pool = udt::StreamDataset(512, 3, 1042, s);
+  auto server = udt::stream::AdaptiveServer::Create(
+      seed, udt::ForestTrainer(forest), server_options);
+  UDT_CHECK(server.ok());
+  udt::stream::AdaptiveServer& srv = **server;
+
+  // Labeled feedback fills the retrain window so churn-phase retrains
+  // train on a real window rather than failing empty.
+  for (int i = 0; i < 128; ++i) {
+    const udt::UncertainTuple& t = pool.tuple(i % pool.num_tuples());
+    udt::serve::ServeResult r = srv.Submit(&t).get();
+    UDT_CHECK(r.status.ok());
+    UDT_CHECK(srv.Feedback(t, t.label, r).ok());
+  }
+
+  const udt::PhaseResult steady =
+      udt::RunPhase(&srv, pool, requests, 32, 0, probes);
+  udt::Report("steady", "submit", steady, &sink);
+
+  const udt::PhaseResult churn = udt::RunPhase(
+      &srv, pool, requests, 32, std::max(requests / 4, 1), probes);
+  udt::Report("churn", "submit", churn, &sink);
+
+  const udt::PhaseResult post =
+      udt::RunPhase(&srv, pool, requests, 32, 0, probes);
+  udt::Report("post", "submit", post, &sink);
+
+  // The calibrated path: point readings wrapped into error pdfs at
+  // submit time. Warm the per-source error models first so the wrap does
+  // real Gaussian reconstruction, not point-mass passthrough.
+  for (int i = 0; i < 64; ++i) {
+    for (int a = 0; a < 3; ++a) {
+      UDT_CHECK(srv.ObserveResidual(0, a, 0.1 * (i % 7), 0.0).ok());
+    }
+  }
+  {
+    udt::PhaseResult readings;
+    readings.requests = requests;
+    udt::Rng rng(7);
+    udt::WallTimer timer;
+    std::vector<std::future<udt::serve::ServeResult>> window;
+    int issued = 0;
+    while (issued < requests) {
+      window.clear();
+      const int take = std::min(32, requests - issued);
+      for (int i = 0; i < take; ++i) {
+        window.push_back(srv.SubmitReading(
+            0, {rng.Gaussian(1.5, 1.0), rng.Gaussian(1.5, 1.0),
+                rng.Gaussian(1.5, 1.0)}));
+        ++issued;
+      }
+      for (auto& f : window) {
+        if (!f.get().status.ok()) ++readings.failed;
+      }
+    }
+    readings.qps = requests / std::max(timer.ElapsedSeconds(), 1e-12);
+    std::vector<double> lat;
+    for (int i = 0; i < probes; ++i) {
+      udt::WallTimer one;
+      auto r = srv.SubmitReading(0, {1.0, 2.0, 3.0}).get();
+      lat.push_back(one.ElapsedSeconds() * 1e6);
+      if (!r.status.ok()) ++readings.failed;
+    }
+    readings.p50_us = udt::Percentile(&lat, 0.50);
+    readings.p95_us = udt::Percentile(&lat, 0.95);
+    udt::Report("steady", "reading", readings, &sink);
+  }
+
+  const auto stats = srv.queue().stats();
+  std::printf("\nqueue: submitted %llu served %llu shed %llu drains %llu "
+              "max_drain %llu; generations %d, live version %llu\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.served),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.drains),
+              static_cast<unsigned long long>(stats.max_drain),
+              srv.generations(),
+              static_cast<unsigned long long>(srv.live_version()));
+  UDT_CHECK(stats.rejected == 0);
+
+  sink.Flush();
+  return 0;
+}

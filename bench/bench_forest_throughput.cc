@@ -118,7 +118,9 @@ void RunDataset(const char* dataset_name, const Dataset& train,
     ForestTrainer trainer(config);
     OobEstimate oob;
     WallTimer train_timer;
-    auto forest = trainer.Train(train, kind, &oob);
+    TrainRequest request = TrainRequest::For(train, kind);
+    request.oob = &oob;
+    auto forest = trainer.Train(request);
     UDT_CHECK(forest.ok());
     const double train_seconds = train_timer.ElapsedSeconds();
 

@@ -225,14 +225,16 @@ const CompiledModel& TraversalModel(ModelKind kind) {
   static CompiledModel udt = [] {
     TreeConfig config;
     config.algorithm = SplitAlgorithm::kUdtEs;
-    auto model = Trainer(config).Train(TraversalPool(), ModelKind::kUdt);
+    auto model = Trainer(config).Train(
+        TrainRequest::For(TraversalPool(), ModelKind::kUdt));
     UDT_CHECK(model.ok());
     return model->Compile();
   }();
   static CompiledModel averaging = [] {
     TreeConfig config;
     config.algorithm = SplitAlgorithm::kUdtEs;
-    auto model = Trainer(config).Train(TraversalPool(), ModelKind::kAveraging);
+    auto model = Trainer(config).Train(
+        TrainRequest::For(TraversalPool(), ModelKind::kAveraging));
     UDT_CHECK(model.ok());
     return model->Compile();
   }();

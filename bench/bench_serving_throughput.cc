@@ -150,7 +150,7 @@ void RunDataset(const char* dataset_name, const Dataset& train,
   Trainer trainer(config);
 
   for (ModelKind kind : {ModelKind::kUdt, ModelKind::kAveraging}) {
-    auto model = trainer.Train(train, kind);
+    auto model = trainer.Train(TrainRequest::For(train, kind));
     UDT_CHECK(model.ok());
     const char* kind_name = kind == ModelKind::kUdt ? "udt" : "avg";
 

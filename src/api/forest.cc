@@ -2,6 +2,7 @@
 
 #include "api/container_tags.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -200,6 +201,10 @@ StatusOr<ForestModel> ForestModel::Deserialize(const std::string& text) {
     if (in.gcount() != bytes) {
       return reader.Error("truncated tree body");
     }
+    // The raw read consumed the body's lines behind the reader; account
+    // for them so errors on later frames report true absolute lines.
+    reader.AccountRawLines(
+        static_cast<int>(std::count(body.begin(), body.end(), '\n')));
     UDT_ASSIGN_OR_RETURN(Model model, Model::Deserialize(body));
     if (t > 0 && (model.kind() != trees[0].kind() ||
                   !SchemaEquals(model.schema(), trees[0].schema()))) {
@@ -227,15 +232,67 @@ StatusOr<ForestModel> ForestModel::Load(const std::string& path) {
   return Deserialize(text);
 }
 
-StatusOr<ForestModel> ForestTrainer::Train(const Dataset& train,
-                                           ModelKind kind, OobEstimate* oob,
-                                           BuildStats* stats) const {
-  UDT_RETURN_NOT_OK(config_.Validate());
+StatusOr<ForestModel> ForestTrainer::Train(const TrainRequest& request) const {
+  UDT_RETURN_NOT_OK(request.Validate());
+  if (!request.weights.empty()) {
+    return Status::InvalidArgument(
+        "forest requests reject explicit weights: bootstrap bags own the "
+        "ensemble's tuple weighting");
+  }
+
+  ForestConfig config = config_;
+  if (request.num_threads >= 0) config.num_threads = request.num_threads;
+  if (request.seed) config.seed = *request.seed;
+  UDT_RETURN_NOT_OK(config.Validate());
+
+  // Out-of-core source: one pooled materialisation feeds every tree — the
+  // bags reweight the shared working set per tree, they never duplicate it.
+  std::optional<Dataset> materialized;
+  const Dataset* source = request.dataset;
+  if (request.storage != nullptr) {
+    UDT_ASSIGN_OR_RETURN(Dataset loaded,
+                         MaterializeDataset(request.storage, request.budget));
+    materialized.emplace(std::move(loaded));
+    source = &*materialized;
+  }
+  const Dataset& train = *source;
+  const ModelKind kind = request.kind;
+  OobEstimate* oob = request.oob;
+  BuildStats* stats = request.stats;
+
   if (train.empty()) {
     return Status::InvalidArgument(
         "cannot train a forest on an empty data set");
   }
-  const int num_trees = config_.num_trees;
+
+  // Warm start: trees [0, carried) come from the incumbent unchanged;
+  // only [carried, num_trees) build below. Bags and subspace streams stay
+  // keyed by tree index, so fresh tree t is bitwise-identical to the tree
+  // a cold run would have built at index t.
+  const int carried = request.warm_start != nullptr ? request.warm_trees : 0;
+  if (carried > 0) {
+    const ForestModel& warm = *request.warm_start;
+    if (carried > config.num_trees) {
+      return Status::InvalidArgument(
+          StrFormat("warm_trees %d exceeds num_trees %d", carried,
+                    config.num_trees));
+    }
+    if (carried > warm.num_trees()) {
+      return Status::InvalidArgument(
+          StrFormat("warm_trees %d exceeds the warm-start forest's %d trees",
+                    carried, warm.num_trees()));
+    }
+    if (warm.kind() != kind) {
+      return Status::InvalidArgument(
+          "warm-start forest kind does not match the request kind");
+    }
+    if (!SchemaEquals(warm.schema(), train.schema())) {
+      return Status::InvalidArgument(
+          "warm-start forest schema does not match the training data");
+    }
+  }
+
+  const int num_trees = config.num_trees;
   const int num_tuples = train.num_tuples();
 
   // Averaging forests reduce the pdfs to their means once; every bag then
@@ -245,17 +302,17 @@ StatusOr<ForestModel> ForestTrainer::Train(const Dataset& train,
   const Dataset& build_data = means ? *means : train;
 
   // Every random choice is drawn here, serially, as a pure function of the
-  // run seed — the pool below only decides *when* a tree builds, never
-  // what it builds.
-  std::vector<TreeConfig> tree_configs;
+  // run seed and tree index — the pool below only decides *when* a tree
+  // builds, never what it builds. Carried trees keep their (unused) slots
+  // so fresh indices line up with a cold run's.
+  std::vector<TreeConfig> tree_configs(static_cast<size_t>(num_trees));
   std::vector<std::vector<double>> bags(static_cast<size_t>(num_trees));
-  tree_configs.reserve(static_cast<size_t>(num_trees));
-  for (int t = 0; t < num_trees; ++t) {
-    tree_configs.push_back(
-        DeriveTreeConfig(config_, train.num_attributes(), t, kind));
-    if (config_.bootstrap) {
+  for (int t = carried; t < num_trees; ++t) {
+    tree_configs[static_cast<size_t>(t)] =
+        DeriveTreeConfig(config, train.num_attributes(), t, kind);
+    if (config.bootstrap) {
       bags[static_cast<size_t>(t)] =
-          ForestBootstrapBag(config_.seed, t, num_tuples);
+          ForestBootstrapBag(config.seed, t, num_tuples);
     }
   }
 
@@ -268,7 +325,7 @@ StatusOr<ForestModel> ForestTrainer::Train(const Dataset& train,
     const size_t ut = static_cast<size_t>(t);
     TreeBuilder builder(tree_configs[ut]);
     StatusOr<DecisionTree> tree =
-        config_.bootstrap
+        config.bootstrap
             ? builder.BuildWeighted(build_data, bags[ut], &tree_stats[ut])
             : builder.Build(build_data, &tree_stats[ut]);
     if (tree.ok()) {
@@ -278,47 +335,57 @@ StatusOr<ForestModel> ForestTrainer::Train(const Dataset& train,
     }
   };
 
-  const int concurrency = TaskPool::EffectiveConcurrency(config_.num_threads);
-  if (concurrency <= 1 || num_trees == 1) {
-    for (int t = 0; t < num_trees; ++t) build_one(t);
+  const int fresh = num_trees - carried;
+  const int concurrency = TaskPool::EffectiveConcurrency(config.num_threads);
+  if (concurrency <= 1 || fresh <= 1) {
+    for (int t = carried; t < num_trees; ++t) build_one(t);
   } else {
     // The calling thread participates via Wait, so spawn one fewer worker.
     // Each task writes only its own slots; no further synchronisation.
     TaskPool pool(concurrency - 1);
     TaskGroup group;
-    for (int t = 0; t < num_trees; ++t) {
+    for (int t = carried; t < num_trees; ++t) {
       pool.Submit(&group, [&build_one, t] { build_one(t); });
     }
     pool.Wait(&group);
   }
 
-  for (int t = 0; t < num_trees; ++t) {
+  for (int t = carried; t < num_trees; ++t) {
     UDT_RETURN_NOT_OK(errors[static_cast<size_t>(t)]);
   }
+  // Stats cover the work this run did: the freshly built trees. Carried
+  // trees reported theirs when they were first trained.
   if (stats != nullptr) {
-    for (const BuildStats& s : tree_stats) *stats += s;
+    for (int t = carried; t < num_trees; ++t) {
+      *stats += tree_stats[static_cast<size_t>(t)];
+    }
   }
 
   std::vector<Model> trees;
   trees.reserve(static_cast<size_t>(num_trees));
-  for (int t = 0; t < num_trees; ++t) {
+  for (int t = 0; t < carried; ++t) {
+    trees.push_back(request.warm_start->tree(t));  // shared, never copied
+  }
+  for (int t = carried; t < num_trees; ++t) {
     const size_t ut = static_cast<size_t>(t);
     trees.push_back(Model::FromTree(std::move(*built[ut]), kind,
                                     tree_configs[ut]));
   }
-  ForestModel forest = ForestModel::FromTrees(std::move(trees), config_.vote);
+  ForestModel forest = ForestModel::FromTrees(std::move(trees), config.vote);
 
   if (oob != nullptr) {
     *oob = OobEstimate{};
     oob->total_tuples = num_tuples;
-    if (config_.bootstrap) {
+    if (config.bootstrap && fresh > 0) {
       const int k = forest.num_classes();
       // Classify through the flat kernels — bitwise-identical to the
       // pointer path, but one flatten per tree and one reused scratch/row
-      // instead of a fresh distribution vector per (tuple, tree).
+      // instead of a fresh distribution vector per (tuple, tree). Only the
+      // fresh trees take part: a carried tree never drew a bag over this
+      // window, so it has no out-of-bag relation to score.
       std::vector<FlatTree> flat_trees;
-      flat_trees.reserve(static_cast<size_t>(num_trees));
-      for (int t = 0; t < num_trees; ++t) {
+      flat_trees.reserve(static_cast<size_t>(fresh));
+      for (int t = carried; t < num_trees; ++t) {
         flat_trees.push_back(FlattenTree(forest.tree(t).tree()));
       }
       const bool averaging = kind == ModelKind::kAveraging;
@@ -329,18 +396,17 @@ StatusOr<ForestModel> ForestTrainer::Train(const Dataset& train,
       for (int i = 0; i < num_tuples; ++i) {
         votes.assign(static_cast<size_t>(k), 0.0);
         int oob_trees = 0;
-        for (int t = 0; t < num_trees; ++t) {
+        for (int t = carried; t < num_trees; ++t) {
           if (bags[static_cast<size_t>(t)][static_cast<size_t>(i)] > 0.0) {
             continue;  // tree t trained on tuple i
           }
+          const FlatTree& flat = flat_trees[static_cast<size_t>(t - carried)];
           if (averaging) {
-            ClassifyFlatMeans(flat_trees[static_cast<size_t>(t)],
-                              train.tuple(i), &scratch, row.data());
+            ClassifyFlatMeans(flat, train.tuple(i), &scratch, row.data());
           } else {
-            ClassifyFlat(flat_trees[static_cast<size_t>(t)], train.tuple(i),
-                         &scratch, row.data());
+            ClassifyFlat(flat, train.tuple(i), &scratch, row.data());
           }
-          AccumulateForestVote(config_.vote, row.data(), k, votes.data());
+          AccumulateForestVote(config.vote, row.data(), k, votes.data());
           ++oob_trees;
         }
         if (oob_trees == 0) continue;
@@ -360,15 +426,6 @@ StatusOr<ForestModel> ForestTrainer::Train(const Dataset& train,
     }
   }
   return forest;
-}
-
-StatusOr<ForestModel> ForestTrainer::TrainFromStorage(
-    PdfStorage* storage, ModelKind kind, const StorageBudget& budget,
-    OobEstimate* oob, BuildStats* stats) const {
-  // One pooled materialisation feeds every tree: the bags reweight the
-  // shared working set per tree, they never duplicate it.
-  UDT_ASSIGN_OR_RETURN(Dataset train, MaterializeDataset(storage, budget));
-  return Train(train, kind, oob, stats);
 }
 
 }  // namespace udt

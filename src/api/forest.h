@@ -195,41 +195,68 @@ class ForestTrainer {
     return *this;
   }
 
-  // Trains a forest of the given kind on `train`. Averaging forests reduce
-  // the data to pdf means once and grow classical trees over the bags,
-  // exactly like Trainer::Train does for one tree. When `oob` is non-null
-  // and bootstrap bags are on, fills it with the out-of-bag estimate
-  // (reset to the zero-coverage NaN sentinel otherwise — see OobEstimate).
-  // When `stats` is
-  // non-null, accumulates the per-tree BuildStats over the whole forest in
-  // tree order. Fails on an empty data set or invalid config.
-  StatusOr<ForestModel> Train(const Dataset& train, ModelKind kind,
-                              OobEstimate* oob = nullptr,
-                              BuildStats* stats = nullptr) const;
+  // The unified entry point: trains one forest as described by `request`
+  // (api/train_request.h). Averaging forests reduce the data to pdf means
+  // once and grow classical trees over the bags, exactly like
+  // Trainer::Train does for one tree. Honoured request fields beyond the
+  // source: `num_threads` overrides the forest-level thread count, `seed`
+  // overrides ForestConfig::seed (bags + subspaces), `warm_start` /
+  // `warm_trees` carry incumbent trees into the new ensemble (fresh trees
+  // keep their by-index bags/subspace streams, so a warm-started forest's
+  // fresh tree t is bitwise-identical to cold tree t), `oob` receives the
+  // out-of-bag estimate over the freshly trained trees when bootstrap is
+  // on (reset to the zero-coverage NaN sentinel otherwise), and `stats`
+  // accumulates the fresh trees' BuildStats in tree order. Weighted
+  // requests are rejected — bags own the forest's tuple weighting. Fails
+  // on an empty data set or invalid config/request.
+  StatusOr<ForestModel> Train(const TrainRequest& request) const;
 
   // Shorthand for the common distribution-based case.
   StatusOr<ForestModel> TrainUdt(const Dataset& train,
                                  OobEstimate* oob = nullptr,
                                  BuildStats* stats = nullptr) const {
-    return Train(train, ModelKind::kUdt, oob, stats);
+    TrainRequest request = TrainRequest::For(train, ModelKind::kUdt);
+    request.oob = oob;
+    request.stats = stats;
+    return Train(request);
   }
 
   // Shorthand for the averaging baseline.
   StatusOr<ForestModel> TrainAveraging(const Dataset& train,
                                        OobEstimate* oob = nullptr,
                                        BuildStats* stats = nullptr) const {
-    return Train(train, ModelKind::kAveraging, oob, stats);
+    TrainRequest request = TrainRequest::For(train, ModelKind::kAveraging);
+    request.oob = oob;
+    request.stats = stats;
+    return Train(request);
   }
 
-  // Trains from a storage backend (storage/pdf_storage.h): one pooled,
-  // budget-checked materialisation — chunk-streamed, dictionary-shared pdf
-  // instances — feeds every tree of the ensemble; the bootstrap bags
-  // reweight that shared working set instead of duplicating it. See
-  // Trainer::TrainFromStorage for the single-tree counterpart.
+  // ------------------------------------------- deprecated entry points
+  // Thin wrappers over Train(TrainRequest); see Trainer's counterparts.
+
+  [[deprecated("construct a TrainRequest and call Train(request)")]]
+  StatusOr<ForestModel> Train(const Dataset& train, ModelKind kind,
+                              OobEstimate* oob = nullptr,
+                              BuildStats* stats = nullptr) const {
+    TrainRequest request = TrainRequest::For(train, kind);
+    request.oob = oob;
+    request.stats = stats;
+    return Train(request);
+  }
+
+  [[deprecated(
+      "construct a TrainRequest (TrainRequest::ForStorage) and call "
+      "Train(request)")]]
   StatusOr<ForestModel> TrainFromStorage(PdfStorage* storage, ModelKind kind,
                                          const StorageBudget& budget = {},
                                          OobEstimate* oob = nullptr,
-                                         BuildStats* stats = nullptr) const;
+                                         BuildStats* stats = nullptr) const {
+    TrainRequest request = TrainRequest::ForStorage(storage, kind);
+    request.budget = budget;
+    request.oob = oob;
+    request.stats = stats;
+    return Train(request);
+  }
 
  private:
   ForestConfig config_;

@@ -134,6 +134,7 @@ Status ForestPredictSession::PredictBatchIntoImpl(
     size_t n, TupleAt tuple_at, const PredictOptions& options,
     FlatBatchResult* out) {
   UDT_CHECK(out != nullptr);
+  UDT_RETURN_NOT_OK(options.Validate());
   const size_t k = static_cast<size_t>(num_classes());
   UDT_ASSIGN_OR_RETURN(int num_threads,
                        ResolveThreads(options.num_threads, n));
@@ -200,6 +201,7 @@ StatusOr<BatchResult> ForestPredictSession::PredictBatch(
     std::span<const UncertainTuple> tuples, const PredictOptions& options) {
   WallTimer batch_timer;
   const size_t n = tuples.size();
+  UDT_RETURN_NOT_OK(options.Validate());
   const size_t k = static_cast<size_t>(num_classes());
   UDT_ASSIGN_OR_RETURN(int num_threads,
                        ResolveThreads(options.num_threads, n));

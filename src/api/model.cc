@@ -123,6 +123,20 @@ const char* ModelKindToString(ModelKind kind) {
   return kind == ModelKind::kAveraging ? "averaging" : "distribution-based";
 }
 
+Status PredictOptions::Validate() const {
+  if (top_k < 0) {
+    return Status::InvalidArgument(
+        StrFormat("PredictOptions::top_k must be >= 0, got %d", top_k));
+  }
+  if (!(abstain_threshold >= 0.0 && abstain_threshold <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("PredictOptions::abstain_threshold must be in [0, 1], "
+                  "got %g",
+                  abstain_threshold));
+  }
+  return Status::OK();
+}
+
 Model Model::FromTree(DecisionTree tree, ModelKind kind, TreeConfig config) {
   return Model(std::make_shared<const DecisionTree>(std::move(tree)), kind,
                std::move(config));

@@ -36,7 +36,12 @@ enum class ModelKind {
 
 const char* ModelKindToString(ModelKind kind);
 
-// Knobs for one PredictBatch call.
+// Knobs for one prediction call — the single options struct every serving
+// layer consumes: PredictSession / ForestPredictSession batches, the
+// ServeSession wrapper, and the BatchingQueue's per-drain classification
+// (BatchingConfig embeds one). Sharding knobs (num_threads, grain) never
+// change results; the output-policy knobs (top_k, abstain_threshold) shape
+// what a ServeResult reports on top of the distribution.
 struct PredictOptions {
   // Worker threads the batch is sharded over: 1 runs inline on the calling
   // thread, 0 uses one thread per hardware thread, values above the batch
@@ -59,6 +64,27 @@ struct PredictOptions {
   // When true, BatchResult::tuple_seconds records per-tuple wall time
   // (costs two clock reads per tuple).
   bool collect_timings = false;
+
+  // Serving output policy (leaves already store full class distributions,
+  // so both are free at predict time — see Kent & Ménager's Indecision
+  // Trees for the motivation). Consumed by the serving front end when it
+  // builds ServeResults; batch entry points validate but ignore them.
+  //
+  // top_k > 0 asks for the k most probable classes (descending
+  // probability, ties -> lowest class id) in ServeResult::top_classes;
+  // 0 reports the argmax only.
+  int top_k = 0;
+
+  // A prediction whose winning probability falls below this threshold is
+  // flagged abstained (ServeResult::abstained) — the label is still
+  // reported, the caller decides whether to act on it or escalate.
+  // 0 disables abstention; must be within [0, 1].
+  double abstain_threshold = 0.0;
+
+  // Rejects out-of-range policy fields (negative top_k, an abstain
+  // threshold outside [0, 1]). num_threads is validated where it is
+  // resolved against the batch size. Defined in api/model.cc.
+  Status Validate() const;
 };
 
 // The result of classifying one batch. Element i of every per-tuple vector

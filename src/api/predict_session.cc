@@ -88,6 +88,7 @@ Status PredictSession::PredictBatchIntoImpl(size_t n, TupleAt tuple_at,
                                             const PredictOptions& options,
                                             FlatBatchResult* out) {
   UDT_CHECK(out != nullptr);
+  UDT_RETURN_NOT_OK(options.Validate());
   const size_t k = static_cast<size_t>(num_classes());
   UDT_ASSIGN_OR_RETURN(int num_threads, ResolveThreads(options.num_threads, n));
 
@@ -159,6 +160,7 @@ StatusOr<BatchResult> PredictSession::PredictBatch(
     std::span<const UncertainTuple> tuples, const PredictOptions& options) {
   WallTimer batch_timer;
   const size_t n = tuples.size();
+  UDT_RETURN_NOT_OK(options.Validate());
   const size_t k = static_cast<size_t>(num_classes());
   UDT_ASSIGN_OR_RETURN(int num_threads, ResolveThreads(options.num_threads, n));
 

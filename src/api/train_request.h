@@ -1,0 +1,116 @@
+// udt::TrainRequest — the one options struct behind every training entry
+// point. Historically the trainers grew a signature per concern —
+// Train(data, kind), TrainFromStorage(storage, kind, budget), per-tree
+// weights hidden inside the forest trainer — and every new knob (seed
+// override, warm start) would have multiplied them again. A TrainRequest
+// names each knob once and both facades consume it:
+//
+//   TrainRequest request = TrainRequest::For(train, ModelKind::kUdt);
+//   request.stats = &stats;
+//   StatusOr<Model> model = trainer.Train(request);
+//
+//   TrainRequest from_disk = TrainRequest::ForStorage(&reader);
+//   from_disk.budget = budget;
+//   StatusOr<ForestModel> forest = forest_trainer.Train(from_disk);
+//
+// The pre-request signatures survive as thin deprecated wrappers over this
+// struct (api/trainer.h, api/forest.h); new call sites — including the
+// streaming RetrainController, which trains exclusively through requests —
+// should construct a TrainRequest.
+
+#ifndef UDT_API_TRAIN_REQUEST_H_
+#define UDT_API_TRAIN_REQUEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "api/model.h"
+#include "common/status.h"
+#include "core/builder.h"
+#include "storage/pdf_storage.h"
+#include "table/dataset.h"
+
+namespace udt {
+
+class ForestModel;   // api/forest.h
+struct OobEstimate;  // api/forest.h
+
+// One training run, fully described. Exactly one source (dataset or
+// storage) must be set; everything else is optional and defaulted.
+struct TrainRequest {
+  // ------------------------------------------------------------- source
+  // In-memory source: trains directly on `*dataset` (must outlive the
+  // Train call). Mutually exclusive with `storage`.
+  const Dataset* dataset = nullptr;
+
+  // Out-of-core source: one pooled, budget-checked materialisation
+  // (storage/pdf_storage.h) feeds the build — for forests, every tree of
+  // the ensemble shares it. Mutually exclusive with `dataset`.
+  PdfStorage* storage = nullptr;
+
+  // Materialisation ceiling for the storage source; ignored for the
+  // in-memory source (it is already materialised).
+  StorageBudget budget;
+
+  // Optional per-tuple root weights over a *dataset* source (one finite
+  // non-negative weight per tuple, at least one positive; weight <= 0
+  // excludes the tuple) — the bagged/boosted entry point, previously
+  // reachable only through TreeBuilder::BuildWeighted. Single-tree only:
+  // forests derive their own bootstrap bags from the seed, so a weighted
+  // forest request is rejected. Empty means unweighted.
+  std::span<const double> weights;
+
+  // ------------------------------------------------------------- policy
+  ModelKind kind = ModelKind::kUdt;
+
+  // Training parallelism override: -1 keeps the trainer config's thread
+  // count, 0 = one thread per hardware thread, N >= 1 = exactly N. The
+  // result is bitwise-identical for every value.
+  int num_threads = -1;
+
+  // Seed override: replaces ForestConfig::seed (bags + subspaces) for
+  // forest requests and TreeConfig::subspace_seed for single-tree
+  // requests — the retrain loop varies this per generation without
+  // mutating its trainer.
+  std::optional<uint64_t> seed;
+
+  // Forest warm start: carry the first `warm_trees` trees of `warm_start`
+  // into the new ensemble unchanged and train only the remaining
+  // num_trees - warm_trees fresh trees on the request's source. The
+  // carried trees must match the fresh schema and kind. OOB is then
+  // estimated over the fresh trees only (the carried trees never saw this
+  // window, so counting them would overstate coverage). Single-tree
+  // requests reject a warm start.
+  const ForestModel* warm_start = nullptr;
+  int warm_trees = 0;
+
+  // --------------------------------------------------------- out-params
+  BuildStats* stats = nullptr;  // may be null
+  OobEstimate* oob = nullptr;   // forest requests only; may be null
+
+  // ------------------------------------------------------- construction
+  static TrainRequest For(const Dataset& data,
+                          ModelKind kind = ModelKind::kUdt) {
+    TrainRequest request;
+    request.dataset = &data;
+    request.kind = kind;
+    return request;
+  }
+
+  static TrainRequest ForStorage(PdfStorage* storage,
+                                 ModelKind kind = ModelKind::kUdt) {
+    TrainRequest request;
+    request.storage = storage;
+    request.kind = kind;
+    return request;
+  }
+
+  // Source/knob consistency shared by both trainers (each adds its own
+  // facade-specific checks on top). Defined in api/trainer.cc.
+  Status Validate() const;
+};
+
+}  // namespace udt
+
+#endif  // UDT_API_TRAIN_REQUEST_H_

@@ -1,32 +1,92 @@
 #include "api/trainer.h"
 
+#include <optional>
 #include <utility>
+#include <vector>
+
+#include "common/string_util.h"
 
 namespace udt {
 
-StatusOr<Model> Trainer::Train(const Dataset& train, ModelKind kind,
-                               BuildStats* stats) const {
-  if (kind == ModelKind::kAveraging) {
+Status TrainRequest::Validate() const {
+  if ((dataset == nullptr) == (storage == nullptr)) {
+    return Status::InvalidArgument(
+        "TrainRequest needs exactly one source: set dataset or storage");
+  }
+  if (!weights.empty()) {
+    if (dataset == nullptr) {
+      return Status::InvalidArgument(
+          "TrainRequest::weights requires the in-memory dataset source");
+    }
+    if (weights.size() != static_cast<size_t>(dataset->num_tuples())) {
+      return Status::InvalidArgument(
+          StrFormat("TrainRequest::weights holds %zu weights for %d tuples",
+                    weights.size(), dataset->num_tuples()));
+    }
+  }
+  if (num_threads < -1) {
+    return Status::InvalidArgument(
+        "TrainRequest::num_threads must be >= -1 "
+        "(-1 keeps the trainer config)");
+  }
+  if (warm_trees < 0) {
+    return Status::InvalidArgument("TrainRequest::warm_trees must be >= 0");
+  }
+  if (warm_trees > 0 && warm_start == nullptr) {
+    return Status::InvalidArgument(
+        "TrainRequest::warm_trees requires warm_start");
+  }
+  return Status::OK();
+}
+
+StatusOr<Model> Trainer::Train(const TrainRequest& request) const {
+  UDT_RETURN_NOT_OK(request.Validate());
+  if (request.oob != nullptr) {
+    return Status::InvalidArgument(
+        "TrainRequest::oob is an ensemble estimate; use ForestTrainer");
+  }
+  if (request.warm_start != nullptr) {
+    return Status::InvalidArgument(
+        "TrainRequest::warm_start carries forest trees; use ForestTrainer");
+  }
+
+  // Out-of-core source: one pooled, budget-checked materialisation (see
+  // storage/pdf_storage.h), then the in-memory path below.
+  std::optional<Dataset> materialized;
+  const Dataset* source = request.dataset;
+  if (request.storage != nullptr) {
+    UDT_ASSIGN_OR_RETURN(Dataset loaded,
+                         MaterializeDataset(request.storage, request.budget));
+    materialized.emplace(std::move(loaded));
+    source = &*materialized;
+  }
+
+  TreeConfig config = config_;
+  if (request.num_threads >= 0) config.num_threads = request.num_threads;
+  if (request.seed) config.subspace_seed = *request.seed;
+  if (request.kind == ModelKind::kAveraging) {
     // AVG (Section 4.1): classical tree over pdf means, exhaustive point
     // search. The trained Model remembers its kind and reduces test tuples
     // to their means before traversal.
-    TreeConfig avg_config = config_;
-    avg_config.algorithm = SplitAlgorithm::kAvg;
-    TreeBuilder builder(avg_config);
-    UDT_ASSIGN_OR_RETURN(DecisionTree tree,
-                         builder.Build(train.ToMeans(), stats));
-    return Model::FromTree(std::move(tree), kind, std::move(avg_config));
+    config.algorithm = SplitAlgorithm::kAvg;
   }
-  TreeBuilder builder(config_);
-  UDT_ASSIGN_OR_RETURN(DecisionTree tree, builder.Build(train, stats));
-  return Model::FromTree(std::move(tree), kind, config_);
-}
 
-StatusOr<Model> Trainer::TrainFromStorage(PdfStorage* storage, ModelKind kind,
-                                          const StorageBudget& budget,
-                                          BuildStats* stats) const {
-  UDT_ASSIGN_OR_RETURN(Dataset train, MaterializeDataset(storage, budget));
-  return Train(train, kind, stats);
+  std::optional<Dataset> means;
+  if (request.kind == ModelKind::kAveraging) means = source->ToMeans();
+  const Dataset& build_data = means ? *means : *source;
+
+  TreeBuilder builder(config);
+  StatusOr<DecisionTree> tree =
+      request.weights.empty()
+          ? builder.Build(build_data, request.stats)
+          : builder.BuildWeighted(
+                build_data,
+                std::vector<double>(request.weights.begin(),
+                                    request.weights.end()),
+                request.stats);
+  UDT_RETURN_NOT_OK(tree.status());
+  return Model::FromTree(std::move(tree).value(), request.kind,
+                         std::move(config));
 }
 
 }  // namespace udt

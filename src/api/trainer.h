@@ -4,11 +4,19 @@
 // (UDT, Section 4.2) and averaging (AVG, Section 4.1). It subsumes the
 // deprecated UncertainTreeClassifier / AveragingClassifier pair; evaluation
 // code selects the family with a ModelKind argument instead of a type.
+//
+// Training is requested through one TrainRequest struct
+// (api/train_request.h) that names the source (in-memory dataset or
+// budgeted storage backend), kind, optional per-tuple weights, and thread
+// and seed overrides. The pre-request signatures remain as thin deprecated
+// wrappers; the TrainUdt/TrainAveraging shorthands are the convenience
+// layer and stay.
 
 #ifndef UDT_API_TRAINER_H_
 #define UDT_API_TRAINER_H_
 
 #include "api/model.h"
+#include "api/train_request.h"
 #include "common/statusor.h"
 #include "core/builder.h"
 #include "core/config.h"
@@ -34,36 +42,55 @@ class Trainer {
     return *this;
   }
 
-  // Trains a model of the given kind on `train`. For kAveraging the data
-  // is reduced to pdf means and the exhaustive point search is used (the
-  // config's algorithm is overridden to kAvg), exactly as the paper's AVG
-  // baseline; for kUdt the configured algorithm runs on the full pdfs.
-  // Fails on an empty data set or invalid config. `stats` may be null.
-  StatusOr<Model> Train(const Dataset& train, ModelKind kind,
-                        BuildStats* stats = nullptr) const;
+  // The unified entry point: trains one model as described by `request`
+  // (source, kind, weights, thread/seed overrides — see
+  // api/train_request.h). For kAveraging the data is reduced to pdf means
+  // and the exhaustive point search is used (the config's algorithm is
+  // overridden to kAvg), exactly as the paper's AVG baseline; for kUdt the
+  // configured algorithm runs on the full pdfs. Fails on an empty data
+  // set, an invalid config, or an inconsistent request. Requests carrying
+  // forest-only fields (oob, warm_start) are rejected.
+  StatusOr<Model> Train(const TrainRequest& request) const;
 
   // Shorthand for the common distribution-based case.
   StatusOr<Model> TrainUdt(const Dataset& train,
                            BuildStats* stats = nullptr) const {
-    return Train(train, ModelKind::kUdt, stats);
+    TrainRequest request = TrainRequest::For(train, ModelKind::kUdt);
+    request.stats = stats;
+    return Train(request);
   }
 
   // Shorthand for the averaging baseline.
   StatusOr<Model> TrainAveraging(const Dataset& train,
                                  BuildStats* stats = nullptr) const {
-    return Train(train, ModelKind::kAveraging, stats);
+    TrainRequest request = TrainRequest::For(train, ModelKind::kAveraging);
+    request.stats = stats;
+    return Train(request);
   }
 
-  // Trains from a storage backend (storage/pdf_storage.h): streams the
-  // backend's chunks into a pooled in-memory working set — tuples decoded
-  // from the same dictionary entry share one pdf instance — enforcing
-  // `budget` against the pooled footprint after every chunk, then trains
-  // exactly like Train. A "udt-dataset v1" file whose exact decoded size
-  // dwarfs the budget still trains as long as its distinct distributions
-  // fit (the out-of-core path; see storage/dataset_file.h).
+  // ------------------------------------------- deprecated entry points
+  // Thin wrappers over Train(TrainRequest), kept one deprecation cycle so
+  // external callers migrate at their own pace. In-repo code is migrated.
+
+  [[deprecated("construct a TrainRequest and call Train(request)")]]
+  StatusOr<Model> Train(const Dataset& train, ModelKind kind,
+                        BuildStats* stats = nullptr) const {
+    TrainRequest request = TrainRequest::For(train, kind);
+    request.stats = stats;
+    return Train(request);
+  }
+
+  [[deprecated(
+      "construct a TrainRequest (TrainRequest::ForStorage) and call "
+      "Train(request)")]]
   StatusOr<Model> TrainFromStorage(PdfStorage* storage, ModelKind kind,
                                    const StorageBudget& budget = {},
-                                   BuildStats* stats = nullptr) const;
+                                   BuildStats* stats = nullptr) const {
+    TrainRequest request = TrainRequest::ForStorage(storage, kind);
+    request.budget = budget;
+    request.stats = stats;
+    return Train(request);
+  }
 
  private:
   TreeConfig config_;

@@ -50,7 +50,9 @@ StatusOr<CrossValidationResult> RunCrossValidation(const Dataset& data,
     auto [train, test] = data.SplitByFold(fold_of, f);
     if (train.empty() || test.empty()) continue;
     BuildStats stats;
-    UDT_ASSIGN_OR_RETURN(Model model, trainer.Train(train, kind, &stats));
+    TrainRequest request = TrainRequest::For(train, kind);
+    request.stats = &stats;
+    UDT_ASSIGN_OR_RETURN(Model model, trainer.Train(request));
     // Evaluate through the serving path: compile the fold's tree once and
     // run a session over the held-out fold.
     PredictSession session(model.Compile());
@@ -84,8 +86,10 @@ StatusOr<ForestCrossValidationResult> RunForestCrossValidation(
     if (train.empty() || test.empty()) continue;
     OobEstimate oob;
     BuildStats stats;
-    UDT_ASSIGN_OR_RETURN(ForestModel forest,
-                         trainer.Train(train, kind, &oob, &stats));
+    TrainRequest request = TrainRequest::For(train, kind);
+    request.oob = &oob;
+    request.stats = &stats;
+    UDT_ASSIGN_OR_RETURN(ForestModel forest, trainer.Train(request));
     // Evaluate through the serving path: compile the fold's forest once
     // and run a session over the held-out fold.
     ForestPredictSession session(forest.Compile());

@@ -129,4 +129,48 @@ double EvaluateAccuracy(const ForestModel& forest, const Dataset& test,
   return EvaluateConfusion(forest, test, options).Accuracy();
 }
 
+AbstentionReport EvaluateWithAbstention(ForestPredictSession& session,
+                                        const Dataset& test,
+                                        const PredictOptions& options) {
+  StatusOr<BatchResult> batch = session.PredictBatch(test, options);
+  UDT_CHECK(batch.ok());
+  AbstentionReport report;
+  report.total = test.num_tuples();
+  int64_t correct_answered = 0;
+  int64_t correct_total = 0;
+  for (int i = 0; i < test.num_tuples(); ++i) {
+    const size_t idx = static_cast<size_t>(i);
+    const int label = batch->labels[idx];
+    const bool correct = label == test.tuple(i).label;
+    if (correct) ++correct_total;
+    const std::vector<double>& row = batch->distributions[idx];
+    const double confidence = row[static_cast<size_t>(label)];
+    if (options.abstain_threshold > 0.0 &&
+        confidence < options.abstain_threshold) {
+      ++report.abstained;
+      continue;
+    }
+    ++report.answered;
+    if (correct) ++correct_answered;
+  }
+  if (report.total > 0) {
+    report.coverage = static_cast<double>(report.answered) /
+                      static_cast<double>(report.total);
+    report.accuracy_overall = static_cast<double>(correct_total) /
+                              static_cast<double>(report.total);
+  }
+  if (report.answered > 0) {
+    report.accuracy_on_answered = static_cast<double>(correct_answered) /
+                                  static_cast<double>(report.answered);
+  }
+  return report;
+}
+
+AbstentionReport EvaluateWithAbstention(const ForestModel& forest,
+                                        const Dataset& test,
+                                        const PredictOptions& options) {
+  ForestPredictSession session(forest.Compile());
+  return EvaluateWithAbstention(session, test, options);
+}
+
 }  // namespace udt

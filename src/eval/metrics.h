@@ -74,6 +74,36 @@ ConfusionMatrix EvaluateConfusion(const ForestModel& forest,
 double EvaluateAccuracy(const ForestModel& forest, const Dataset& test,
                         const PredictOptions& options = {});
 
+// Quality under an abstention policy (PredictOptions::abstain_threshold):
+// a prediction whose winning probability falls below the threshold is not
+// answered, so accuracy is measured over the answered subset only and
+// coverage reports how much of the test set that subset is. The classic
+// selective-classification trade-off: raising the threshold should raise
+// accuracy_on_answered and lower coverage.
+struct AbstentionReport {
+  int64_t total = 0;
+  int64_t answered = 0;
+  int64_t abstained = 0;
+  // answered / total; 0 for an empty test set.
+  double coverage = 0.0;
+  // Correct answered predictions / answered; 0 when everything abstained.
+  double accuracy_on_answered = 0.0;
+  // Correct / total regardless of abstention — the figure to compare
+  // against a no-abstention baseline.
+  double accuracy_overall = 0.0;
+};
+
+// Evaluates `test` through a forest session under `options`'s abstention
+// threshold (sharding knobs honoured as usual). options.abstain_threshold
+// = 0 degenerates to coverage 1 and both accuracies equal.
+AbstentionReport EvaluateWithAbstention(ForestPredictSession& session,
+                                        const Dataset& test,
+                                        const PredictOptions& options);
+// One-shot: compiles `forest` and evaluates through a fresh session.
+AbstentionReport EvaluateWithAbstention(const ForestModel& forest,
+                                        const Dataset& test,
+                                        const PredictOptions& options);
+
 }  // namespace udt
 
 #endif  // UDT_EVAL_METRICS_H_

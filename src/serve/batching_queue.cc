@@ -16,6 +16,7 @@ BatchingQueue::BatchingQueue(SnapshotProvider provider,
   UDT_CHECK(config_.max_batch > 0);
   UDT_CHECK(config_.max_queue > 0);
   UDT_CHECK(config_.max_delay_us >= 0);
+  UDT_CHECK(config_.predict.Validate().ok());
   drainer_ = std::thread([this] { DrainLoop(); });
 }
 
@@ -160,14 +161,11 @@ void BatchingQueue::ServeBatch(std::vector<Pending>& batch,
   tuple_ptrs_.reserve(batch.size());
   for (const Pending& request : batch) tuple_ptrs_.push_back(request.tuple);
 
-  PredictOptions options;
-  options.num_threads = config_.num_threads;
-  options.grain = config_.grain;
   flat_.Clear();
   Status status = session_->PredictBatchInto(
       std::span<const UncertainTuple* const>(tuple_ptrs_.data(),
                                              tuple_ptrs_.size()),
-      options, &flat_);
+      config_.predict, &flat_);
   if (!status.ok()) {
     FailBatch(batch, status);
     return;
@@ -177,10 +175,30 @@ void BatchingQueue::ServeBatch(std::vector<Pending>& batch,
   for (size_t i = 0; i < batch.size(); ++i) {
     ServeResult result;
     result.label = flat_.labels[i];
-    result.distribution.assign(flat_.distributions.data() + i * k,
-                               flat_.distributions.data() + (i + 1) * k);
+    const double* row = flat_.distributions.data() + i * k;
+    result.distribution.assign(row, row + k);
+    result.confidence = row[static_cast<size_t>(result.label)];
+    result.abstained = config_.predict.abstain_threshold > 0.0 &&
+                       result.confidence < config_.predict.abstain_threshold;
+    if (config_.predict.top_k > 0) {
+      // Partial sort over class ids: descending probability, ties broken
+      // toward the lowest class id (the id order a stable comparator on
+      // ascending ids gives for free).
+      const size_t top =
+          std::min(static_cast<size_t>(config_.predict.top_k), k);
+      top_scratch_.resize(k);
+      for (size_t c = 0; c < k; ++c) top_scratch_[c] = static_cast<int>(c);
+      std::partial_sort(top_scratch_.begin(), top_scratch_.begin() + top,
+                        top_scratch_.end(), [row](int a, int b) {
+                          if (row[a] != row[b]) return row[a] > row[b];
+                          return a < b;
+                        });
+      result.top_classes.assign(top_scratch_.begin(),
+                                top_scratch_.begin() + top);
+    }
     result.model_name = bound_->name;
     result.model_version = bound_->version;
+    if (config_.response_tap) config_.response_tap(result);
     batch[i].done(std::move(result));
   }
   batch.clear();

@@ -55,13 +55,27 @@
 namespace udt {
 namespace serve {
 
-// Per-request response. On OK: argmax label, full class distribution, and
-// the (name, version) of the registry entry that served it — the hot-swap
-// stress test keys its byte-identity oracle on `model_version`.
+// Per-request response. On OK: argmax label, full class distribution, the
+// confidence policy outputs (per-class confidence is what the stream-layer
+// DriftMonitor consumes), and the (name, version) of the registry entry
+// that served it — the hot-swap stress test keys its byte-identity oracle
+// on `model_version`.
 struct ServeResult {
   Status status;
+  // Argmax of `distribution` (ties -> lowest class id). Reported even
+  // when `abstained` is set — the caller decides what a low-confidence
+  // label is worth.
   int label = -1;
+  // Probability of `label` — the winning class's share of the
+  // distribution.
+  double confidence = 0.0;
+  // True when PredictOptions::abstain_threshold is > 0 and `confidence`
+  // fell below it.
+  bool abstained = false;
   std::vector<double> distribution;
+  // The PredictOptions::top_k most probable classes, descending
+  // probability (ties -> lowest class id); empty when top_k is 0.
+  std::vector<int> top_classes;
   std::string model_name;
   uint64_t model_version = 0;
 };
@@ -76,10 +90,20 @@ struct BatchingConfig {
   // Admission bound: pending requests beyond this are rejected with
   // kUnavailable.
   size_t max_queue = 4096;
-  // PredictOptions for each drain (threads of the session's persistent
-  // pool; 1 = classify inline on the drainer thread).
-  int num_threads = 1;
-  size_t grain = 0;
+  // The one PredictOptions each drain classifies under: num_threads picks
+  // the session's persistent pool width (1 = classify inline on the
+  // drainer thread), grain the shard size, and the output-policy fields
+  // (top_k, abstain_threshold) shape every ServeResult. Replaces the
+  // pre-unification num_threads/grain pair.
+  PredictOptions predict;
+  // Observability tap: when set, invoked on the drainer thread with every
+  // successfully classified response just before its completion runs —
+  // the hook the adaptive-serving DriftMonitor hangs off to watch the
+  // live confidence stream. Failed/shed requests are not tapped (they
+  // carry no distribution). Must be cheap and thread-safe with respect to
+  // whatever else reads its sink; it is never called concurrently with
+  // itself.
+  std::function<void(const ServeResult&)> response_tap;
 };
 
 class BatchingQueue {
@@ -159,6 +183,7 @@ class BatchingQueue {
   std::optional<ServeSession> session_;
   std::vector<const UncertainTuple*> tuple_ptrs_;
   FlatBatchResult flat_;
+  std::vector<int> top_scratch_;
   std::vector<Pending> batch_;
 
   std::thread drainer_;

@@ -1,0 +1,235 @@
+#include "storage/append_writer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "table/schema_io.h"
+
+namespace udt {
+
+StatusOr<DatasetAppendWriter> DatasetAppendWriter::Open(
+    std::string path, const Dataset& grid_source,
+    const QuantizationOptions& options) {
+  UDT_RETURN_NOT_OK(options.Validate());
+  if (grid_source.empty()) {
+    return Status::InvalidArgument(
+        "cannot fix quantization grids from an empty grid source");
+  }
+
+  DatasetAppendWriter writer(std::move(path), grid_source.schema(), options);
+  const int num_attributes = grid_source.num_attributes();
+  writer.columns_.resize(static_cast<size_t>(num_attributes));
+  for (int j = 0; j < num_attributes; ++j) {
+    Column& column = writer.columns_[static_cast<size_t>(j)];
+    const AttributeInfo& info = grid_source.schema().attribute(j);
+    column.kind = info.kind;
+    if (info.kind == AttributeKind::kCategorical) {
+      column.width = info.num_categories;
+      column.dict = PdfDictionary(column.width);
+      continue;
+    }
+    // Same grid rule as QuantizedDataset::FromDataset: keep the distinct
+    // sample points exactly while they fit in the bin budget, bail to a
+    // uniform grid over the observed range as soon as they outgrow it.
+    std::set<double> distinct;
+    bool exact = true;
+    for (int i = 0; i < grid_source.num_tuples() && exact; ++i) {
+      const SampledPdf& pdf =
+          grid_source.tuple(i).values[static_cast<size_t>(j)].pdf();
+      for (int p = 0; p < pdf.num_points(); ++p) {
+        distinct.insert(pdf.point(p));
+        if (distinct.size() > static_cast<size_t>(options.bins)) {
+          exact = false;
+          break;
+        }
+      }
+    }
+    if (exact) {
+      UDT_ASSIGN_OR_RETURN(
+          column.grid,
+          AttributeGrid::FromSortedPoints(
+              std::vector<double>(distinct.begin(), distinct.end())));
+    } else {
+      const auto [lo, hi] = grid_source.AttributeRange(j);
+      column.grid = AttributeGrid::Uniform(lo, hi, options.bins);
+    }
+    column.width = column.grid.num_points();
+    column.dict = PdfDictionary(column.width);
+  }
+  return writer;
+}
+
+Status DatasetAppendWriter::Append(const UncertainTuple& tuple) {
+  if (finalized_) {
+    return Status::InvalidArgument("writer has already been finalized");
+  }
+  if (tuple.values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("tuple carries %zu values, schema has %zu attributes",
+                  tuple.values.size(), columns_.size()));
+  }
+  if (tuple.label < 0 || tuple.label >= schema_.num_classes()) {
+    return Status::InvalidArgument(
+        StrFormat("label %d outside the schema's %d classes", tuple.label,
+                  schema_.num_classes()));
+  }
+
+  size_t tuple_bytes =
+      sizeof(UncertainTuple) + sizeof(UncertainValue) * tuple.values.size();
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    Column& column = columns_[j];
+    const UncertainValue& value = tuple.values[j];
+    if (column.kind == AttributeKind::kNumerical) {
+      if (!value.is_numerical()) {
+        return Status::InvalidArgument(StrFormat(
+            "attribute %zu is numerical but the value is categorical", j));
+      }
+      const std::vector<uint16_t> fixed =
+          QuantizeToGrid(value.pdf(), column.grid);
+      column.ids.push_back(column.dict.Intern(fixed.data()));
+      tuple_bytes += value.pdf().MemoryUsageBytes();
+    } else {
+      if (value.is_numerical()) {
+        return Status::InvalidArgument(StrFormat(
+            "attribute %zu is categorical but the value is numerical", j));
+      }
+      const CategoricalPdf& pdf = value.categorical();
+      if (pdf.num_categories() != column.width) {
+        return Status::InvalidArgument(StrFormat(
+            "attribute %zu carries %d categories, schema says %d", j,
+            pdf.num_categories(), column.width));
+      }
+      std::vector<double> weights(static_cast<size_t>(column.width));
+      for (int c = 0; c < column.width; ++c) {
+        weights[static_cast<size_t>(c)] = pdf.probability(c);
+      }
+      const std::vector<uint16_t> fixed =
+          FixedPointMasses(weights.data(), column.width);
+      column.ids.push_back(column.dict.Intern(fixed.data()));
+      tuple_bytes += sizeof(double) * static_cast<size_t>(column.width);
+    }
+  }
+  labels_.push_back(tuple.label);
+  appended_decoded_bytes_ += tuple_bytes;
+  return Status::OK();
+}
+
+Status DatasetAppendWriter::AppendAll(const Dataset& data) {
+  if (!SchemaEquals(data.schema(), schema_)) {
+    return Status::InvalidArgument(
+        "data set schema does not match the writer schema");
+  }
+  for (const UncertainTuple& tuple : data.tuples()) {
+    UDT_RETURN_NOT_OK(Append(tuple));
+  }
+  return Status::OK();
+}
+
+StatusOr<DatasetFileStats> DatasetAppendWriter::Finalize(
+    std::optional<size_t> source_decoded_bytes) {
+  if (finalized_) {
+    return Status::InvalidArgument("writer has already been finalized");
+  }
+  if (labels_.empty()) {
+    return Status::InvalidArgument("cannot finalize an empty writer");
+  }
+  finalized_ = true;
+
+  const int64_t num_tuples = static_cast<int64_t>(labels_.size());
+  const size_t source_bytes = source_decoded_bytes.value_or(
+      sizeof(Dataset) + appended_decoded_bytes_);
+
+  // Same layout, token for token, as WriteDatasetFile — the append test
+  // pins byte-identity against ConvertDatasetToFile, so any format drift
+  // between the two writers fails loudly.
+  std::ofstream out(path_);
+  if (!out) return Status::IOError("cannot open for write: " + path_);
+
+  out << "udt-dataset v1\n";
+  out << "quantized bins " << options_.bins << " chunk "
+      << options_.chunk_tuples << "\n";
+  out << "tuples " << num_tuples << "\n";
+  out << "source bytes " << source_bytes << "\n";
+  WriteSchemaBlock(schema_, out);
+
+  out << "columns " << schema_.num_attributes() << "\n";
+  for (int j = 0; j < schema_.num_attributes(); ++j) {
+    const Column& column = columns_[static_cast<size_t>(j)];
+    if (column.kind == AttributeKind::kNumerical) {
+      out << "column " << j << " num grid " << column.grid.num_points()
+          << " dict " << column.dict.num_entries() << "\n";
+      out << "g";
+      for (double point : column.grid.points()) {
+        out << StrFormat(" %a", point);
+      }
+      out << "\n";
+    } else {
+      out << "column " << j << " cat width " << column.dict.width()
+          << " dict " << column.dict.num_entries() << "\n";
+    }
+    for (uint32_t id = 0; id < column.dict.num_entries(); ++id) {
+      const uint16_t* row = column.dict.entry(id);
+      out << "d";
+      for (int i = 0; i < column.dict.width(); ++i) out << ' ' << row[i];
+      out << "\n";
+    }
+  }
+
+  const int64_t chunk_tuples = options_.chunk_tuples;
+  const int64_t num_chunks = (num_tuples + chunk_tuples - 1) / chunk_tuples;
+  out << "chunks " << num_chunks << "\n";
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const int64_t begin = c * chunk_tuples;
+    const int64_t end = std::min(begin + chunk_tuples, num_tuples);
+    out << "chunk " << c << " tuples " << (end - begin) << "\n";
+    out << "l";
+    for (int64_t i = begin; i < end; ++i) {
+      out << ' ' << labels_[static_cast<size_t>(i)];
+    }
+    out << "\n";
+    for (int j = 0; j < schema_.num_attributes(); ++j) {
+      const std::vector<uint32_t>& ids =
+          columns_[static_cast<size_t>(j)].ids;
+      out << "c " << j;
+      for (int64_t i = begin; i < end; ++i) {
+        out << ' ' << ids[static_cast<size_t>(i)];
+      }
+      out << "\n";
+    }
+  }
+  out << "end\n";
+
+  out.close();
+  if (!out) return Status::IOError("write failed: " + path_);
+
+  DatasetFileStats stats;
+  stats.num_tuples = num_tuples;
+  for (const Column& column : columns_) {
+    stats.dictionary_entries += column.dict.num_entries();
+  }
+  const double values =
+      static_cast<double>(num_tuples) * schema_.num_attributes();
+  stats.dictionary_hit_rate =
+      values > 0.0
+          ? 1.0 - static_cast<double>(stats.dictionary_entries) / values
+          : 0.0;
+  stats.source_decoded_bytes = source_bytes;
+  stats.quantized_bytes = sizeof(DatasetAppendWriter) +
+                          sizeof(int32_t) * labels_.capacity();
+  for (const Column& column : columns_) {
+    stats.quantized_bytes += column.grid.MemoryUsageBytes() +
+                             column.dict.MemoryUsageBytes() +
+                             sizeof(uint32_t) * column.ids.capacity();
+  }
+  std::ifstream written(path_, std::ios::binary | std::ios::ate);
+  if (written) {
+    stats.file_bytes = static_cast<size_t>(written.tellg());
+  }
+  return stats;
+}
+
+}  // namespace udt

@@ -1,0 +1,98 @@
+// DatasetAppendWriter: the streaming write path of the "udt-dataset v1"
+// container (storage/dataset_file.h). ConvertDatasetToFile needs the whole
+// data set in memory before it can quantize; the append writer instead
+// fixes the quantization axes up front from a representative grid source,
+// then accepts tuples one at a time — the shape a retrain window spilling
+// out of a serving ring buffer arrives in. Appended pdfs are quantized and
+// dictionary-interned immediately and NOT retained, so the writer's
+// resident footprint is the dictionary footprint plus one uint32 id per
+// value, independent of how much heavy pdf data has passed through it.
+//
+// The container interleaves dictionaries before chunks, and dictionaries
+// grow until the last Append — so the file itself is written by Finalize,
+// from the compact id columns. When the grid source IS the appended
+// sequence (same tuples, same order), the finalised file is byte-identical
+// to what ConvertDatasetToFile would have produced, given the same
+// source-bytes figure.
+
+#ifndef UDT_STORAGE_APPEND_WRITER_H_
+#define UDT_STORAGE_APPEND_WRITER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "storage/dataset_file.h"
+#include "storage/quantized_pdf.h"
+#include "table/dataset.h"
+
+namespace udt {
+
+class DatasetAppendWriter {
+ public:
+  // Fixes the schema and the per-attribute grids from `grid_source`,
+  // exactly as QuantizedDataset::FromDataset would: a numerical attribute
+  // whose distinct sample points fit in options.bins keeps them as the
+  // grid (lossless for those points); a denser one gets a uniform grid
+  // over the observed range. Tuples appended later may carry points
+  // outside the grid — they snap to the nearest bin, so pick a grid
+  // source that covers the value range the stream is expected to produce.
+  // Dictionaries start empty and grow per Append. Fails on an empty grid
+  // source or invalid options.
+  static StatusOr<DatasetAppendWriter> Open(
+      std::string path, const Dataset& grid_source,
+      const QuantizationOptions& options = {});
+
+  // Quantizes and interns one tuple (schema-checked). The tuple is fully
+  // consumed here; the writer keeps no reference to it.
+  Status Append(const UncertainTuple& tuple);
+
+  // Appends every tuple of `data` in order (schema must match).
+  Status AppendAll(const Dataset& data);
+
+  int64_t num_tuples() const {
+    return static_cast<int64_t>(labels_.size());
+  }
+  const Schema& schema() const { return schema_; }
+
+  // Writes the container to the path given at Open and returns the same
+  // stats ConvertDatasetToFile reports. `source_decoded_bytes` overrides
+  // the header's source-footprint figure; when absent the writer uses its
+  // own per-tuple accounting of the decoded footprint of everything
+  // appended (size-based — it cannot know a source vector's growth
+  // slack). Fails on an empty writer; the writer must not be used again
+  // afterwards.
+  StatusOr<DatasetFileStats> Finalize(
+      std::optional<size_t> source_decoded_bytes = std::nullopt);
+
+ private:
+  struct Column {
+    AttributeKind kind = AttributeKind::kNumerical;
+    int width = 0;
+    AttributeGrid grid;  // numerical only
+    PdfDictionary dict;
+    std::vector<uint32_t> ids;  // one per appended tuple
+  };
+
+  DatasetAppendWriter(std::string path, Schema schema,
+                      QuantizationOptions options)
+      : path_(std::move(path)),
+        schema_(std::move(schema)),
+        options_(options) {}
+
+  std::string path_;
+  Schema schema_;
+  QuantizationOptions options_;
+  std::vector<Column> columns_;
+  std::vector<int32_t> labels_;
+  // Accumulated decoded footprint of the appended tuples (the fallback
+  // source-bytes figure).
+  size_t appended_decoded_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace udt
+
+#endif  // UDT_STORAGE_APPEND_WRITER_H_

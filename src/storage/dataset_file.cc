@@ -433,11 +433,16 @@ int64_t DatasetReader::dictionary_entries() const {
 }
 
 Status DatasetReader::Rewind() {
+  // Reset the streaming bookkeeping before touching the stream: if the
+  // seek below fails, the reader must still be left fully rewound — not
+  // half-rewound with next_chunk_ stale and a line counter frozen at the
+  // previous failure point, where a later diagnostic would report the old
+  // position instead of the true one.
+  next_chunk_ = 0;
+  reader_ = std::make_unique<LineReader>(*in_, kContext, chunks_line_);
   in_->clear();
   in_->seekg(chunks_pos_);
   if (!*in_) return Status::IOError("seek failed on the dataset file");
-  reader_ = std::make_unique<LineReader>(*in_, kContext, chunks_line_);
-  next_chunk_ = 0;
   return Status::OK();
 }
 

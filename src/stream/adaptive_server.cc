@@ -1,0 +1,227 @@
+#include "stream/adaptive_server.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace udt {
+namespace stream {
+
+AdaptiveServer::AdaptiveServer(ForestTrainer trainer,
+                               AdaptiveServerOptions options, Schema schema)
+    : options_(std::move(options)),
+      calibrator_(schema, options_.calibrator),
+      monitor_(options_.drift),
+      controller_(&registry_, options_.model_name, std::move(schema),
+                  std::move(trainer), options_.retrain) {}
+
+AdaptiveServer::~AdaptiveServer() {
+  // Join the drainer before any member it taps into is torn down. queue_
+  // is null only when Create failed after construction.
+  if (queue_ != nullptr) queue_->Close();
+}
+
+StatusOr<std::unique_ptr<AdaptiveServer>> AdaptiveServer::Create(
+    const Dataset& seed_data, ForestTrainer trainer,
+    AdaptiveServerOptions options) {
+  if (options.model_name.empty()) {
+    return Status::InvalidArgument(
+        "AdaptiveServerOptions::model_name must not be empty");
+  }
+  if (options.batching.response_tap) {
+    return Status::InvalidArgument(
+        "AdaptiveServerOptions::batching.response_tap is owned by the "
+        "server; leave it unset");
+  }
+  UDT_RETURN_NOT_OK(options.batching.predict.Validate());
+  UDT_RETURN_NOT_OK(options.drift.Validate());
+  UDT_RETURN_NOT_OK(options.retrain.Validate());
+  UDT_RETURN_NOT_OK(options.calibrator.Validate());
+  if (seed_data.empty()) {
+    return Status::InvalidArgument(
+        "AdaptiveServer needs a non-empty seed data set to bootstrap");
+  }
+
+  std::unique_ptr<AdaptiveServer> server(new AdaptiveServer(
+      std::move(trainer), std::move(options), seed_data.schema()));
+
+  // Generation 1: train, publish, anchor the monitor at its OOB error.
+  RetrainReport bootstrap;
+  UDT_ASSIGN_OR_RETURN(bootstrap, server->controller_.Bootstrap(seed_data));
+  server->monitor_.Reset(server->controller_.incumbent_oob_error());
+
+  // Only now does traffic start: the queue resolves the just-published
+  // version on its first drain.
+  serve::BatchingConfig config = server->options_.batching;
+  if (server->options_.monitor_confidence_tap) {
+    AdaptiveServer* raw = server.get();
+    config.response_tap = [raw](const serve::ServeResult& result) {
+      std::optional<DriftEvent> event;
+      {
+        std::lock_guard<std::mutex> lock(raw->monitor_mu_);
+        event = raw->monitor_.ObserveConfidence(result.confidence);
+        if (event.has_value()) raw->RecordEvent(*event, /*from_tap=*/true);
+      }
+      if (event.has_value() && raw->options_.on_drift) {
+        raw->options_.on_drift(*event);
+      }
+    };
+  }
+  server->queue_ = std::make_unique<serve::BatchingQueue>(
+      &server->registry_, server->options_.model_name, config);
+
+  if (server->options_.on_retrain) server->options_.on_retrain(bootstrap);
+  return server;
+}
+
+void AdaptiveServer::RecordEvent(const DriftEvent& event, bool from_tap) {
+  drift_log_.push_back(event);
+  // The drainer thread cannot retrain (it must keep serving); park the
+  // trigger for the next feedback call to act on.
+  if (from_tap) pending_drift_ = true;
+}
+
+std::future<serve::ServeResult> AdaptiveServer::Submit(
+    const UncertainTuple* tuple) {
+  return queue_->Submit(tuple);
+}
+
+std::future<serve::ServeResult> AdaptiveServer::SubmitReading(
+    int source, const std::vector<double>& readings) {
+  auto promise = std::make_shared<std::promise<serve::ServeResult>>();
+  std::future<serve::ServeResult> future = promise->get_future();
+
+  StatusOr<UncertainTuple> wrapped = [&]() -> StatusOr<UncertainTuple> {
+    std::lock_guard<std::mutex> lock(calibrator_mu_);
+    return calibrator_.Wrap(source, readings);
+  }();
+  if (!wrapped.ok()) {
+    serve::ServeResult result;
+    result.status = wrapped.status();
+    promise->set_value(std::move(result));
+    return future;
+  }
+
+  // The queue never copies tuples, so the wrapped tuple's lifetime is
+  // carried by the completion itself.
+  auto tuple = std::make_shared<UncertainTuple>(std::move(wrapped).value());
+  queue_->SubmitWithCallback(tuple.get(),
+                             [tuple, promise](serve::ServeResult result) {
+                               promise->set_value(std::move(result));
+                             });
+  return future;
+}
+
+StatusOr<std::optional<RetrainReport>> AdaptiveServer::Feedback(
+    const UncertainTuple& tuple, int true_label,
+    const serve::ServeResult& result) {
+  if (!result.status.ok() || result.label < 0) {
+    return Status::InvalidArgument(
+        "Feedback needs the successful ServeResult that served the tuple");
+  }
+
+  // 1. Monitor under monitor_mu_ only — never across the retrain below,
+  //    so the queue's tap (same mutex) is never held behind training.
+  std::optional<DriftEvent> event;
+  {
+    std::lock_guard<std::mutex> lock(monitor_mu_);
+    event = monitor_.Observe(result.label, true_label, result.confidence);
+    if (event.has_value()) RecordEvent(*event, /*from_tap=*/false);
+  }
+  if (event.has_value() && options_.on_drift) options_.on_drift(*event);
+
+  // 2. Window + (maybe) retrain under retrain_mu_. Serving continues
+  //    against the incumbent snapshot throughout.
+  std::optional<RetrainReport> report;
+  double published_oob = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(retrain_mu_);
+    UncertainTuple labeled = tuple;
+    labeled.label = true_label;
+    UDT_RETURN_NOT_OK(controller_.AddLabeled(std::move(labeled)));
+
+    bool drift_trigger = event.has_value();
+    {
+      std::lock_guard<std::mutex> monitor_lock(monitor_mu_);
+      if (pending_drift_) {
+        drift_trigger = true;
+        pending_drift_ = false;
+      }
+    }
+    if (drift_trigger && !controller_.CanRetrain()) {
+      // Too few labeled tuples to act yet: re-park the trigger so a later
+      // feedback call retrains once the window fills.
+      std::lock_guard<std::mutex> monitor_lock(monitor_mu_);
+      pending_drift_ = true;
+      drift_trigger = false;
+    }
+
+    if (drift_trigger || controller_.ScheduleDue()) {
+      UDT_ASSIGN_OR_RETURN(
+          report, controller_.Retrain(drift_trigger ? "drift" : "schedule"));
+      published_oob = controller_.incumbent_oob_error();
+    }
+  }
+
+  // 3. A publish re-anchors the monitor at the new generation's OOB error
+  //    (and clears any drift parked against the old generation).
+  if (report.has_value() && report->published) {
+    std::lock_guard<std::mutex> lock(monitor_mu_);
+    monitor_.Reset(published_oob);
+    pending_drift_ = false;
+  }
+  if (report.has_value() && options_.on_retrain) options_.on_retrain(*report);
+  return report;
+}
+
+Status AdaptiveServer::ObserveResidual(int source, int attribute,
+                                       double reading, double truth) {
+  std::lock_guard<std::mutex> lock(calibrator_mu_);
+  return calibrator_.ObserveResidual(source, attribute, reading, truth);
+}
+
+StatusOr<RetrainReport> AdaptiveServer::ForceRetrain(
+    const std::string& reason) {
+  RetrainReport report;
+  double published_oob = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(retrain_mu_);
+    UDT_ASSIGN_OR_RETURN(report, controller_.Retrain(reason));
+    published_oob = controller_.incumbent_oob_error();
+  }
+  if (report.published) {
+    std::lock_guard<std::mutex> lock(monitor_mu_);
+    monitor_.Reset(published_oob);
+    pending_drift_ = false;
+  }
+  if (options_.on_retrain) options_.on_retrain(report);
+  return report;
+}
+
+uint64_t AdaptiveServer::live_version() const {
+  serve::ModelHandle handle = registry_.Resolve(options_.model_name);
+  return handle != nullptr ? handle->version : 0;
+}
+
+int64_t AdaptiveServer::drift_events() const {
+  std::lock_guard<std::mutex> lock(monitor_mu_);
+  return monitor_.events_fired();
+}
+
+std::vector<DriftEvent> AdaptiveServer::drift_log() const {
+  std::lock_guard<std::mutex> lock(monitor_mu_);
+  return drift_log_;
+}
+
+int64_t AdaptiveServer::generations() const {
+  std::lock_guard<std::mutex> lock(retrain_mu_);
+  return controller_.generations();
+}
+
+int64_t AdaptiveServer::window_size() const {
+  std::lock_guard<std::mutex> lock(retrain_mu_);
+  return controller_.window_size();
+}
+
+}  // namespace stream
+}  // namespace udt

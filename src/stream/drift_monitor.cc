@@ -1,0 +1,132 @@
+#include "stream/drift_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace udt {
+namespace stream {
+
+Status DriftMonitorOptions::Validate() const {
+  if (!(delta >= 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("DriftMonitorOptions::delta must be >= 0, got %g", delta));
+  }
+  if (!(lambda > 0.0)) {
+    return Status::InvalidArgument(StrFormat(
+        "DriftMonitorOptions::lambda must be > 0, got %g", lambda));
+  }
+  if (baseline_weight < 0) {
+    return Status::InvalidArgument(
+        StrFormat("DriftMonitorOptions::baseline_weight must be >= 0, "
+                  "got %d",
+                  baseline_weight));
+  }
+  if (min_observations < 1) {
+    return Status::InvalidArgument(
+        StrFormat("DriftMonitorOptions::min_observations must be >= 1, "
+                  "got %d",
+                  min_observations));
+  }
+  if (cooldown < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "DriftMonitorOptions::cooldown must be >= 0, got %d", cooldown));
+  }
+  return Status::OK();
+}
+
+const char* DriftKindToString(DriftKind kind) {
+  return kind == DriftKind::kErrorRate ? "error-rate" : "confidence";
+}
+
+std::string DriftEvent::ToString() const {
+  return StrFormat(
+      "drift[%s] at observation %lld: PH %.4f > %.4f (signal mean %.4f, "
+      "baseline %.4f)",
+      DriftKindToString(kind), static_cast<long long>(observation),
+      statistic, threshold, signal_mean, baseline);
+}
+
+DriftMonitor::DriftMonitor(const DriftMonitorOptions& options)
+    : options_(options) {
+  UDT_CHECK(options_.Validate().ok());
+  Reset(0.0);
+}
+
+void DriftMonitor::ResetDetector(Detector* detector, double baseline) const {
+  *detector = Detector{};
+  detector->baseline = baseline;
+  detector->mean = baseline;
+  detector->weight = static_cast<double>(options_.baseline_weight);
+}
+
+void DriftMonitor::Reset(double baseline_error) {
+  double anchor = baseline_error;
+  if (!std::isfinite(anchor)) anchor = 0.0;  // the OOB "no estimate" NaN
+  anchor = std::clamp(anchor, 0.0, 1.0);
+  ResetDetector(&error_, anchor);
+  // The confidence signal is 1 - winning probability; absent a measured
+  // reference, anchor it at the observed stream itself (baseline 0 with
+  // zero pseudo-weight would whipsaw; instead seed with the error anchor,
+  // the closest available proxy for "how unsure the forest should be").
+  ResetDetector(&confidence_, anchor);
+}
+
+std::optional<DriftEvent> DriftMonitor::Feed(Detector* detector,
+                                             DriftKind kind, double x) {
+  ++detector->observations;
+  detector->weight += 1.0;
+  detector->mean += (x - detector->mean) / detector->weight;
+  detector->cumulative += x - detector->mean - options_.delta;
+  detector->minimum = std::min(detector->minimum, detector->cumulative);
+  const double statistic = detector->cumulative - detector->minimum;
+
+  if (detector->cooldown_left > 0) {
+    --detector->cooldown_left;
+    return std::nullopt;
+  }
+  if (detector->observations <
+      static_cast<int64_t>(options_.min_observations)) {
+    return std::nullopt;
+  }
+  if (statistic <= options_.lambda) return std::nullopt;
+
+  DriftEvent event;
+  event.kind = kind;
+  event.observation = detector->observations;
+  event.statistic = statistic;
+  event.threshold = options_.lambda;
+  event.signal_mean = detector->mean;
+  event.baseline = detector->baseline;
+  ++events_fired_;
+  // Quench the statistic and start the cooldown: the same sustained shift
+  // must not re-fire every observation until the retrain lands.
+  detector->cumulative = 0.0;
+  detector->minimum = 0.0;
+  detector->cooldown_left = options_.cooldown;
+  return event;
+}
+
+std::optional<DriftEvent> DriftMonitor::Observe(int predicted, int actual,
+                                                double confidence) {
+  const double error = predicted == actual ? 0.0 : 1.0;
+  std::optional<DriftEvent> error_event =
+      Feed(&error_, DriftKind::kErrorRate, error);
+  std::optional<DriftEvent> confidence_event =
+      Feed(&confidence_, DriftKind::kConfidence,
+           1.0 - std::clamp(confidence, 0.0, 1.0));
+  // One event per call; a genuine error-rate shift outranks the softer
+  // confidence signal.
+  if (error_event.has_value()) return error_event;
+  return confidence_event;
+}
+
+std::optional<DriftEvent> DriftMonitor::ObserveConfidence(double confidence) {
+  return Feed(&confidence_, DriftKind::kConfidence,
+              1.0 - std::clamp(confidence, 0.0, 1.0));
+}
+
+}  // namespace stream
+}  // namespace udt

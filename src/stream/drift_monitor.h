@@ -1,0 +1,139 @@
+// udt::stream::DriftMonitor — Page–Hinkley mean-shift detection over the
+// two signals a serving loop can actually watch: the error indicator of
+// labeled feedback (1 when the served label disagreed with the truth that
+// later arrived) and the confidence stream of every response (1 - winning
+// probability, available without labels through the BatchingQueue's
+// response tap).
+//
+// Page–Hinkley, per signal x_t with running mean x̄_t:
+//
+//   m_t   = m_{t-1} + (x_t - x̄_t - delta),   m_0 = 0
+//   PH_t  = m_t - min_{s<=t} m_s
+//   drift when PH_t > lambda
+//
+// PH_t grows only while the recent signal sits persistently above its own
+// running mean by more than the tolerance `delta` — a sustained upward
+// shift of error rate (or of 1 - confidence) — and is insensitive to
+// isolated spikes. The running mean is seeded from the incumbent forest's
+// out-of-bag error (SetBaseline/Reset) with `baseline_weight` pseudo-
+// observations, so the detector starts anchored at what the forest was
+// measured to do on its own training window rather than learning the
+// pre-shift level from scratch.
+//
+// Determinism contract: the monitor is a pure function of its observation
+// sequence and options — no clocks, no randomness — so a seeded test can
+// assert the exact observation index an event fires at. A warmup floor
+// (min_observations) suppresses events before the statistic means
+// anything, and a cooldown suppresses follow-on events while the loop
+// retrains, which is what makes "exactly one event per injected shift"
+// testable. Not thread-safe; callers serialise (the adaptive server wraps
+// it in its mutex).
+
+#ifndef UDT_STREAM_DRIFT_MONITOR_H_
+#define UDT_STREAM_DRIFT_MONITOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/statusor.h"
+
+namespace udt {
+namespace stream {
+
+struct DriftMonitorOptions {
+  // Page–Hinkley tolerance: per-observation slack before a deviation
+  // counts toward the statistic.
+  double delta = 0.005;
+  // Page–Hinkley threshold: the accumulated deviation that declares drift.
+  double lambda = 2.0;
+  // Pseudo-observations the baseline error seeds the running mean with.
+  int baseline_weight = 32;
+  // No event fires before this many real observations of the signal.
+  int min_observations = 32;
+  // After an event, this many further observations of the signal are
+  // absorbed silently (the retrain the event triggered needs feedback
+  // tuples before the world looks stationary again).
+  int cooldown = 256;
+
+  Status Validate() const;
+};
+
+// Which monitored signal shifted.
+enum class DriftKind {
+  kErrorRate,   // labeled feedback: served label vs arrived truth
+  kConfidence,  // unlabeled: winning probability of served responses
+};
+
+const char* DriftKindToString(DriftKind kind);
+
+struct DriftEvent {
+  DriftKind kind = DriftKind::kErrorRate;
+  // 1-based index of the observation (within the signal) that fired.
+  int64_t observation = 0;
+  // The Page–Hinkley statistic at the firing point, and the threshold it
+  // crossed.
+  double statistic = 0.0;
+  double threshold = 0.0;
+  // Running mean of the signal at the firing point vs the baseline the
+  // detector was anchored at.
+  double signal_mean = 0.0;
+  double baseline = 0.0;
+
+  std::string ToString() const;
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(const DriftMonitorOptions& options = {});
+
+  // Anchors the error-rate detector at the incumbent forest's measured
+  // error (e.g. OobEstimate::error) and fully resets both detectors —
+  // call after every publish. `baseline_error` must be in [0, 1]; a NaN
+  // OOB sentinel (no estimate) anchors at 0.
+  void Reset(double baseline_error);
+
+  // Labeled feedback: the loop served `predicted` with winning probability
+  // `confidence`, and the truth arrived as `actual`. Feeds the error-rate
+  // detector (and the confidence detector). At most one event returns per
+  // call; error-rate shifts win ties.
+  std::optional<DriftEvent> Observe(int predicted, int actual,
+                                    double confidence);
+
+  // Unlabeled response: confidence only (the queue tap's path).
+  std::optional<DriftEvent> ObserveConfidence(double confidence);
+
+  // Real observations fed to each detector since the last Reset.
+  int64_t error_observations() const { return error_.observations; }
+  int64_t confidence_observations() const {
+    return confidence_.observations;
+  }
+  // Events fired since construction (never reset — the loop's lifetime
+  // drift count).
+  int64_t events_fired() const { return events_fired_; }
+
+ private:
+  struct Detector {
+    int64_t observations = 0;  // real observations only
+    double weight = 0.0;       // pseudo + real observation weight
+    double mean = 0.0;
+    double cumulative = 0.0;   // m_t
+    double minimum = 0.0;      // min over m_s
+    int64_t cooldown_left = 0;
+    double baseline = 0.0;
+  };
+
+  std::optional<DriftEvent> Feed(Detector* detector, DriftKind kind,
+                                 double x);
+  void ResetDetector(Detector* detector, double baseline) const;
+
+  DriftMonitorOptions options_;
+  Detector error_;
+  Detector confidence_;
+  int64_t events_fired_ = 0;
+};
+
+}  // namespace stream
+}  // namespace udt
+
+#endif  // UDT_STREAM_DRIFT_MONITOR_H_

@@ -1,0 +1,174 @@
+#include "stream/uncertainty_calibrator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "pdf/pdf_builder.h"
+
+namespace udt {
+namespace stream {
+
+Status CalibratorOptions::Validate() const {
+  if (window < 1) {
+    return Status::InvalidArgument(
+        StrFormat("CalibratorOptions::window must be >= 1, got %d", window));
+  }
+  if (samples_per_pdf < 1) {
+    return Status::InvalidArgument(
+        StrFormat("CalibratorOptions::samples_per_pdf must be >= 1, got %d",
+                  samples_per_pdf));
+  }
+  if (min_observations < 2) {
+    return Status::InvalidArgument(StrFormat(
+        "CalibratorOptions::min_observations must be >= 2 (one residual "
+        "cannot estimate a spread), got %d",
+        min_observations));
+  }
+  return Status::OK();
+}
+
+UncertaintyCalibrator::UncertaintyCalibrator(Schema schema,
+                                             const CalibratorOptions& options)
+    : schema_(std::move(schema)), options_(options) {
+  UDT_CHECK(options_.Validate().ok());
+}
+
+Status UncertaintyCalibrator::CheckNumerical(int attribute) const {
+  if (attribute < 0 || attribute >= schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        StrFormat("attribute %d out of range (schema has %d)", attribute,
+                  schema_.num_attributes()));
+  }
+  if (schema_.attribute(attribute).kind != AttributeKind::kNumerical) {
+    return Status::InvalidArgument(StrFormat(
+        "attribute %d is categorical; residual calibration is numerical",
+        attribute));
+  }
+  return Status::OK();
+}
+
+Status UncertaintyCalibrator::ObserveResidual(int source, int attribute,
+                                              double reading, double truth) {
+  UDT_RETURN_NOT_OK(CheckNumerical(attribute));
+  if (!std::isfinite(reading) || !std::isfinite(truth)) {
+    return Status::InvalidArgument("residual inputs must be finite");
+  }
+  std::vector<Cell>& row = cells_[source];
+  if (row.empty()) {
+    row.resize(static_cast<size_t>(schema_.num_attributes()));
+  }
+  Cell& cell = row[static_cast<size_t>(attribute)];
+
+  const double residual = reading - truth;
+  // Welford's recurrence: numerically stable single-pass moments.
+  ++cell.count;
+  const double delta = residual - cell.mean;
+  cell.mean += delta / static_cast<double>(cell.count);
+  cell.m2 += delta * (residual - cell.mean);
+
+  if (cell.window.size() < static_cast<size_t>(options_.window)) {
+    cell.window.push_back(residual);
+  } else {
+    cell.window[cell.next] = residual;
+    cell.next = (cell.next + 1) % cell.window.size();
+  }
+  return Status::OK();
+}
+
+const UncertaintyCalibrator::Cell* UncertaintyCalibrator::FindCell(
+    int source, int attribute) const {
+  auto it = cells_.find(source);
+  if (it == cells_.end()) return nullptr;
+  return &it->second[static_cast<size_t>(attribute)];
+}
+
+StatusOr<ErrorModelEstimate> UncertaintyCalibrator::Estimate(
+    int source, int attribute) const {
+  UDT_RETURN_NOT_OK(CheckNumerical(attribute));
+  ErrorModelEstimate estimate;
+  const Cell* cell = FindCell(source, attribute);
+  if (cell == nullptr || cell->count == 0) return estimate;
+  estimate.count = cell->count;
+  estimate.bias = cell->mean;
+  if (cell->count >= 2) {
+    estimate.stddev =
+        std::sqrt(cell->m2 / static_cast<double>(cell->count - 1));
+  }
+  return estimate;
+}
+
+StatusOr<double> UncertaintyCalibrator::Quantile(int source, int attribute,
+                                                 double q) const {
+  UDT_RETURN_NOT_OK(CheckNumerical(attribute));
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("quantile must be in [0, 1], got %g", q));
+  }
+  const Cell* cell = FindCell(source, attribute);
+  if (cell == nullptr || cell->window.empty()) {
+    return Status::InvalidArgument(StrFormat(
+        "no residuals observed for source %d attribute %d", source,
+        attribute));
+  }
+  std::vector<double> sorted = cell->window;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t rank = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5));
+  return sorted[rank];
+}
+
+StatusOr<UncertainTuple> UncertaintyCalibrator::Wrap(
+    int source, const std::vector<double>& readings, int label) const {
+  if (readings.size() != static_cast<size_t>(schema_.num_attributes())) {
+    return Status::InvalidArgument(
+        StrFormat("reading carries %zu values, schema has %d attributes",
+                  readings.size(), schema_.num_attributes()));
+  }
+  UncertainTuple tuple;
+  tuple.label = label;
+  tuple.values.reserve(readings.size());
+  for (int j = 0; j < schema_.num_attributes(); ++j) {
+    const double reading = readings[static_cast<size_t>(j)];
+    const AttributeInfo& info = schema_.attribute(j);
+    if (info.kind == AttributeKind::kCategorical) {
+      const int category = static_cast<int>(reading);
+      if (category < 0 || category >= info.num_categories ||
+          static_cast<double>(category) != reading) {
+        return Status::InvalidArgument(StrFormat(
+            "attribute %d reading %g is not a category in [0, %d)", j,
+            reading, info.num_categories));
+      }
+      tuple.values.push_back(UncertainValue::Categorical(
+          CategoricalPdf::Certain(category, info.num_categories)));
+      continue;
+    }
+    if (!std::isfinite(reading)) {
+      return Status::InvalidArgument(
+          StrFormat("attribute %d reading is not finite", j));
+    }
+    const Cell* cell = FindCell(source, j);
+    double bias = 0.0;
+    double stddev = 0.0;
+    if (cell != nullptr &&
+        cell->count >= static_cast<int64_t>(options_.min_observations)) {
+      bias = cell->mean;
+      stddev = std::sqrt(cell->m2 / static_cast<double>(cell->count - 1));
+    }
+    // The paper's convention (Section 4.3): support width w with stddev =
+    // w/4, so the learned stddev maps to width 4*stddev. Zero width (cold
+    // cell, or a genuinely exact source) degenerates to a point mass.
+    UDT_ASSIGN_OR_RETURN(
+        SampledPdf pdf,
+        MakeGaussianErrorPdf(reading - bias, 4.0 * stddev,
+                             options_.samples_per_pdf));
+    tuple.values.push_back(UncertainValue::Numerical(std::move(pdf)));
+  }
+  return tuple;
+}
+
+}  // namespace stream
+}  // namespace udt

@@ -1,0 +1,114 @@
+// udt::stream::UncertaintyCalibrator — the online generalisation of the
+// static uncertainty injector (table/uncertainty_injector.h). The injector
+// synthesises pdfs from a width knob the experimenter chooses; a live
+// deployment does not know its sensors' error widths up front, but it does
+// see labeled feedback: once the true value of a reading is known, the
+// residual (reading - truth) is one sample of that source's error
+// distribution. The calibrator accumulates those samples per (source id,
+// attribute) cell — running mean/variance by Welford's recurrence, plus a
+// bounded ring window for quantiles — and uses the learned models to wrap
+// incoming point readings into uncertain tuples at submit time: each value
+// becomes the paper's Gaussian error pdf (support width 4*stddev, i.e.
+// stddev = width/4, Section 4.3) centred at the bias-corrected reading.
+//
+// Sources model heterogeneous producers (distinct sensors, feeds,
+// clients): each learns its own noise model, so a noisy sensor widens only
+// its own pdfs. Not thread-safe; the adaptive server serialises access.
+
+#ifndef UDT_STREAM_UNCERTAINTY_CALIBRATOR_H_
+#define UDT_STREAM_UNCERTAINTY_CALIBRATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "table/dataset.h"
+
+namespace udt {
+namespace stream {
+
+struct CalibratorOptions {
+  // Residual samples retained per (source, attribute) cell for quantile
+  // queries; the running moments use every observation ever fed.
+  int window = 256;
+
+  // Sample points per wrapped pdf (the injector's s knob).
+  int samples_per_pdf = 20;
+
+  // Cells with fewer residual observations than this wrap readings as
+  // point masses — an unlearned error model must not invent spread.
+  int min_observations = 8;
+
+  Status Validate() const;
+};
+
+// The learned error model of one (source, attribute) cell.
+struct ErrorModelEstimate {
+  int64_t count = 0;
+  // Mean residual (reading - truth): the systematic bias to subtract.
+  double bias = 0.0;
+  // Sample standard deviation of the residuals (0 until count >= 2).
+  double stddev = 0.0;
+};
+
+class UncertaintyCalibrator {
+ public:
+  explicit UncertaintyCalibrator(Schema schema,
+                                 const CalibratorOptions& options = {});
+
+  const Schema& schema() const { return schema_; }
+
+  // Feeds one labeled residual for a numerical attribute: the source
+  // reported `reading` where the truth turned out to be `truth`. Fails on
+  // a bad attribute index/kind or non-finite inputs.
+  Status ObserveResidual(int source, int attribute, double reading,
+                         double truth);
+
+  // The current model of one cell (zero-count estimate for a cell that
+  // never observed anything). Fails on a bad attribute index/kind.
+  StatusOr<ErrorModelEstimate> Estimate(int source, int attribute) const;
+
+  // Residual quantile q in [0, 1] over the cell's bounded window (nearest
+  // -rank). Fails on an empty cell or bad arguments.
+  StatusOr<double> Quantile(int source, int attribute, double q) const;
+
+  // Wraps one point reading vector into an uncertain tuple under the
+  // source's learned models. Numerical attributes become Gaussian error
+  // pdfs centred at reading - bias with support width 4*stddev (point
+  // masses while the cell is below min_observations, or when stddev is 0);
+  // categorical attributes interpret the reading as a category index and
+  // become certain categorical pdfs. `label` lands in the tuple verbatim
+  // (serving submissions don't know it yet; -1 by convention).
+  StatusOr<UncertainTuple> Wrap(int source,
+                                const std::vector<double>& readings,
+                                int label = -1) const;
+
+  // Distinct sources observed so far.
+  int64_t num_sources() const {
+    return static_cast<int64_t>(cells_.size());
+  }
+
+ private:
+  struct Cell {
+    int64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;  // Welford's sum of squared deviations
+    std::vector<double> window;  // ring buffer of recent residuals
+    size_t next = 0;             // ring write position
+  };
+
+  Status CheckNumerical(int attribute) const;
+  const Cell* FindCell(int source, int attribute) const;
+
+  Schema schema_;
+  CalibratorOptions options_;
+  // source id -> one cell per attribute. Ordered map: iteration order (and
+  // with it any diagnostics built from it) is deterministic.
+  std::map<int, std::vector<Cell>> cells_;
+};
+
+}  // namespace stream
+}  // namespace udt
+
+#endif  // UDT_STREAM_UNCERTAINTY_CALIBRATOR_H_

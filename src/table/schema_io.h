@@ -55,6 +55,13 @@ class LineReader {
   // Next().
   int line_number() const { return line_number_; }
 
+  // Accounts for lines a caller consumed directly from stream() — e.g. a
+  // byte-framed container body pulled with istream::read. Raw reads are
+  // safe (Next() buffers nothing) but invisible to the counter, so without
+  // this every later Error() reports a line number frozen at the frame
+  // header. Pass the number of '\n' the raw read consumed.
+  void AccountRawLines(int lines) { line_number_ += lines; }
+
   // InvalidArgument("<context>: line <n>: <message>") for parse errors at
   // the current position.
   Status Error(std::string_view message) const;

@@ -75,7 +75,7 @@ Dataset MakeMixedDataset(int tuples, uint64_t seed) {
 Model TrainModel(const Dataset& ds, ModelKind kind) {
   TreeConfig config;
   config.algorithm = SplitAlgorithm::kUdtEs;
-  auto model = Trainer(config).Train(ds, kind);
+  auto model = Trainer(config).Train(TrainRequest::For(ds, kind));
   UDT_CHECK(model.ok());
   return std::move(*model);
 }

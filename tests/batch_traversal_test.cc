@@ -122,7 +122,7 @@ TEST_P(BatchTraversalTest, KernelMatchesScalarByteForByte) {
 
   TreeConfig config;
   config.algorithm = SplitAlgorithm::kUdtEs;
-  auto model = Trainer(config).Train(ds, param.model_kind);
+  auto model = Trainer(config).Train(TrainRequest::For(ds, param.model_kind));
   ASSERT_TRUE(model.ok()) << model.status().ToString();
   CompiledModel compiled = model->Compile();
   const FlatTree& flat = compiled.flat_tree();
@@ -174,7 +174,7 @@ TEST_P(BatchTraversalTest, TreeSessionMatchesScalarByteForByte) {
 
   TreeConfig config;
   config.algorithm = SplitAlgorithm::kUdtEs;
-  auto model = Trainer(config).Train(ds, param.model_kind);
+  auto model = Trainer(config).Train(TrainRequest::For(ds, param.model_kind));
   ASSERT_TRUE(model.ok()) << model.status().ToString();
 
   PredictSession session(model->Compile());
@@ -228,7 +228,7 @@ TEST_P(BatchTraversalTest, ForestSessionMatchesScalarByteForByte) {
   config.num_trees = 4;
   config.seed = 99;
   config.tree.algorithm = SplitAlgorithm::kUdtEs;
-  auto forest = ForestTrainer(config).Train(ds, param.model_kind);
+  auto forest = ForestTrainer(config).Train(TrainRequest::For(ds, param.model_kind));
   ASSERT_TRUE(forest.ok()) << forest.status().message();
 
   ForestPredictSession session(forest->Compile());

@@ -195,5 +195,31 @@ TEST(ExperimentTest, CvAccuracyHelper) {
   EXPECT_GT(*acc, 0.85);
 }
 
+TEST(AbstentionTest, ZeroThresholdDegeneratesToPlainAccuracy) {
+  const Dataset ds = EasyDataset(80, 6);
+  ForestConfig config;
+  config.num_trees = 3;
+  auto forest = ForestTrainer(config).Train(TrainRequest::For(ds));
+  ASSERT_TRUE(forest.ok());
+
+  PredictOptions options;
+  options.abstain_threshold = 0.0;
+  const AbstentionReport report = EvaluateWithAbstention(*forest, ds, options);
+  EXPECT_EQ(report.total, ds.num_tuples());
+  EXPECT_EQ(report.answered, ds.num_tuples());
+  EXPECT_EQ(report.abstained, 0);
+  EXPECT_DOUBLE_EQ(report.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(report.accuracy_on_answered, report.accuracy_overall);
+  EXPECT_DOUBLE_EQ(report.accuracy_overall, EvaluateAccuracy(*forest, ds));
+
+  // Selective classification: raising the bar may only shrink coverage
+  // and may only help the answered subset.
+  options.abstain_threshold = 0.9;
+  const AbstentionReport strict = EvaluateWithAbstention(*forest, ds, options);
+  EXPECT_EQ(strict.answered + strict.abstained, strict.total);
+  EXPECT_LE(strict.coverage, 1.0);
+  EXPECT_GE(strict.accuracy_on_answered, strict.accuracy_overall);
+}
+
 }  // namespace
 }  // namespace udt

@@ -119,7 +119,7 @@ TEST_P(ForestDeterminismTest, ThreadCountsProduceIdenticalForests) {
 
   ForestTrainer trainer(config);
   trainer.SetNumThreads(1);
-  auto baseline = trainer.Train(ds, param.kind);
+  auto baseline = trainer.Train(TrainRequest::For(ds, param.kind));
   ASSERT_TRUE(baseline.ok()) << baseline.status().message();
   const std::string baseline_model = baseline->Serialize();
   const std::string baseline_compiled = baseline->Compile().Serialize();
@@ -127,7 +127,7 @@ TEST_P(ForestDeterminismTest, ThreadCountsProduceIdenticalForests) {
   for (int threads : {2, 4, 8}) {
     ForestTrainer parallel(config);
     parallel.SetNumThreads(threads);
-    auto forest = parallel.Train(ds, param.kind);
+    auto forest = parallel.Train(TrainRequest::For(ds, param.kind));
     ASSERT_TRUE(forest.ok()) << forest.status().message();
     EXPECT_EQ(forest->Serialize(), baseline_model)
         << "pointer container differs at " << threads << " threads";
@@ -141,11 +141,11 @@ TEST_P(ForestDeterminismTest, SeedsChangeTheForest) {
   Dataset ds = MakeCaseDataset(param.dataset);
 
   ForestConfig config = CaseConfig(param);
-  auto forest_a = ForestTrainer(config).Train(ds, param.kind);
+  auto forest_a = ForestTrainer(config).Train(TrainRequest::For(ds, param.kind));
   ASSERT_TRUE(forest_a.ok());
 
   config.seed = 100;  // only the seed moves
-  auto forest_b = ForestTrainer(config).Train(ds, param.kind);
+  auto forest_b = ForestTrainer(config).Train(TrainRequest::For(ds, param.kind));
   ASSERT_TRUE(forest_b.ok());
 
   EXPECT_NE(forest_a->Serialize(), forest_b->Serialize());
@@ -158,7 +158,7 @@ TEST_P(ForestDeterminismTest, CompiledVotesMatchPointerVotesBitwise) {
   for (ForestVote vote : {ForestVote::kAverage, ForestVote::kMajority}) {
     ForestConfig config = CaseConfig(param);
     config.vote = vote;
-    auto forest = ForestTrainer(config).Train(ds, param.kind);
+    auto forest = ForestTrainer(config).Train(TrainRequest::For(ds, param.kind));
     ASSERT_TRUE(forest.ok()) << forest.status().message();
 
     // Pointer-path reference distributions.

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -469,6 +470,39 @@ TEST(ForestSessionTest, PersistentExecutorSpawnsOncePerSession) {
   }
   ASSERT_TRUE(session.PredictBatch(ds, {.num_threads = 8}).ok());
   EXPECT_EQ(session.executor_workers(), 7);
+}
+
+TEST(ForestModelTest, DeserializeErrorsReportAbsoluteLineNumbers) {
+  // Regression: tree bodies are byte-framed and consumed with raw reads,
+  // invisible to the LineReader. Without AccountRawLines every error past
+  // the first frame reported a line number frozen at that frame's header;
+  // a corrupted second frame must name its true absolute line.
+  Dataset ds = SyntheticDataset(60, 2, 3, 6, 77);
+  ForestConfig config;
+  config.num_trees = 3;
+  auto forest = ForestTrainer(config).Train(TrainRequest::For(ds));
+  ASSERT_TRUE(forest.ok());
+
+  const std::string body0 = forest->tree(0).Serialize();
+  const std::string body1 = forest->tree(1).Serialize();
+  const std::string header1 = "tree 1 " + std::to_string(body1.size()) + "\n";
+  std::string text = forest->Serialize();
+  const size_t at = text.find(header1);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 6, "tree ?");
+
+  auto broken = ForestModel::Deserialize(text);
+  ASSERT_FALSE(broken.ok());
+  // magic + vote + trees + "tree 0" header, then tree 0's raw body lines.
+  const int body0_lines =
+      static_cast<int>(std::count(body0.begin(), body0.end(), '\n'));
+  const int expected_line = 4 + body0_lines + 1;
+  const std::string want = "line " + std::to_string(expected_line);
+  EXPECT_NE(broken.status().message().find(want), std::string::npos)
+      << "expected '" << want << "' in: " << broken.status().message();
+  // The frame header really does sit beyond tree 0's body, so a frozen
+  // counter could not have produced this number.
+  ASSERT_GT(expected_line, body0_lines);
 }
 
 }  // namespace

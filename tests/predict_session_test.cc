@@ -133,7 +133,7 @@ TEST_P(CompiledEquivalenceTest, SessionMatchesPointerTraversalByteForByte) {
 
   TreeConfig config;
   config.algorithm = param.algorithm;
-  auto model = Trainer(config).Train(ds, param.model_kind);
+  auto model = Trainer(config).Train(TrainRequest::For(ds, param.model_kind));
   ASSERT_TRUE(model.ok()) << model.status().ToString();
 
   // Reference: the pointer-tree per-tuple traversal.
@@ -165,7 +165,7 @@ TEST_P(CompiledEquivalenceTest, AllSessionEntryPointsAgree) {
 
   TreeConfig config;
   config.algorithm = param.algorithm;
-  auto model = Trainer(config).Train(ds, param.model_kind);
+  auto model = Trainer(config).Train(TrainRequest::For(ds, param.model_kind));
   ASSERT_TRUE(model.ok()) << model.status().ToString();
 
   PredictSession session(model->Compile());

@@ -331,6 +331,85 @@ TEST(BatchingQueueTest, CallbackFormCompletesOnce) {
 
 // The reuse contracts the queue (and any serving loop) recycles result
 // buffers under.
+TEST(BatchingQueueTest, TopKOrdersClassesByProbabilityTiesToLowestId) {
+  ModelHandle handle = MakeHandle(31);
+  BatchingConfig config;
+  config.predict.top_k = 3;
+  BatchingQueue queue([handle] { return handle; }, config);
+
+  Dataset pool = NumericDataset(24, 2, 32);
+  for (const UncertainTuple& tuple : pool.tuples()) {
+    ServeResult result = queue.Submit(&tuple).get();
+    ASSERT_TRUE(result.status.ok());
+    ASSERT_EQ(result.top_classes.size(), 3u);
+    EXPECT_EQ(result.top_classes[0], result.label);
+    for (size_t i = 1; i < result.top_classes.size(); ++i) {
+      const int prev = result.top_classes[i - 1];
+      const int cur = result.top_classes[i];
+      const double p_prev = result.distribution[static_cast<size_t>(prev)];
+      const double p_cur = result.distribution[static_cast<size_t>(cur)];
+      // Strictly descending probability; equal probabilities must come
+      // out in ascending class-id order.
+      EXPECT_TRUE(p_prev > p_cur || (p_prev == p_cur && prev < cur))
+          << "rank " << i << ": class " << prev << " (p=" << p_prev
+          << ") before class " << cur << " (p=" << p_cur << ")";
+    }
+  }
+}
+
+TEST(BatchingQueueTest, AbstainFlagHonoursConfiguredThreshold) {
+  ModelHandle handle = MakeHandle(33);
+  BatchingConfig config;
+  config.predict.abstain_threshold = 0.99;
+  BatchingQueue queue([handle] { return handle; }, config);
+
+  Dataset pool = NumericDataset(32, 2, 34);
+  int abstained = 0;
+  for (const UncertainTuple& tuple : pool.tuples()) {
+    ServeResult result = queue.Submit(&tuple).get();
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_EQ(result.abstained, result.confidence < 0.99);
+    // The label is still reported — abstention is advice, not censorship.
+    EXPECT_GE(result.label, 0);
+    if (result.abstained) ++abstained;
+  }
+  EXPECT_EQ(queue.stats().served, 32u);
+  (void)abstained;  // data-dependent; the per-result invariant is the test
+}
+
+TEST(BatchingQueueTest, ResponseTapSeesOkResponsesButNeverShedOnes) {
+  GatedProvider gate(MakeHandle(35));
+  BatchingConfig config;
+  config.max_batch = 1;
+  config.max_queue = 2;
+  std::atomic<int> tapped{0};
+  config.response_tap = [&tapped](const ServeResult& result) {
+    ASSERT_TRUE(result.status.ok());
+    ASSERT_FALSE(result.distribution.empty());
+    tapped.fetch_add(1, std::memory_order_relaxed);
+  };
+  BatchingQueue queue(gate.AsProvider(), config);
+
+  Dataset pool = NumericDataset(4, 2, 36);
+  // First submit is taken by the drainer, which then parks inside the
+  // closed provider; the next two fill the bounded queue.
+  auto f0 = queue.Submit(&pool.tuple(0));
+  gate.AwaitEntered(1);
+  auto f1 = queue.Submit(&pool.tuple(1));
+  auto f2 = queue.Submit(&pool.tuple(2));
+  // Admission is full: this one is shed and must never reach the tap.
+  ServeResult shed = queue.Submit(&pool.tuple(3)).get();
+  EXPECT_FALSE(shed.status.ok());
+
+  gate.Open();
+  EXPECT_TRUE(f0.get().status.ok());
+  EXPECT_TRUE(f1.get().status.ok());
+  EXPECT_TRUE(f2.get().status.ok());
+  queue.Close();
+  EXPECT_EQ(tapped.load(), 3);
+  EXPECT_EQ(queue.stats().rejected, 1u);
+}
+
 TEST(ResultReuseTest, BatchResultClearResetsScalarsAndVectors) {
   Dataset pool = NumericDataset(32, 2, 23);
   Servable servable = TrainServable(9);

@@ -1,0 +1,157 @@
+// DatasetAppendWriter — the incremental "udt-dataset v1" writer the
+// streaming retrain loop spills its window through. Contracts:
+//   * byte-identity: appending a whole data set and finalizing with the
+//     source's exact decoded footprint produces the very bytes
+//     ConvertDatasetToFile writes for that data set;
+//   * the result round-trips through DatasetReader;
+//   * tuples appended after the grid source was fixed (new readings the
+//     grid never saw) still quantize, persist and read back;
+//   * misuse fails cleanly (arity/label mismatch, append after finalize).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "api/trainer.h"
+#include "common/random.h"
+#include "pdf/pdf_builder.h"
+#include "storage/append_writer.h"
+#include "storage/dataset_file.h"
+
+namespace udt {
+namespace {
+
+Dataset GaussianDataset(int tuples, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(Schema::Numerical(2, {"a", "b", "c"}));
+  for (int i = 0; i < tuples; ++i) {
+    UncertainTuple t;
+    t.label = i % 3;
+    for (int j = 0; j < 2; ++j) {
+      auto pdf = MakeGaussianErrorPdf(
+          rng.Gaussian(static_cast<double>(t.label), 1.0), 1.0, 6);
+      UDT_CHECK(pdf.ok());
+      t.values.push_back(UncertainValue::Numerical(std::move(*pdf)));
+    }
+    UDT_CHECK(ds.AddTuple(std::move(t)).ok());
+  }
+  return ds;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(DatasetAppendWriterTest, MatchesConvertDatasetToFileByteForByte) {
+  const Dataset source = GaussianDataset(70, 42);
+  QuantizationOptions options;
+  options.bins = 32;
+  options.chunk_tuples = 16;
+
+  const std::string bulk_path = TempPath("append_bulk.udt");
+  auto bulk_stats = ConvertDatasetToFile(source, bulk_path, options);
+  ASSERT_TRUE(bulk_stats.ok());
+
+  const std::string append_path = TempPath("append_incremental.udt");
+  auto writer = DatasetAppendWriter::Open(append_path, source, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendAll(source).ok());
+  // Finalizing with the source's exact decoded footprint pins the header's
+  // `source bytes` line to what the bulk converter recorded.
+  auto append_stats =
+      writer->Finalize(source.MemoryBreakdown().unshared_total_bytes);
+  ASSERT_TRUE(append_stats.ok());
+
+  EXPECT_EQ(ReadFile(append_path), ReadFile(bulk_path));
+  EXPECT_EQ(append_stats->num_tuples, bulk_stats->num_tuples);
+  EXPECT_EQ(append_stats->dictionary_entries,
+            bulk_stats->dictionary_entries);
+  EXPECT_EQ(append_stats->file_bytes, bulk_stats->file_bytes);
+  EXPECT_EQ(append_stats->source_decoded_bytes,
+            bulk_stats->source_decoded_bytes);
+}
+
+TEST(DatasetAppendWriterTest, RoundTripsThroughReaderAndTrains) {
+  const Dataset source = GaussianDataset(50, 43);
+  const std::string path = TempPath("append_roundtrip.udt");
+  QuantizationOptions options;
+  options.chunk_tuples = 8;
+  auto writer = DatasetAppendWriter::Open(path, source, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendAll(source).ok());
+  ASSERT_TRUE(writer->Finalize().ok());
+
+  auto reader = DatasetReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->num_tuples(), source.num_tuples());
+
+  // The spilled window is a usable training source.
+  auto model = Trainer().Train(TrainRequest::ForStorage(&reader.value()));
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->num_classes(), 3);
+}
+
+TEST(DatasetAppendWriterTest, AcceptsTuplesBeyondTheGridSource) {
+  // Grids are fixed from the first window; later readings outside it must
+  // still quantize (clamped onto the grid) rather than fail.
+  const Dataset grid_source = GaussianDataset(30, 44);
+  const Dataset later = GaussianDataset(20, 45);
+  const std::string path = TempPath("append_beyond.udt");
+  auto writer = DatasetAppendWriter::Open(path, grid_source);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendAll(grid_source).ok());
+  for (const UncertainTuple& t : later.tuples()) {
+    ASSERT_TRUE(writer->Append(t).ok());
+  }
+  auto stats = writer->Finalize();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_tuples,
+            grid_source.num_tuples() + later.num_tuples());
+
+  auto reader = DatasetReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  Dataset decoded(reader->schema());
+  for (int64_t c = 0; c < reader->num_chunks(); ++c) {
+    ASSERT_TRUE(reader->AppendChunk(c, &decoded).ok());
+  }
+  EXPECT_EQ(decoded.num_tuples(),
+            grid_source.num_tuples() + later.num_tuples());
+}
+
+TEST(DatasetAppendWriterTest, RejectsMisuse) {
+  const Dataset source = GaussianDataset(20, 46);
+  const std::string path = TempPath("append_misuse.udt");
+  auto writer = DatasetAppendWriter::Open(path, source);
+  ASSERT_TRUE(writer.ok());
+
+  // Wrong arity.
+  UncertainTuple narrow;
+  narrow.label = 0;
+  auto pdf = MakeGaussianErrorPdf(0.0, 1.0, 4);
+  ASSERT_TRUE(pdf.ok());
+  narrow.values.push_back(UncertainValue::Numerical(std::move(*pdf)));
+  EXPECT_FALSE(writer->Append(narrow).ok());
+
+  // Label outside the schema.
+  UncertainTuple bad_label = source.tuple(0);
+  bad_label.label = 99;
+  EXPECT_FALSE(writer->Append(bad_label).ok());
+
+  ASSERT_TRUE(writer->Append(source.tuple(0)).ok());
+  ASSERT_TRUE(writer->Finalize().ok());
+  // The writer is spent after Finalize.
+  EXPECT_FALSE(writer->Append(source.tuple(1)).ok());
+  EXPECT_FALSE(writer->Finalize().ok());
+}
+
+}  // namespace
+}  // namespace udt

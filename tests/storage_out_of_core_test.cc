@@ -119,8 +119,9 @@ TEST_F(OutOfCoreTest, TreeFromFileMatchesExactTrainingWithinOnePercent) {
 
   auto reader = DatasetReader::Open(path_);
   ASSERT_TRUE(reader.ok());
-  auto from_file =
-      trainer.TrainFromStorage(&*reader, ModelKind::kUdt, *budget_);
+  TrainRequest request = TrainRequest::ForStorage(&*reader);
+  request.budget = *budget_;
+  auto from_file = trainer.Train(request);
   ASSERT_TRUE(from_file.ok()) << from_file.status().message();
   const double file_accuracy = EvaluateAccuracy(*from_file, *test_);
 
@@ -142,8 +143,10 @@ TEST_F(OutOfCoreTest, ForestFromFileMatchesExactTrainingWithinOnePercent) {
   auto reader = DatasetReader::Open(path_);
   ASSERT_TRUE(reader.ok());
   OobEstimate oob;
-  auto from_file =
-      trainer.TrainFromStorage(&*reader, ModelKind::kUdt, *budget_, &oob);
+  TrainRequest request = TrainRequest::ForStorage(&*reader);
+  request.budget = *budget_;
+  request.oob = &oob;
+  auto from_file = trainer.Train(request);
   ASSERT_TRUE(from_file.ok()) << from_file.status().message();
   EXPECT_EQ(from_file->num_trees(), 8);
   const double file_accuracy = EvaluateAccuracy(*from_file, *test_);
@@ -160,7 +163,9 @@ TEST_F(OutOfCoreTest, TooTightBudgetFailsCleanly) {
   StorageBudget tiny;
   tiny.max_materialized_bytes = 4096;
   Trainer trainer;
-  auto model = trainer.TrainFromStorage(&*reader, ModelKind::kUdt, tiny);
+  TrainRequest request = TrainRequest::ForStorage(&*reader);
+  request.budget = tiny;
+  auto model = trainer.Train(request);
   ASSERT_FALSE(model.ok());
   EXPECT_NE(model.status().message().find("memory budget"),
             std::string::npos);

@@ -452,6 +452,52 @@ TEST_F(DatasetFileTest, RewindSupportsASecondPass) {
             first->tuple(0).values[0].pdf_instance());
 }
 
+TEST_F(DatasetFileTest, RewindAfterFailedSeekReplaysIdenticalData) {
+  // Regression: a failed out-of-range AppendChunk mid-stream must not
+  // poison the reader — Rewind resets both the stream position and the
+  // line counter, so a full second pass decodes the same tuples.
+  auto reader = DatasetReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  Dataset partial(reader->schema());
+  ASSERT_TRUE(reader->AppendChunk(0, &partial).ok());
+  EXPECT_FALSE(reader->AppendChunk(5, &partial).ok());  // only 4 chunks
+
+  ASSERT_TRUE(reader->Rewind().ok());
+  auto replay = MaterializeDataset(&*reader);
+  ASSERT_TRUE(replay.ok()) << replay.status().message();
+  ASSERT_EQ(replay->num_tuples(), source_.num_tuples());
+  for (int i = 0; i < replay->num_tuples(); ++i) {
+    EXPECT_EQ(replay->tuple(i).label, source_.tuple(i).label);
+  }
+}
+
+TEST_F(DatasetFileTest, RewindResetsErrorLineNumbers) {
+  // Regression: the reader's diagnostic line counter must rewind with the
+  // stream. Corrupt one chunk row; the parse error after a Rewind has to
+  // name the same absolute line as the first pass (the counter used to
+  // keep accumulating across rewinds).
+  MutateFile([](std::vector<std::string>* lines) {
+    for (auto& l : *lines) {
+      if (l.rfind("c ", 0) == 0) {
+        l = "c bogus";
+        break;
+      }
+    }
+  });
+  auto reader = DatasetReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  Dataset out(reader->schema());
+  const Status first = reader->AppendChunk(0, &out);
+  ASSERT_FALSE(first.ok());
+
+  ASSERT_TRUE(reader->Rewind().ok());
+  Dataset again(reader->schema());
+  const Status second = reader->AppendChunk(0, &again);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(first.message(), second.message());
+  EXPECT_NE(first.message().find("line "), std::string::npos);
+}
+
 TEST_F(DatasetFileTest, ChunksMustStreamInOrder) {
   auto reader = DatasetReader::Open(path_);
   ASSERT_TRUE(reader.ok());

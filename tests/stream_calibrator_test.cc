@@ -1,0 +1,153 @@
+// UncertaintyCalibrator — online per-(source, attribute) error models.
+// Contracts: Welford moments match the exact batch statistics, cold cells
+// wrap readings as point masses, warm cells wrap them as bias-corrected
+// Gaussian error pdfs with the paper's width = 4*stddev convention,
+// quantiles are nearest-rank over the bounded window, and sources learn
+// independently.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stream/uncertainty_calibrator.h"
+
+namespace udt {
+namespace stream {
+namespace {
+
+Schema MixedSchema() {
+  auto schema = Schema::Create(
+      {{"temp", AttributeKind::kNumerical, 0},
+       {"mode", AttributeKind::kCategorical, 3}},
+      {"low", "high"});
+  UDT_CHECK(schema.ok());
+  return *schema;
+}
+
+TEST(CalibratorTest, WelfordMatchesBatchMoments) {
+  UncertaintyCalibrator calibrator(Schema::Numerical(1, {"a", "b"}));
+  const std::vector<double> residuals = {0.4, -1.2, 2.5, 0.0, 0.9, -0.3};
+  for (double r : residuals) {
+    // reading = truth + residual, truth arbitrary.
+    ASSERT_TRUE(calibrator.ObserveResidual(7, 0, 10.0 + r, 10.0).ok());
+  }
+  double mean = 0.0;
+  for (double r : residuals) mean += r;
+  mean /= static_cast<double>(residuals.size());
+  double ss = 0.0;
+  for (double r : residuals) ss += (r - mean) * (r - mean);
+  const double stddev =
+      std::sqrt(ss / static_cast<double>(residuals.size() - 1));
+
+  auto estimate = calibrator.Estimate(7, 0);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate->count, static_cast<int64_t>(residuals.size()));
+  EXPECT_NEAR(estimate->bias, mean, 1e-12);
+  EXPECT_NEAR(estimate->stddev, stddev, 1e-12);
+
+  // An unseen cell reports the zero model, not an error.
+  auto cold = calibrator.Estimate(99, 0);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->count, 0);
+}
+
+TEST(CalibratorTest, ColdCellsWrapAsPointMasses) {
+  CalibratorOptions options;
+  options.min_observations = 4;
+  UncertaintyCalibrator calibrator(Schema::Numerical(1, {"a", "b"}),
+                                   options);
+  // Below min_observations the cell must not invent spread.
+  ASSERT_TRUE(calibrator.ObserveResidual(1, 0, 5.5, 5.0).ok());
+  auto tuple = calibrator.Wrap(1, {3.25});
+  ASSERT_TRUE(tuple.ok());
+  const SampledPdf& pdf = tuple->values[0].pdf();
+  EXPECT_TRUE(pdf.is_point());
+  EXPECT_EQ(pdf.point(0), 3.25);
+  EXPECT_EQ(tuple->label, -1);
+}
+
+TEST(CalibratorTest, WarmCellsWrapBiasCorrectedGaussians) {
+  CalibratorOptions options;
+  options.min_observations = 2;
+  options.samples_per_pdf = 9;
+  UncertaintyCalibrator calibrator(Schema::Numerical(1, {"a", "b"}),
+                                   options);
+  // Residuals with bias +1 and a clear spread.
+  const std::vector<double> residuals = {0.5, 1.5, 0.5, 1.5};
+  for (double r : residuals) {
+    ASSERT_TRUE(calibrator.ObserveResidual(2, 0, 20.0 + r, 20.0).ok());
+  }
+  auto estimate = calibrator.Estimate(2, 0);
+  ASSERT_TRUE(estimate.ok());
+  ASSERT_GT(estimate->stddev, 0.0);
+
+  auto tuple = calibrator.Wrap(2, {10.0});
+  ASSERT_TRUE(tuple.ok());
+  const SampledPdf& pdf = tuple->values[0].pdf();
+  const double center = 10.0 - estimate->bias;
+  const double half_width = 2.0 * estimate->stddev;  // width = 4*stddev
+  EXPECT_FALSE(pdf.is_point());
+  EXPECT_GE(pdf.support_min(), center - half_width - 1e-9);
+  EXPECT_LE(pdf.support_max(), center + half_width + 1e-9);
+  // Truncated Gaussian is symmetric around the corrected reading.
+  EXPECT_NEAR(pdf.Mean(), center, 1e-6);
+  EXPECT_EQ(pdf.num_points(), 9);
+
+  // A different source has learned nothing: same reading stays a point.
+  auto other = calibrator.Wrap(3, {10.0});
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(other->values[0].pdf().is_point());
+}
+
+TEST(CalibratorTest, QuantilesAreNearestRankOverTheWindow) {
+  CalibratorOptions options;
+  options.window = 5;
+  UncertaintyCalibrator calibrator(Schema::Numerical(1, {"a", "b"}),
+                                   options);
+  // Feed 7 residuals into a window of 5: the first two fall out.
+  for (double r : {100.0, 200.0, 1.0, 2.0, 3.0, 4.0, 5.0}) {
+    ASSERT_TRUE(calibrator.ObserveResidual(4, 0, r, 0.0).ok());
+  }
+  auto median = calibrator.Quantile(4, 0, 0.5);
+  auto min = calibrator.Quantile(4, 0, 0.0);
+  auto max = calibrator.Quantile(4, 0, 1.0);
+  ASSERT_TRUE(median.ok());
+  ASSERT_TRUE(min.ok());
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(*min, 1.0);
+  EXPECT_EQ(*median, 3.0);
+  EXPECT_EQ(*max, 5.0);
+
+  EXPECT_FALSE(calibrator.Quantile(4, 0, 1.5).ok());
+  EXPECT_FALSE(calibrator.Quantile(5, 0, 0.5).ok());  // empty cell
+}
+
+TEST(CalibratorTest, MixedSchemaWrapAndErrors) {
+  UncertaintyCalibrator calibrator(MixedSchema());
+
+  auto tuple = calibrator.Wrap(1, {21.5, 2.0}, 1);
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_TRUE(tuple->values[0].is_numerical());
+  ASSERT_FALSE(tuple->values[1].is_numerical());
+  EXPECT_DOUBLE_EQ(tuple->values[1].categorical().probability(2), 1.0);
+  EXPECT_EQ(tuple->label, 1);
+
+  // Non-integral or out-of-range categorical readings are rejected.
+  EXPECT_FALSE(calibrator.Wrap(1, {21.5, 1.5}).ok());
+  EXPECT_FALSE(calibrator.Wrap(1, {21.5, 3.0}).ok());
+  // Arity mismatch.
+  EXPECT_FALSE(calibrator.Wrap(1, {21.5}).ok());
+  // Residuals only make sense on numerical attributes, with finite values.
+  EXPECT_FALSE(calibrator.ObserveResidual(1, 1, 1.0, 1.0).ok());
+  EXPECT_FALSE(calibrator.ObserveResidual(1, 0, std::nan(""), 1.0).ok());
+  EXPECT_FALSE(calibrator.ObserveResidual(1, 9, 1.0, 1.0).ok());
+
+  EXPECT_EQ(calibrator.num_sources(), 0);
+  ASSERT_TRUE(calibrator.ObserveResidual(1, 0, 1.0, 1.0).ok());
+  EXPECT_EQ(calibrator.num_sources(), 1);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace udt
