@@ -255,13 +255,13 @@ int main(int argc, char** argv) {
 
   const auto stats = srv.queue().stats();
   std::printf("\nqueue: submitted %llu served %llu shed %llu drains %llu "
-              "max_drain %llu; generations %d, live version %llu\n",
+              "max_drain %llu; generations %lld, live version %llu\n",
               static_cast<unsigned long long>(stats.submitted),
               static_cast<unsigned long long>(stats.served),
               static_cast<unsigned long long>(stats.rejected),
               static_cast<unsigned long long>(stats.drains),
               static_cast<unsigned long long>(stats.max_drain),
-              srv.generations(),
+              static_cast<long long>(srv.generations()),
               static_cast<unsigned long long>(srv.live_version()));
   UDT_CHECK(stats.rejected == 0);
 

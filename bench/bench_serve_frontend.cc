@@ -79,7 +79,7 @@ void CheckQueueMatchesDirect(const serve::Servable& servable,
   const size_t k = static_cast<size_t>(reference.num_classes);
 
   serve::ModelRegistry registry;
-  registry.Publish("check", servable);
+  UDT_CHECK(registry.Publish("check", servable) == 1);
   serve::BatchingConfig config;
   config.max_batch = 16;
   config.max_delay_us = 200;
@@ -119,7 +119,7 @@ void RunModel(const char* model_name, const serve::Servable& servable,
     // the window price is visible directly in p50).
     auto run_queue = [&](int64_t max_delay_us) {
       serve::ModelRegistry registry;
-      registry.Publish("bench", servable);
+      UDT_CHECK(registry.Publish("bench", servable) == 1);
       serve::BatchingConfig config;
       config.max_batch = 32;
       config.max_delay_us = max_delay_us;

@@ -150,7 +150,7 @@ class ForestModel {
   // Flattens every tree into the immutable serving artifact
   // (api/compiled_forest.h). Serving code should compile once and hold
   // udt::ForestPredictSession values over the result.
-  CompiledForest Compile() const;
+  [[nodiscard]] CompiledForest Compile() const;
 
   // Classifies a batch through a one-shot compiled session
   // (api/forest_session.h); steady-traffic callers should hold a session.
@@ -209,7 +209,7 @@ class ForestTrainer {
   // accumulates the fresh trees' BuildStats in tree order. Weighted
   // requests are rejected — bags own the forest's tuple weighting. Fails
   // on an empty data set or invalid config/request.
-  StatusOr<ForestModel> Train(const TrainRequest& request) const;
+  [[nodiscard]] StatusOr<ForestModel> Train(const TrainRequest& request) const;
 
   // Shorthand for the common distribution-based case.
   StatusOr<ForestModel> TrainUdt(const Dataset& train,
@@ -226,33 +226,6 @@ class ForestTrainer {
                                        OobEstimate* oob = nullptr,
                                        BuildStats* stats = nullptr) const {
     TrainRequest request = TrainRequest::For(train, ModelKind::kAveraging);
-    request.oob = oob;
-    request.stats = stats;
-    return Train(request);
-  }
-
-  // ------------------------------------------- deprecated entry points
-  // Thin wrappers over Train(TrainRequest); see Trainer's counterparts.
-
-  [[deprecated("construct a TrainRequest and call Train(request)")]]
-  StatusOr<ForestModel> Train(const Dataset& train, ModelKind kind,
-                              OobEstimate* oob = nullptr,
-                              BuildStats* stats = nullptr) const {
-    TrainRequest request = TrainRequest::For(train, kind);
-    request.oob = oob;
-    request.stats = stats;
-    return Train(request);
-  }
-
-  [[deprecated(
-      "construct a TrainRequest (TrainRequest::ForStorage) and call "
-      "Train(request)")]]
-  StatusOr<ForestModel> TrainFromStorage(PdfStorage* storage, ModelKind kind,
-                                         const StorageBudget& budget = {},
-                                         OobEstimate* oob = nullptr,
-                                         BuildStats* stats = nullptr) const {
-    TrainRequest request = TrainRequest::ForStorage(storage, kind);
-    request.budget = budget;
     request.oob = oob;
     request.stats = stats;
     return Train(request);

@@ -158,7 +158,7 @@ class Model {
   // (api/compiled_model.h). The compiled model classifies
   // bitwise-identically to this one; serving code should compile once and
   // hold udt::PredictSession values over the result.
-  CompiledModel Compile() const;
+  [[nodiscard]] CompiledModel Compile() const;
 
   // Classifies a batch. A thin shim over the compiled path: compiles the
   // tree and runs one PredictSession over it (options.num_threads workers;
@@ -180,11 +180,11 @@ class Model {
   // the tree_io tree body. Unlike SerializeTree, no external schema is
   // needed to load the result.
   std::string Serialize() const;
-  static StatusOr<Model> Deserialize(const std::string& text);
+  [[nodiscard]] static StatusOr<Model> Deserialize(const std::string& text);
 
   // File round-trip of Serialize/Deserialize.
   Status Save(const std::string& path) const;
-  static StatusOr<Model> Load(const std::string& path);
+  [[nodiscard]] static StatusOr<Model> Load(const std::string& path);
 
  private:
   Model(std::shared_ptr<const DecisionTree> tree, ModelKind kind,

@@ -13,10 +13,11 @@
 //   from_disk.budget = budget;
 //   StatusOr<ForestModel> forest = forest_trainer.Train(from_disk);
 //
-// The pre-request signatures survive as thin deprecated wrappers over this
-// struct (api/trainer.h, api/forest.h); new call sites — including the
-// streaming RetrainController, which trains exclusively through requests —
-// should construct a TrainRequest.
+// This struct is the only training entry point: the pre-request
+// multi-signature wrappers served their one deprecation cycle (PR 9) and
+// were removed. Every call site — including the streaming
+// RetrainController, which trains exclusively through requests —
+// constructs a TrainRequest.
 
 #ifndef UDT_API_TRAIN_REQUEST_H_
 #define UDT_API_TRAIN_REQUEST_H_

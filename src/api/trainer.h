@@ -8,9 +8,9 @@
 // Training is requested through one TrainRequest struct
 // (api/train_request.h) that names the source (in-memory dataset or
 // budgeted storage backend), kind, optional per-tuple weights, and thread
-// and seed overrides. The pre-request signatures remain as thin deprecated
-// wrappers; the TrainUdt/TrainAveraging shorthands are the convenience
-// layer and stay.
+// and seed overrides. The pre-request multi-signature entry points served
+// their one deprecation cycle (PR 9) and are gone; the
+// TrainUdt/TrainAveraging shorthands are the convenience layer and stay.
 
 #ifndef UDT_API_TRAINER_H_
 #define UDT_API_TRAINER_H_
@@ -50,7 +50,7 @@ class Trainer {
   // configured algorithm runs on the full pdfs. Fails on an empty data
   // set, an invalid config, or an inconsistent request. Requests carrying
   // forest-only fields (oob, warm_start) are rejected.
-  StatusOr<Model> Train(const TrainRequest& request) const;
+  [[nodiscard]] StatusOr<Model> Train(const TrainRequest& request) const;
 
   // Shorthand for the common distribution-based case.
   StatusOr<Model> TrainUdt(const Dataset& train,
@@ -64,30 +64,6 @@ class Trainer {
   StatusOr<Model> TrainAveraging(const Dataset& train,
                                  BuildStats* stats = nullptr) const {
     TrainRequest request = TrainRequest::For(train, ModelKind::kAveraging);
-    request.stats = stats;
-    return Train(request);
-  }
-
-  // ------------------------------------------- deprecated entry points
-  // Thin wrappers over Train(TrainRequest), kept one deprecation cycle so
-  // external callers migrate at their own pace. In-repo code is migrated.
-
-  [[deprecated("construct a TrainRequest and call Train(request)")]]
-  StatusOr<Model> Train(const Dataset& train, ModelKind kind,
-                        BuildStats* stats = nullptr) const {
-    TrainRequest request = TrainRequest::For(train, kind);
-    request.stats = stats;
-    return Train(request);
-  }
-
-  [[deprecated(
-      "construct a TrainRequest (TrainRequest::ForStorage) and call "
-      "Train(request)")]]
-  StatusOr<Model> TrainFromStorage(PdfStorage* storage, ModelKind kind,
-                                   const StorageBudget& budget = {},
-                                   BuildStats* stats = nullptr) const {
-    TrainRequest request = TrainRequest::ForStorage(storage, kind);
-    request.budget = budget;
     request.stats = stats;
     return Train(request);
   }

@@ -1,0 +1,108 @@
+// udt::Mutex / udt::MutexLock / udt::CondVar — the repo's annotated
+// synchronisation primitives: thin, zero-overhead wrappers over the std
+// equivalents that carry the thread-safety capability annotations from
+// common/thread_annotations.h. Under clang's -Wthread-safety (on for every
+// clang build) the compiler proves that each UDT_GUARDED_BY field is only
+// touched with its mutex held; under gcc the wrappers compile to exactly
+// the std primitives.
+//
+// Every locking site in the repo uses these wrappers; naked std::mutex /
+// std::lock_guard / std::condition_variable outside this header are
+// rejected by tools/check_source_conventions.py, so new concurrent code
+// is annotated-by-construction.
+//
+// Condition-variable idiom. The analysis cannot see through predicate
+// lambdas, so waits are written as explicit loops inside a function that
+// holds the lock:
+//
+//   MutexLock lock(&mu_);          // mu_ held from here
+//   while (!ready_) cv_.Wait(lock);  // ready_ is GUARDED_BY(mu_): checked
+//
+// CondVar::Wait takes the MutexLock (not the Mutex): it needs the lock
+// object to release/reacquire atomically, and the capability stays
+// logically held across the call — exactly how the analysis treats it.
+
+#ifndef UDT_COMMON_MUTEX_H_
+#define UDT_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace udt {
+
+class CondVar;
+
+// Annotated exclusive mutex. Prefer MutexLock over manual Lock/Unlock
+// pairs; the manual surface exists for the rare split acquire/release and
+// for TryLock.
+class UDT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() UDT_ACQUIRE() { mu_.lock(); }
+  void Unlock() UDT_RELEASE() { mu_.unlock(); }
+
+  // Returns true (and holds the mutex) when the lock was free.
+  bool TryLock() UDT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// RAII lock over a Mutex — the std::scoped_lock of this codebase, plus
+// the capability annotations. Also the handle CondVar waits through.
+class UDT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) UDT_ACQUIRE(mu) : lock_(mu->mu_) {}
+  ~MutexLock() UDT_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable bound to Mutex/MutexLock. Signal with the mutex held
+// or not; wait only through a live MutexLock on the guarding mutex.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `lock`, blocks until notified, reacquires. The
+  // capability is held again on return (and, for the analysis, throughout
+  // — which is sound: the caller can observe no unlocked window).
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  // As Wait, but returns false when `deadline` passed without a notify
+  // (the lock is reacquired either way). Use in an explicit predicate
+  // loop, same as Wait.
+  bool WaitUntil(MutexLock& lock,
+                 std::chrono::steady_clock::time_point deadline) {
+    return cv_.wait_until(lock.lock_, deadline) == std::cv_status::no_timeout;
+  }
+
+  // Convenience deadline form: false on timeout.
+  bool WaitFor(MutexLock& lock, std::chrono::microseconds timeout) {
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace udt
+
+#endif  // UDT_COMMON_MUTEX_H_

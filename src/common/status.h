@@ -31,7 +31,11 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 // Value type describing the outcome of an operation. Cheap to copy when OK.
-class Status {
+// [[nodiscard]]: silently dropping a Status is how IO and validation
+// failures turn into downstream corruption; a call site that genuinely
+// wants to ignore one must say so with a justified `(void)` cast (the
+// repo convention — see tools/check_source_conventions.py).
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -13,9 +13,11 @@
 namespace udt {
 
 // Holds a T on success or a non-OK Status on failure. Accessing the value of
-// a failed StatusOr is a checked programming error.
+// a failed StatusOr is a checked programming error. [[nodiscard]] for the
+// same reason Status is: an ignored StatusOr drops both the result and
+// the error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Implicit conversions from T and Status keep call sites readable
   // (`return value;` / `return Status::InvalidArgument(...)`), matching the

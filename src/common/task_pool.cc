@@ -81,29 +81,29 @@ TaskPool::TaskPool(int num_workers) {
 
 TaskPool::~TaskPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   for (const std::deque<Item>& queue : queues_) UDT_CHECK(queue.empty());
 }
 
 void TaskPool::Submit(TaskGroup* group, std::function<void()> task) {
   UDT_DCHECK(group != nullptr);
-  size_t queue_index = queues_.size() - 1;  // inject queue by default
-  if (tls_worker.pool == this) {
-    queue_index = static_cast<size_t>(tls_worker.index);
-  }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
+    size_t queue_index = queues_.size() - 1;  // inject queue by default
+    if (tls_worker.pool == this) {
+      queue_index = static_cast<size_t>(tls_worker.index);
+    }
     ++group->pending_;
     queues_[queue_index].push_back(Item{group, std::move(task)});
   }
-  // notify_all, not notify_one: a steal-restricted nested waiter (see
+  // NotifyAll, not NotifyOne: a steal-restricted nested waiter (see
   // kMaxNestedStealDepth) could otherwise consume the only wakeup meant
   // for an idle worker and strand the task.
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool TaskPool::PopTask(int self, Item* item, bool may_steal) {
@@ -136,13 +136,13 @@ void TaskPool::RunItem(Item item) {
   item.task();
   bool group_done = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     UDT_DCHECK(item.group->pending_ > 0);
     group_done = --item.group->pending_ == 0;
   }
   // Completion can unblock a Wait; submissions inside the task already
-  // notified. notify_all: several threads may wait on different groups.
-  if (group_done) cv_.notify_all();
+  // notified. NotifyAll: several threads may wait on different groups.
+  if (group_done) cv_.NotifyAll();
 }
 
 void TaskPool::WorkerLoop(int worker_index) {
@@ -150,10 +150,14 @@ void TaskPool::WorkerLoop(int worker_index) {
   for (;;) {
     Item item;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this, worker_index, &item] {
-        return shutdown_ || PopTask(worker_index, &item, /*may_steal=*/true);
-      });
+      // Explicit predicate loop (not a wait-with-lambda): the capability
+      // analysis checks shutdown_/PopTask accesses only when they sit
+      // syntactically under the held lock.
+      MutexLock lock(&mu_);
+      while (!shutdown_ &&
+             !PopTask(worker_index, &item, /*may_steal=*/true)) {
+        cv_.Wait(lock);
+      }
       if (item.task == nullptr) return;  // shutdown with empty queues
     }
     RunItem(std::move(item));
@@ -171,13 +175,11 @@ void TaskPool::Wait(TaskGroup* group) {
   for (;;) {
     Item item;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (group->pending_ == 0) return;
-      if (!PopTask(self, &item, may_steal)) {
-        cv_.wait(lock, [this, group, self, may_steal, &item] {
-          return group->pending_ == 0 || PopTask(self, &item, may_steal);
-        });
-        if (item.task == nullptr) return;  // group completed elsewhere
+      while (!PopTask(self, &item, may_steal)) {
+        cv_.Wait(lock);
+        if (group->pending_ == 0) return;  // group completed elsewhere
       }
     }
     ++tls_nested_exec_depth;
@@ -234,7 +236,7 @@ int TaskPool::ParallelForImpl(size_t n, size_t grain, int parallelism,
       std::min(num_chunks - 1, static_cast<size_t>(parallelism - 1));
   TaskGroup group;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     size_t queue_index = queues_.size() - 1;  // inject queue by default
     if (tls_worker.pool == this) {
       queue_index = static_cast<size_t>(tls_worker.index);
@@ -245,7 +247,7 @@ int TaskPool::ParallelForImpl(size_t n, size_t grain, int parallelism,
           Item{&group, [shared] { RunLoopChunks(shared); }});
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 
   RunLoopChunks(shared);
   // Any helper popped after the chunk counter ran dry retires immediately;

@@ -24,14 +24,15 @@
 #define UDT_COMMON_TASK_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace udt {
 
@@ -47,7 +48,12 @@ class TaskGroup {
 
  private:
   friend class TaskPool;
-  int pending_ = 0;  // guarded by the owning pool's mutex
+  // Guarded by the owning pool's mu_. Not expressible as a static
+  // UDT_GUARDED_BY: the group learns its pool only at Submit time, and a
+  // capability annotation must name a lockable object visible at the
+  // field's declaration. Every access lives in TaskPool methods that hold
+  // (or UDT_REQUIRES) mu_, which is where the analysis picks it up.
+  int pending_ = 0;
 };
 
 class TaskPool {
@@ -140,9 +146,8 @@ class TaskPool {
 
   // Pops one task, preferring queue `self` back-first, then — only when
   // `may_steal` — the inject queue and the front of the other workers'
-  // deques. Returns false when nothing poppable is available. Requires
-  // mu_ held.
-  bool PopTask(int self, Item* item, bool may_steal);
+  // deques. Returns false when nothing poppable is available.
+  bool PopTask(int self, Item* item, bool may_steal) UDT_REQUIRES(mu_);
 
   // Runs `item` (mu_ must not be held) and retires it from its group.
   void RunItem(Item item);
@@ -155,12 +160,12 @@ class TaskPool {
   int ParallelForImpl(size_t n, size_t grain, int parallelism,
                       void (*invoke)(void*, int, size_t, size_t), void* ctx);
 
-  std::mutex mu_;
-  std::condition_variable cv_;  // signalled on submit and on completion
+  Mutex mu_;
+  CondVar cv_;  // signalled on submit and on completion
   // queues_[0 .. num_workers-1] are the worker deques; queues_.back() is
-  // the inject queue (external submissions). Guarded by mu_.
-  std::vector<std::deque<Item>> queues_;
-  bool shutdown_ = false;  // guarded by mu_
+  // the inject queue (external submissions).
+  std::vector<std::deque<Item>> queues_ UDT_GUARDED_BY(mu_);
+  bool shutdown_ UDT_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -19,10 +19,10 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/task_pool.h"
 #include "common/timer.h"
 #include "core/node_build.h"
@@ -47,7 +47,7 @@ struct BuildContext {
   NodeBuildContext node;
   // Parallel mode only; both null in the serial recursion.
   TaskPool* pool = nullptr;
-  std::mutex* stats_mu = nullptr;
+  Mutex* stats_mu = nullptr;
   // Serial mode: the caller's stats, owned exclusively. Parallel mode:
   // the shared total, guarded by stats_mu (tasks accumulate locally and
   // merge once on completion).
@@ -55,7 +55,7 @@ struct BuildContext {
 };
 
 void MergeStats(const BuildContext& ctx, const BuildStats& local) {
-  std::lock_guard<std::mutex> lock(*ctx.stats_mu);
+  MutexLock lock(ctx.stats_mu);
   *ctx.stats += local;
 }
 
@@ -251,7 +251,7 @@ StatusOr<DecisionTree> TreeBuilder::BuildFromRoot(const Dataset& train,
     // The calling thread participates via Wait, so spawn one fewer worker
     // than the requested concurrency.
     TaskPool pool(concurrency - 1);
-    std::mutex stats_mu;
+    Mutex stats_mu;
     ctx.pool = &pool;
     ctx.stats_mu = &stats_mu;
     TaskGroup group;

@@ -38,7 +38,7 @@ void BatchingQueue::SubmitWithCallback(const UncertainTuple* tuple,
   UDT_CHECK(done != nullptr);
   Status rejection;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (closed_) {
       rejection = Status::Unavailable("BatchingQueue is closed");
     } else if (pending_.size() >= config_.max_queue) {
@@ -52,7 +52,7 @@ void BatchingQueue::SubmitWithCallback(const UncertainTuple* tuple,
       // Wake the drainer when the batch fills; the first admission after
       // an idle stretch must wake it too, so it can arm the deadline.
       if (pending_.size() == 1 || pending_.size() >= config_.max_batch) {
-        cv_.notify_all();
+        cv_.NotifyAll();
       }
       return;
     }
@@ -77,9 +77,9 @@ std::future<ServeResult> BatchingQueue::Submit(const UncertainTuple* tuple) {
 void BatchingQueue::Close() {
   std::thread to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     closed_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
     // Only the first closer receives a joinable thread; concurrent or
     // repeated Close() calls are no-ops past this point.
     to_join = std::move(drainer_);
@@ -88,48 +88,49 @@ void BatchingQueue::Close() {
 }
 
 BatchingQueue::Stats BatchingQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 size_t BatchingQueue::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pending_.size();
 }
 
 void BatchingQueue::DrainLoop() {
   const auto max_delay = std::chrono::microseconds(config_.max_delay_us);
-  std::unique_lock<std::mutex> lock(mu_);
-  while (true) {
-    cv_.wait(lock, [this] { return closed_ || !pending_.empty(); });
-    if (pending_.empty()) break;  // closed_ and fully drained
+  for (;;) {
+    // Lock scope per drain iteration; ServeBatch runs unlocked below, so
+    // admissions continue while a micro-batch classifies.
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && pending_.empty()) cv_.Wait(lock);
+      if (pending_.empty()) return;  // closed_ and fully drained
 
-    // Coalescing window: wait for a full batch, the oldest request's
-    // deadline, or shutdown (which serves whatever is pending, now).
-    const auto deadline = pending_.front().admitted_at + max_delay;
-    while (!closed_ && pending_.size() < config_.max_batch &&
-           std::chrono::steady_clock::now() < deadline) {
-      cv_.wait_until(lock, deadline);
+      // Coalescing window: wait for a full batch, the oldest request's
+      // deadline, or shutdown (which serves whatever is pending, now).
+      const auto deadline = pending_.front().admitted_at + max_delay;
+      while (!closed_ && pending_.size() < config_.max_batch &&
+             std::chrono::steady_clock::now() < deadline) {
+        cv_.WaitUntil(lock, deadline);
+      }
+
+      const size_t take = std::min(pending_.size(), config_.max_batch);
+      batch_.clear();
+      batch_.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch_.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+      ++stats_.drains;
+      stats_.max_drain = std::max<uint64_t>(stats_.max_drain, take);
+      // Counted at take time, before completions run: a client reading
+      // stats() right after its future resolves must already see itself
+      // in `served` (the increment-after-drain ordering would lag).
+      stats_.served += take;
     }
-
-    const size_t take = std::min(pending_.size(), config_.max_batch);
-    batch_.clear();
-    batch_.reserve(take);
-    for (size_t i = 0; i < take; ++i) {
-      batch_.push_back(std::move(pending_.front()));
-      pending_.pop_front();
-    }
-    ++stats_.drains;
-    stats_.max_drain = std::max<uint64_t>(stats_.max_drain, take);
-    // Counted at take time, before completions run: a client reading
-    // stats() right after its future resolves must already see itself in
-    // `served` (the increment-after-drain ordering would lag).
-    stats_.served += take;
-
-    lock.unlock();
     // One registry snapshot per micro-batch: the atomic-hot-swap point.
     ServeBatch(batch_, provider_());
-    lock.lock();
   }
 }
 

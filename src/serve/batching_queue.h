@@ -36,19 +36,19 @@
 #define UDT_SERVE_BATCHING_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "serve/model_registry.h"
 #include "serve/servable.h"
 
@@ -172,11 +172,11 @@ class BatchingQueue {
   const BatchingConfig config_;
   const SnapshotProvider provider_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Pending> pending_;
-  bool closed_ = false;
-  Stats stats_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Pending> pending_ UDT_GUARDED_BY(mu_);
+  bool closed_ UDT_GUARDED_BY(mu_) = false;
+  Stats stats_ UDT_GUARDED_BY(mu_);
 
   // Drainer-thread state (touched only by drainer_, no lock needed).
   ModelHandle bound_;
@@ -186,7 +186,10 @@ class BatchingQueue {
   std::vector<int> top_scratch_;
   std::vector<Pending> batch_;
 
-  std::thread drainer_;
+  // Written by the constructor (single-threaded), moved out by the first
+  // Close() under mu_ so concurrent closers race on the mutex, not the
+  // thread object.
+  std::thread drainer_ UDT_GUARDED_BY(mu_);
 };
 
 }  // namespace serve

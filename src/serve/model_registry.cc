@@ -9,7 +9,7 @@ namespace udt {
 namespace serve {
 
 uint64_t ModelRegistry::Publish(const std::string& name, Servable servable) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   NamedEntry& named = entries_[name];
   const uint64_t version = named.next_version++;
   // Constructing under the lock is fine: a Servable moves in O(1).
@@ -19,7 +19,7 @@ uint64_t ModelRegistry::Publish(const std::string& name, Servable servable) {
 }
 
 Status ModelRegistry::Retire(const std::string& name, uint64_t version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     return Status::NotFound(StrFormat("no model named '%s'", name.c_str()));
@@ -41,7 +41,7 @@ Status ModelRegistry::Retire(const std::string& name, uint64_t version) {
 }
 
 size_t ModelRegistry::RetireAll(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) return 0;
   const size_t retired = it->second.versions.size();
@@ -50,7 +50,7 @@ size_t ModelRegistry::RetireAll(const std::string& name) {
 }
 
 ModelHandle ModelRegistry::Resolve(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(name);
   if (it == entries_.end() || it->second.versions.empty()) return nullptr;
   return it->second.versions.back();
@@ -58,7 +58,7 @@ ModelHandle ModelRegistry::Resolve(const std::string& name) const {
 
 ModelHandle ModelRegistry::Resolve(const std::string& name,
                                    uint64_t version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) return nullptr;
   for (const ModelHandle& handle : it->second.versions) {
@@ -68,7 +68,7 @@ ModelHandle ModelRegistry::Resolve(const std::string& name,
 }
 
 std::vector<std::string> ModelRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, named] : entries_) {
@@ -78,7 +78,7 @@ std::vector<std::string> ModelRegistry::Names() const {
 }
 
 std::vector<uint64_t> ModelRegistry::Versions(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<uint64_t> versions;
   auto it = entries_.find(name);
   if (it == entries_.end()) return versions;

@@ -29,11 +29,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "serve/servable.h"
 
 namespace udt {
@@ -61,7 +62,7 @@ class ModelRegistry {
   // (1 for a fresh name, previous max + 1 after). The new version is
   // immediately what Resolve(name) returns; in-flight holders of older
   // snapshots are unaffected.
-  uint64_t Publish(const std::string& name, Servable servable);
+  [[nodiscard]] uint64_t Publish(const std::string& name, Servable servable);
 
   // Removes one version. NotFound if the name or version is not live.
   // Snapshots already resolved keep serving; only the registry's
@@ -73,10 +74,11 @@ class ModelRegistry {
   size_t RetireAll(const std::string& name);
 
   // Latest live version of `name`, or null if none. O(1) under the lock.
-  ModelHandle Resolve(const std::string& name) const;
+  [[nodiscard]] ModelHandle Resolve(const std::string& name) const;
 
   // Exactly version `version` of `name`, or null.
-  ModelHandle Resolve(const std::string& name, uint64_t version) const;
+  [[nodiscard]] ModelHandle Resolve(const std::string& name,
+                                    uint64_t version) const;
 
   // Live names, sorted. For dashboards and tests.
   std::vector<std::string> Names() const;
@@ -91,8 +93,8 @@ class ModelRegistry {
     std::vector<ModelHandle> versions;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, NamedEntry> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, NamedEntry> entries_ UDT_GUARDED_BY(mu_);
 };
 
 }  // namespace serve

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 
 namespace udt {
@@ -21,20 +21,20 @@ class StartGate {
  public:
   void Open() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       open_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return open_; });
+    MutexLock lock(&mu_);
+    while (!open_) cv_.Wait(lock);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool open_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  bool open_ UDT_GUARDED_BY(mu_) = false;
 };
 
 // Nearest-rank percentile over a sorted sample set.
@@ -124,7 +124,7 @@ LatencyStats RunQueueClients(BatchingQueue* queue,
   UDT_CHECK(queue != nullptr);
   UDT_CHECK(!pool.empty());
   const size_t stride = static_cast<size_t>(options.num_clients);
-  std::mutex failure_mu;
+  Mutex failure_mu;
   size_t failed = 0;
   LatencyStats stats =
       DriveClients(options, [&](size_t c, std::vector<double>* out) {
@@ -143,7 +143,7 @@ LatencyStats RunQueueClients(BatchingQueue* queue,
             ++my_failures;
           }
         }
-        std::lock_guard<std::mutex> lock(failure_mu);
+        MutexLock lock(&failure_mu);
         failed += my_failures;
       });
   stats.failed = failed;

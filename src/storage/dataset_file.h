@@ -80,7 +80,7 @@ StatusOr<DatasetFileStats> ConvertDatasetToFile(
 // caches). Parse errors carry the absolute 1-based line number.
 class DatasetReader final : public PdfStorage {
  public:
-  static StatusOr<DatasetReader> Open(const std::string& path);
+  [[nodiscard]] static StatusOr<DatasetReader> Open(const std::string& path);
 
   DatasetReader(DatasetReader&&) = default;
   DatasetReader& operator=(DatasetReader&&) = default;

@@ -46,9 +46,21 @@ StatusOr<std::unique_ptr<AdaptiveServer>> AdaptiveServer::Create(
       std::move(trainer), std::move(options), seed_data.schema()));
 
   // Generation 1: train, publish, anchor the monitor at its OOB error.
+  // No traffic exists yet, but the locks are taken anyway: they are
+  // uncontended here, and the capability analysis then needs no escape
+  // hatch for the bootstrap path.
   RetrainReport bootstrap;
-  UDT_ASSIGN_OR_RETURN(bootstrap, server->controller_.Bootstrap(seed_data));
-  server->monitor_.Reset(server->controller_.incumbent_oob_error());
+  double bootstrap_oob = 0.0;
+  {
+    MutexLock lock(&server->retrain_mu_);
+    UDT_ASSIGN_OR_RETURN(bootstrap,
+                         server->controller_.Bootstrap(seed_data));
+    bootstrap_oob = server->controller_.incumbent_oob_error();
+  }
+  {
+    MutexLock lock(&server->monitor_mu_);
+    server->monitor_.Reset(bootstrap_oob);
+  }
 
   // Only now does traffic start: the queue resolves the just-published
   // version on its first drain.
@@ -58,7 +70,7 @@ StatusOr<std::unique_ptr<AdaptiveServer>> AdaptiveServer::Create(
     config.response_tap = [raw](const serve::ServeResult& result) {
       std::optional<DriftEvent> event;
       {
-        std::lock_guard<std::mutex> lock(raw->monitor_mu_);
+        MutexLock lock(&raw->monitor_mu_);
         event = raw->monitor_.ObserveConfidence(result.confidence);
         if (event.has_value()) raw->RecordEvent(*event, /*from_tap=*/true);
       }
@@ -92,7 +104,7 @@ std::future<serve::ServeResult> AdaptiveServer::SubmitReading(
   std::future<serve::ServeResult> future = promise->get_future();
 
   StatusOr<UncertainTuple> wrapped = [&]() -> StatusOr<UncertainTuple> {
-    std::lock_guard<std::mutex> lock(calibrator_mu_);
+    MutexLock lock(&calibrator_mu_);
     return calibrator_.Wrap(source, readings);
   }();
   if (!wrapped.ok()) {
@@ -124,7 +136,7 @@ StatusOr<std::optional<RetrainReport>> AdaptiveServer::Feedback(
   //    so the queue's tap (same mutex) is never held behind training.
   std::optional<DriftEvent> event;
   {
-    std::lock_guard<std::mutex> lock(monitor_mu_);
+    MutexLock lock(&monitor_mu_);
     event = monitor_.Observe(result.label, true_label, result.confidence);
     if (event.has_value()) RecordEvent(*event, /*from_tap=*/false);
   }
@@ -135,14 +147,14 @@ StatusOr<std::optional<RetrainReport>> AdaptiveServer::Feedback(
   std::optional<RetrainReport> report;
   double published_oob = 0.0;
   {
-    std::lock_guard<std::mutex> lock(retrain_mu_);
+    MutexLock lock(&retrain_mu_);
     UncertainTuple labeled = tuple;
     labeled.label = true_label;
     UDT_RETURN_NOT_OK(controller_.AddLabeled(std::move(labeled)));
 
     bool drift_trigger = event.has_value();
     {
-      std::lock_guard<std::mutex> monitor_lock(monitor_mu_);
+      MutexLock monitor_lock(&monitor_mu_);
       if (pending_drift_) {
         drift_trigger = true;
         pending_drift_ = false;
@@ -151,7 +163,7 @@ StatusOr<std::optional<RetrainReport>> AdaptiveServer::Feedback(
     if (drift_trigger && !controller_.CanRetrain()) {
       // Too few labeled tuples to act yet: re-park the trigger so a later
       // feedback call retrains once the window fills.
-      std::lock_guard<std::mutex> monitor_lock(monitor_mu_);
+      MutexLock monitor_lock(&monitor_mu_);
       pending_drift_ = true;
       drift_trigger = false;
     }
@@ -166,7 +178,7 @@ StatusOr<std::optional<RetrainReport>> AdaptiveServer::Feedback(
   // 3. A publish re-anchors the monitor at the new generation's OOB error
   //    (and clears any drift parked against the old generation).
   if (report.has_value() && report->published) {
-    std::lock_guard<std::mutex> lock(monitor_mu_);
+    MutexLock lock(&monitor_mu_);
     monitor_.Reset(published_oob);
     pending_drift_ = false;
   }
@@ -176,7 +188,7 @@ StatusOr<std::optional<RetrainReport>> AdaptiveServer::Feedback(
 
 Status AdaptiveServer::ObserveResidual(int source, int attribute,
                                        double reading, double truth) {
-  std::lock_guard<std::mutex> lock(calibrator_mu_);
+  MutexLock lock(&calibrator_mu_);
   return calibrator_.ObserveResidual(source, attribute, reading, truth);
 }
 
@@ -185,12 +197,12 @@ StatusOr<RetrainReport> AdaptiveServer::ForceRetrain(
   RetrainReport report;
   double published_oob = 0.0;
   {
-    std::lock_guard<std::mutex> lock(retrain_mu_);
+    MutexLock lock(&retrain_mu_);
     UDT_ASSIGN_OR_RETURN(report, controller_.Retrain(reason));
     published_oob = controller_.incumbent_oob_error();
   }
   if (report.published) {
-    std::lock_guard<std::mutex> lock(monitor_mu_);
+    MutexLock lock(&monitor_mu_);
     monitor_.Reset(published_oob);
     pending_drift_ = false;
   }
@@ -204,22 +216,22 @@ uint64_t AdaptiveServer::live_version() const {
 }
 
 int64_t AdaptiveServer::drift_events() const {
-  std::lock_guard<std::mutex> lock(monitor_mu_);
+  MutexLock lock(&monitor_mu_);
   return monitor_.events_fired();
 }
 
 std::vector<DriftEvent> AdaptiveServer::drift_log() const {
-  std::lock_guard<std::mutex> lock(monitor_mu_);
+  MutexLock lock(&monitor_mu_);
   return drift_log_;
 }
 
 int64_t AdaptiveServer::generations() const {
-  std::lock_guard<std::mutex> lock(retrain_mu_);
+  MutexLock lock(&retrain_mu_);
   return controller_.generations();
 }
 
 int64_t AdaptiveServer::window_size() const {
-  std::lock_guard<std::mutex> lock(retrain_mu_);
+  MutexLock lock(&retrain_mu_);
   return controller_.window_size();
 }
 

@@ -34,13 +34,14 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "api/forest.h"
+#include "common/mutex.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "serve/batching_queue.h"
 #include "serve/model_registry.h"
 #include "stream/drift_monitor.h"
@@ -139,29 +140,30 @@ class AdaptiveServer {
                  Schema schema);
 
   // Appends to the drift log and (for tap events) parks the trigger.
-  // Caller holds monitor_mu_; on_drift is the caller's job, outside it.
-  void RecordEvent(const DriftEvent& event, bool from_tap);
+  // on_drift is the caller's job, outside the lock.
+  void RecordEvent(const DriftEvent& event, bool from_tap)
+      UDT_REQUIRES(monitor_mu_);
 
   AdaptiveServerOptions options_;
 
   serve::ModelRegistry registry_;
 
   // Guards the calibrator (readers wrap, feedback observes residuals).
-  mutable std::mutex calibrator_mu_;
-  UncertaintyCalibrator calibrator_;
+  mutable Mutex calibrator_mu_;
+  UncertaintyCalibrator calibrator_ UDT_GUARDED_BY(calibrator_mu_);
 
   // Guards the monitor, the drift log and the parked-drift flag. Taken by
   // the queue's drainer (tap) and by Feedback — never held across a
   // retrain.
-  mutable std::mutex monitor_mu_;
-  DriftMonitor monitor_;
-  std::vector<DriftEvent> drift_log_;
-  bool pending_drift_ = false;
+  mutable Mutex monitor_mu_;
+  DriftMonitor monitor_ UDT_GUARDED_BY(monitor_mu_);
+  std::vector<DriftEvent> drift_log_ UDT_GUARDED_BY(monitor_mu_);
+  bool pending_drift_ UDT_GUARDED_BY(monitor_mu_) = false;
 
   // Guards the controller (window + retrain + publish). Long holds are
   // confined to the feedback path; the drainer never takes it.
-  mutable std::mutex retrain_mu_;
-  RetrainController controller_;
+  mutable Mutex retrain_mu_;
+  RetrainController controller_ UDT_GUARDED_BY(retrain_mu_);
 
   std::unique_ptr<serve::BatchingQueue> queue_;
 };

@@ -26,8 +26,9 @@
 // (min_observations) suppresses events before the statistic means
 // anything, and a cooldown suppresses follow-on events while the loop
 // retrains, which is what makes "exactly one event per injected shift"
-// testable. Not thread-safe; callers serialise (the adaptive server wraps
-// it in its mutex).
+// testable. Not thread-safe; callers serialise. The adaptive server's
+// instance is declared UDT_GUARDED_BY(monitor_mu_), so under clang's
+// -Wthread-safety that serialisation is compiler-enforced, not hoped for.
 
 #ifndef UDT_STREAM_DRIFT_MONITOR_H_
 #define UDT_STREAM_DRIFT_MONITOR_H_

@@ -21,6 +21,9 @@
 // thread (the adaptive server invokes it from its feedback path) while the
 // BatchingQueue keeps draining against the incumbent snapshot; the swap is
 // one registry pointer replacement. Not thread-safe; callers serialise.
+// The adaptive server's instance is declared UDT_GUARDED_BY(retrain_mu_),
+// so under clang's -Wthread-safety that serialisation is
+// compiler-enforced, not hoped for.
 
 #ifndef UDT_STREAM_RETRAIN_CONTROLLER_H_
 #define UDT_STREAM_RETRAIN_CONTROLLER_H_

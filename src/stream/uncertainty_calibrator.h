@@ -13,7 +13,9 @@
 //
 // Sources model heterogeneous producers (distinct sensors, feeds,
 // clients): each learns its own noise model, so a noisy sensor widens only
-// its own pdfs. Not thread-safe; the adaptive server serialises access.
+// its own pdfs. Not thread-safe; the adaptive server serialises access —
+// its instance is declared UDT_GUARDED_BY(calibrator_mu_), so under
+// clang's -Wthread-safety that serialisation is compiler-enforced.
 
 #ifndef UDT_STREAM_UNCERTAINTY_CALIBRATOR_H_
 #define UDT_STREAM_UNCERTAINTY_CALIBRATOR_H_

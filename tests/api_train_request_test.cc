@@ -1,7 +1,6 @@
-// TrainRequest — the unified entry point (ISSUE 9 satellite). Contracts
-// under test:
-//   * the deprecated multi-signature entry points are thin wrappers: each
-//     produces a byte-identical model to the equivalent TrainRequest;
+// TrainRequest — the unified entry point (ISSUE 9 satellite; the old
+// multi-signature wrappers finished their deprecation cycle and were
+// removed in ISSUE 10). Contracts under test:
 //   * request validation rejects inconsistent sources and facade-mismatched
 //     knobs (weights on forests, warm starts on single trees);
 //   * the overrides do what they say: num_threads never changes bytes,
@@ -90,89 +89,6 @@ TEST(TrainRequestTest, ValidationRejectsInconsistentRequests) {
   mismatched.weights = short_weights;
   EXPECT_FALSE(trainer.Train(mismatched).ok());
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(TrainRequestTest, DeprecatedTreeWrappersAreByteIdentical) {
-  const Dataset data = SmallDataset(40, 11);
-  Trainer trainer;
-
-  auto via_request = trainer.Train(TrainRequest::For(data, ModelKind::kUdt));
-  auto via_wrapper = trainer.Train(data, ModelKind::kUdt);
-  ASSERT_TRUE(via_request.ok());
-  ASSERT_TRUE(via_wrapper.ok());
-  EXPECT_EQ(via_request->Serialize(), via_wrapper->Serialize());
-
-  auto avg_request =
-      trainer.Train(TrainRequest::For(data, ModelKind::kAveraging));
-  auto avg_wrapper = trainer.Train(data, ModelKind::kAveraging);
-  ASSERT_TRUE(avg_request.ok());
-  ASSERT_TRUE(avg_wrapper.ok());
-  EXPECT_EQ(avg_request->Serialize(), avg_wrapper->Serialize());
-}
-
-TEST(TrainRequestTest, DeprecatedStorageWrappersAreByteIdentical) {
-  const Dataset data = SmallDataset(48, 13);
-  const std::string path = TempPath("train_request_storage.udt");
-  ASSERT_TRUE(ConvertDatasetToFile(data, path).ok());
-
-  Trainer trainer;
-  {
-    auto reader = DatasetReader::Open(path);
-    ASSERT_TRUE(reader.ok());
-    auto via_request =
-        trainer.Train(TrainRequest::ForStorage(&reader.value()));
-    auto reader2 = DatasetReader::Open(path);
-    ASSERT_TRUE(reader2.ok());
-    auto via_wrapper =
-        trainer.TrainFromStorage(&reader2.value(), ModelKind::kUdt);
-    ASSERT_TRUE(via_request.ok());
-    ASSERT_TRUE(via_wrapper.ok());
-    EXPECT_EQ(via_request->Serialize(), via_wrapper->Serialize());
-  }
-
-  ForestConfig config;
-  config.num_trees = 3;
-  ForestTrainer forest_trainer(config);
-  {
-    auto reader = DatasetReader::Open(path);
-    ASSERT_TRUE(reader.ok());
-    auto via_request =
-        forest_trainer.Train(TrainRequest::ForStorage(&reader.value()));
-    auto reader2 = DatasetReader::Open(path);
-    ASSERT_TRUE(reader2.ok());
-    auto via_wrapper =
-        forest_trainer.TrainFromStorage(&reader2.value(), ModelKind::kUdt);
-    ASSERT_TRUE(via_request.ok());
-    ASSERT_TRUE(via_wrapper.ok());
-    EXPECT_EQ(via_request->Serialize(), via_wrapper->Serialize());
-  }
-}
-
-TEST(TrainRequestTest, DeprecatedForestWrapperMatchesAndFillsOob) {
-  const Dataset data = SmallDataset(60, 17);
-  ForestConfig config;
-  config.num_trees = 5;
-  ForestTrainer trainer(config);
-
-  OobEstimate oob_request;
-  TrainRequest request = TrainRequest::For(data, ModelKind::kUdt);
-  request.oob = &oob_request;
-  auto via_request = trainer.Train(request);
-
-  OobEstimate oob_wrapper;
-  auto via_wrapper = trainer.Train(data, ModelKind::kUdt, &oob_wrapper);
-
-  ASSERT_TRUE(via_request.ok());
-  ASSERT_TRUE(via_wrapper.ok());
-  EXPECT_EQ(via_request->Serialize(), via_wrapper->Serialize());
-  EXPECT_EQ(oob_request.evaluated_tuples, oob_wrapper.evaluated_tuples);
-  EXPECT_EQ(oob_request.accuracy, oob_wrapper.accuracy);
-  EXPECT_GT(oob_request.evaluated_tuples, 0);
-}
-
-#pragma GCC diagnostic pop
 
 TEST(TrainRequestTest, UnitWeightsMatchUnweighted) {
   const Dataset data = SmallDataset(40, 19);

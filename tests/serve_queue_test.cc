@@ -7,14 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <condition_variable>
+#include <chrono>
 #include <cstring>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "api/trainer.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/random.h"
 #include "pdf/pdf_builder.h"
 #include "serve/batching_queue.h"
@@ -56,33 +57,33 @@ class GatedProvider {
 
   BatchingQueue::SnapshotProvider AsProvider() {
     return [this] {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++entered_;
-      cv_.notify_all();
-      cv_.wait(lock, [this] { return open_; });
+      cv_.NotifyAll();
+      while (!open_) cv_.Wait(lock);
       return handle_;
     };
   }
 
   void Open() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     open_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   // Blocks until the drainer is parked inside the provider (i.e. it has
   // taken a batch and the pending queue is at its post-take size).
   void AwaitEntered(int times) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return entered_ >= times; });
+    MutexLock lock(&mu_);
+    while (entered_ < times) cv_.Wait(lock);
   }
 
  private:
   ModelHandle handle_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int entered_ = 0;
-  bool open_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  int entered_ UDT_GUARDED_BY(mu_) = 0;
+  bool open_ UDT_GUARDED_BY(mu_) = false;
 };
 
 ModelHandle MakeHandle(uint64_t seed) {
@@ -93,7 +94,7 @@ ModelHandle MakeHandle(uint64_t seed) {
 TEST(BatchingQueueTest, ResultsByteIdenticalToDirectSession) {
   Dataset pool = NumericDataset(48, 2, 7);
   ModelRegistry registry;
-  registry.Publish("prod", TrainServable(1));
+  ASSERT_EQ(registry.Publish("prod", TrainServable(1)), 1u);
 
   // Direct reference over the same artifact.
   ServeSession direct(registry.Resolve("prod")->servable);
@@ -177,7 +178,7 @@ TEST(BatchingQueueTest, GatherBatchMatchesContiguousBatch) {
 TEST(BatchingQueueTest, CoalescesConcurrentSubmitsIntoMicroBatches) {
   Dataset pool = NumericDataset(16, 2, 11);
   ModelRegistry registry;
-  registry.Publish("prod", TrainServable(3));
+  ASSERT_EQ(registry.Publish("prod", TrainServable(3)), 1u);
 
   BatchingConfig config;
   config.max_batch = 16;
@@ -216,7 +217,7 @@ TEST(BatchingQueueTest, CoalescesConcurrentSubmitsIntoMicroBatches) {
 TEST(BatchingQueueTest, TimeoutServesPartialBatch) {
   Dataset pool = NumericDataset(4, 2, 13);
   ModelRegistry registry;
-  registry.Publish("prod", TrainServable(4));
+  ASSERT_EQ(registry.Publish("prod", TrainServable(4)), 1u);
 
   BatchingConfig config;
   config.max_batch = 64;  // never filled by 3 requests
@@ -238,7 +239,7 @@ TEST(BatchingQueueTest, TimeoutServesPartialBatch) {
 TEST(BatchingQueueTest, CloseDrainsAdmittedThenRejects) {
   Dataset pool = NumericDataset(8, 2, 15);
   ModelRegistry registry;
-  registry.Publish("prod", TrainServable(5));
+  ASSERT_EQ(registry.Publish("prod", TrainServable(5)), 1u);
 
   BatchingConfig config;
   config.max_batch = 64;
@@ -313,7 +314,7 @@ TEST(BatchingQueueTest, NoLiveVersionFailsRequestsAsUnavailable) {
 TEST(BatchingQueueTest, CallbackFormCompletesOnce) {
   Dataset pool = NumericDataset(4, 2, 21);
   ModelRegistry registry;
-  registry.Publish("prod", TrainServable(8));
+  ASSERT_EQ(registry.Publish("prod", TrainServable(8)), 1u);
   BatchingConfig config;
   config.max_delay_us = 500;
   BatchingQueue queue(&registry, "prod", config);
@@ -465,6 +466,54 @@ TEST(ResultReuseTest, FlatBatchResultClearLeavesNoTraceOfPreviousBatch) {
   EXPECT_EQ(flat.size(), 3u);
   EXPECT_EQ(flat.distributions.size(),
             3u * static_cast<size_t>(flat.num_classes));
+}
+
+// The queue's completions run on the drainer thread; callers that need to
+// rendezvous with one use exactly the udt::Mutex/CondVar idiom the queue
+// itself is built on (common/mutex.h). This case drives both wrapper
+// outcomes end to end against a live queue: WaitFor must report false
+// while the drainer is still holding the request (10s deadline, batch
+// never fills), then true once Close() forces the drain and the callback
+// notifies.
+
+TEST(BatchingQueueTest, CallbackRendezvousExercisesCondVarTimeoutAndWake) {
+  Dataset pool = NumericDataset(4, 2, 27);
+  ModelRegistry registry;
+  ASSERT_EQ(registry.Publish("prod", TrainServable(12)), 1u);
+
+  BatchingConfig config;
+  config.max_batch = 64;
+  config.max_delay_us = 10'000'000;  // 10s: only Close() can drain this
+  BatchingQueue queue(&registry, "prod", config);
+
+  Mutex mu;
+  CondVar cv;
+  bool served UDT_GUARDED_BY(mu) = false;
+  Status served_status UDT_GUARDED_BY(mu);
+  queue.SubmitWithCallback(&pool.tuple(0), [&](ServeResult result) {
+    MutexLock lock(&mu);
+    served = true;
+    served_status = result.status;
+    cv.NotifyOne();
+  });
+
+  {
+    MutexLock lock(&mu);
+    // Nothing can have served yet: the wrapper's timeout path must fire.
+    EXPECT_FALSE(cv.WaitFor(lock, std::chrono::microseconds(2000)));
+    EXPECT_FALSE(served);
+  }
+
+  queue.Close();  // drains the admitted request -> callback -> NotifyOne
+  {
+    MutexLock lock(&mu);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!served) {
+      ASSERT_TRUE(cv.WaitUntil(lock, deadline)) << "callback never ran";
+    }
+    EXPECT_TRUE(served_status.ok());
+  }
 }
 
 }  // namespace

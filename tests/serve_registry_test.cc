@@ -63,8 +63,8 @@ TEST(ModelRegistryTest, PublishAssignsMonotonicVersionsPerName) {
 
 TEST(ModelRegistryTest, ResolveLatestAndExactVersion) {
   ModelRegistry registry;
-  registry.Publish("prod", Servable(TrainCompiled(1)));
-  registry.Publish("prod", Servable(TrainCompiled(2)));
+  EXPECT_EQ(registry.Publish("prod", Servable(TrainCompiled(1))), 1u);
+  EXPECT_EQ(registry.Publish("prod", Servable(TrainCompiled(2))), 2u);
 
   ModelHandle latest = registry.Resolve("prod");
   ASSERT_NE(latest, nullptr);
@@ -82,8 +82,8 @@ TEST(ModelRegistryTest, ResolveLatestAndExactVersion) {
 
 TEST(ModelRegistryTest, RetireRemovesOneVersionAndNeverReusesNumbers) {
   ModelRegistry registry;
-  registry.Publish("prod", Servable(TrainCompiled(1)));
-  registry.Publish("prod", Servable(TrainCompiled(2)));
+  EXPECT_EQ(registry.Publish("prod", Servable(TrainCompiled(1))), 1u);
+  EXPECT_EQ(registry.Publish("prod", Servable(TrainCompiled(2))), 2u);
 
   ASSERT_TRUE(registry.Retire("prod", 2).ok());
   ModelHandle latest = registry.Resolve("prod");
@@ -101,8 +101,8 @@ TEST(ModelRegistryTest, RetireRemovesOneVersionAndNeverReusesNumbers) {
 
 TEST(ModelRegistryTest, RetireAllForgetsTheName) {
   ModelRegistry registry;
-  registry.Publish("prod", Servable(TrainCompiled(1)));
-  registry.Publish("prod", Servable(TrainCompiled(2)));
+  EXPECT_EQ(registry.Publish("prod", Servable(TrainCompiled(1))), 1u);
+  EXPECT_EQ(registry.Publish("prod", Servable(TrainCompiled(2))), 2u);
   EXPECT_EQ(registry.RetireAll("prod"), 2u);
   EXPECT_EQ(registry.Resolve("prod"), nullptr);
   EXPECT_TRUE(registry.Names().empty());
@@ -116,7 +116,7 @@ TEST(ModelRegistryTest, RetiredSnapshotKeepsServingByteIdentically) {
   const int k = compiled.num_classes();
 
   ModelRegistry registry;
-  registry.Publish("prod", Servable(compiled));
+  EXPECT_EQ(registry.Publish("prod", Servable(compiled)), 1u);
   ModelHandle handle = registry.Resolve("prod");
   ASSERT_NE(handle, nullptr);
 
@@ -141,7 +141,8 @@ TEST(ModelRegistryTest, RetiredSnapshotKeepsServingByteIdentically) {
 
 TEST(ModelRegistryTest, HoldsForestServables) {
   ModelRegistry registry;
-  registry.Publish("ensemble", Servable(TrainCompiledForest(11)));
+  EXPECT_EQ(registry.Publish("ensemble", Servable(TrainCompiledForest(11))),
+            1u);
   ModelHandle handle = registry.Resolve("ensemble");
   ASSERT_NE(handle, nullptr);
   EXPECT_TRUE(handle->servable.is_forest());

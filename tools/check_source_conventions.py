@@ -1,0 +1,335 @@
+#!/usr/bin/env python3
+"""Repo-wide source convention linter (the non-compiler half of the
+static-analysis gate; clang -Wthread-safety and clang-tidy are the
+compiler half).
+
+Rules, each motivated by a bug class this repo has decided to make
+unrepresentable:
+
+  naked-mutex      std::mutex / std::lock_guard / std::unique_lock /
+                   std::scoped_lock / std::condition_variable anywhere
+                   outside src/common/mutex.h. Naked primitives carry no
+                   thread-safety annotations, so clang's analysis cannot
+                   see the locking discipline around them; every locking
+                   site must go through udt::Mutex / MutexLock / CondVar.
+
+  raw-random       rand() / std::random_device outside seeded data
+                   generation. The repo's determinism guarantee (same
+                   seed => bitwise-identical models and benches) dies the
+                   moment any code path draws entropy from the
+                   environment. Seeded generators (std::mt19937 and the
+                   repo's own splitmix streams) are fine.
+
+  unordered-serialize
+                   Range-for iteration over a std::unordered_map/set
+                   whose loop body feeds a serialization sink (stream
+                   <<, string append, Serialize/Write calls, fprintf).
+                   Unordered iteration order is implementation-defined,
+                   so bytes produced this way are not stable across
+                   standard libraries — the forest/model serializers are
+                   byte-compared in tests and must never depend on it.
+                   Order-insensitive folds (sums, max) are fine.
+
+  include-guard    Header guards must be UDT_<PATH>_H_ derived from the
+                   repo-relative path with the src/ prefix dropped
+                   (src/api/forest.h -> UDT_API_FOREST_H_,
+                   bench/bench_common.h -> UDT_BENCH_BENCH_COMMON_H_).
+                   Copy-pasted guards silently merge two headers.
+
+  unjustified-escape
+                   UDT_NO_THREAD_SAFETY_ANALYSIS without a justification
+                   comment on the same or preceding line. The macro turns
+                   the analysis off for a whole function; an unexplained
+                   use is indistinguishable from a silenced bug.
+
+  unjustified-void-status
+                   `(void)` casts applied to a Status-returning
+                   expression without a same-line justification comment.
+                   Status is [[nodiscard]]; a bare (void) is the blanket
+                   suppression the nodiscard audit exists to prevent.
+
+Per-line opt-outs, always with a reason after the colon:
+
+  // lint-ok(naked-mutex): <reason>     (same line or the line above)
+
+src/common/mutex.h is exempt from naked-mutex wholesale (it is the one
+wrapper). Generated/vendored code would be listed in EXEMPT_PATHS.
+
+Usage:
+  check_source_conventions.py [--root DIR]     lint the repo (default .)
+  check_source_conventions.py --self-test      seed one violation per
+                                               rule into a temp tree and
+                                               assert each is caught, and
+                                               that a justified line is
+                                               not — the linter's own
+                                               negative test, run in CI
+                                               and ctest before the real
+                                               lint so a silently broken
+                                               rule cannot pass the gate.
+
+Exit code 0 = clean, 1 = violations (or a self-test failure), 2 = usage.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+LINTED_DIRS = ("src", "tests", "bench", "examples", "tools")
+SOURCE_EXTENSIONS = (".h", ".cc")
+
+# Files exempt from specific rules, path-relative to the repo root.
+EXEMPT_PATHS = {
+    "src/common/mutex.h": {"naked-mutex"},  # the wrapper itself
+}
+
+OPT_OUT_RE = re.compile(r"//\s*lint-ok\((?P<rule>[a-z-]+)\):\s*\S")
+
+NAKED_MUTEX_RE = re.compile(
+    r"std::(mutex|lock_guard|unique_lock|scoped_lock|condition_variable)\b"
+)
+RAW_RANDOM_RE = re.compile(r"(?<![\w:])rand\s*\(\s*\)|std::random_device\b")
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*>\s+(\w+)\s*[;{=]"
+)
+SERIALIZE_SINK_RE = re.compile(
+    r"<<|(?:\.|->)append\s*\(|StrAppend|Serialize|\bWrite\w*\s*\(|fprintf"
+    r"|fputs"
+)
+ESCAPE_RE = re.compile(r"\bUDT_NO_THREAD_SAFETY_ANALYSIS\b")
+VOID_STATUS_RE = re.compile(r"\(void\)[^;/]*\b[Ss]tatus\b")
+COMMENT_RE = re.compile(r"//.*$")
+
+
+def is_comment_or_string(line, match_start):
+    """True if the match begins inside a // comment (string literals are
+    rare enough in this codebase that comment stripping suffices)."""
+    comment = line.find("//")
+    return comment != -1 and comment < match_start
+
+
+def has_opt_out(lines, index, rule):
+    for probe in (index, index - 1):
+        if 0 <= probe < len(lines):
+            m = OPT_OUT_RE.search(lines[probe])
+            if m and m.group("rule") == rule:
+                return True
+    return False
+
+
+def has_justification_comment(lines, index):
+    """A non-empty // comment on the same line or the line above."""
+    for probe in (index, index - 1):
+        if 0 <= probe < len(lines):
+            m = re.search(r"//\s*(\S.*)", lines[probe])
+            if m:
+                return True
+    return False
+
+
+def expected_guard(relpath):
+    trimmed = relpath[4:] if relpath.startswith("src/") else relpath
+    return "UDT_" + re.sub(r"[^A-Za-z0-9]", "_", trimmed).upper() + "_"
+
+
+def check_file(relpath, lines):
+    violations = []
+    exempt = EXEMPT_PATHS.get(relpath, set())
+
+    def report(rule, index, message):
+        if rule in exempt or has_opt_out(lines, index, rule):
+            return
+        violations.append((relpath, index + 1, rule, message))
+
+    unordered_names = set()
+    for i, line in enumerate(lines):
+        for m in UNORDERED_DECL_RE.finditer(line):
+            unordered_names.add(m.group(1))
+
+    in_seeded_datagen = "datagen" in relpath
+    for i, line in enumerate(lines):
+        m = NAKED_MUTEX_RE.search(line)
+        if m and not is_comment_or_string(line, m.start()):
+            report(
+                "naked-mutex", i,
+                f"{m.group(0)} outside src/common/mutex.h — use udt::Mutex"
+                " / MutexLock / CondVar so clang's thread-safety analysis"
+                " sees the locking discipline")
+
+        m = RAW_RANDOM_RE.search(line)
+        if m and not is_comment_or_string(line, m.start()):
+            if not in_seeded_datagen:
+                report(
+                    "raw-random", i,
+                    f"{m.group(0).strip()} draws environment entropy —"
+                    " breaks the same-seed bitwise-reproducibility"
+                    " guarantee; use a seeded generator")
+
+        # Range-for over a known unordered container: scan the loop body
+        # (brace-balanced, bounded) for serialization sinks.
+        loop = re.search(r"for\s*\([^;)]*:\s*\*?(\w+)\s*\)", line)
+        if loop and loop.group(1) in unordered_names:
+            depth = 0
+            opened = False
+            for j in range(i, min(i + 40, len(lines))):
+                body = COMMENT_RE.sub("", lines[j])
+                if j > i or body[loop.end():].strip() or "{" in body:
+                    sink = SERIALIZE_SINK_RE.search(body)
+                    if sink and j > i:
+                        report(
+                            "unordered-serialize", j,
+                            f"iteration over unordered '{loop.group(1)}'"
+                            " feeds a serialization sink — bytes depend"
+                            " on hash order; sort keys first")
+                        break
+                depth += body.count("{") - body.count("}")
+                opened = opened or "{" in body
+                if opened and depth <= 0:
+                    break
+
+        m = ESCAPE_RE.search(line)
+        if (m and not is_comment_or_string(line, m.start())
+                and "#define" not in line):
+            if not has_justification_comment(lines, i):
+                report(
+                    "unjustified-escape", i,
+                    "UDT_NO_THREAD_SAFETY_ANALYSIS without a justification"
+                    " comment on this or the preceding line")
+
+        m = VOID_STATUS_RE.search(line)
+        if m and not is_comment_or_string(line, m.start()):
+            if not re.search(r"//\s*\S", line):
+                report(
+                    "unjustified-void-status", i,
+                    "(void)-discarded Status without a same-line"
+                    " justification comment")
+
+    if relpath.endswith(".h"):
+        guard = expected_guard(relpath)
+        text = "\n".join(lines)
+        ifndef = re.search(r"#ifndef\s+(\S+)", text)
+        define = re.search(r"#define\s+(\S+)", text)
+        if not ifndef or not define:
+            report("include-guard", 0, f"missing include guard {guard}")
+        elif ifndef.group(1) != guard or define.group(1) != guard:
+            report(
+                "include-guard", 0,
+                f"guard is {ifndef.group(1)}, expected {guard}"
+                " (UDT_<path-sans-src>_H_)")
+
+    return violations
+
+
+def lint_tree(root):
+    violations = []
+    for top in LINTED_DIRS:
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, files in os.walk(base):
+            for name in sorted(files):
+                if not name.endswith(SOURCE_EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, name)
+                relpath = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, encoding="utf-8") as f:
+                    lines = f.read().splitlines()
+                violations.extend(check_file(relpath, lines))
+    return violations
+
+
+# --------------------------------------------------------------- self-test
+
+SELF_TEST_CASES = [
+    # (relpath, contents, rules that MUST fire)
+    ("src/bad/naked.cc",
+     "#include <mutex>\nstd::mutex mu;\n",
+     {"naked-mutex"}),
+    ("src/bad/entropy.cc",
+     "int Draw() { std::random_device rd; return rand(); }\n",
+     {"raw-random"}),
+    ("src/bad/unstable.cc",
+     "#include <string>\n#include <unordered_map>\n"
+     "std::unordered_map<int, int> table;\n"
+     "void Dump(std::string* out) {\n"
+     "  for (const auto& [k, v] : table) {\n"
+     "    out->append(std::to_string(k));\n"
+     "  }\n"
+     "}\n",
+     {"unordered-serialize"}),
+    ("src/bad/guard.h",
+     "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n#endif\n",
+     {"include-guard"}),
+    ("src/bad/escape.cc",
+     "void Sneak() UDT_NO_THREAD_SAFETY_ANALYSIS {\n}\n",
+     {"unjustified-escape"}),
+    ("src/bad/dropped.cc",
+     "void F() { (void)DoThing().status(); }\n",
+     {"unjustified-void-status"}),
+    # Justified / exempt lines that must NOT fire.
+    ("src/good/justified.cc",
+     "// Reason: ctor runs before any thread exists.\n"
+     "void Init() UDT_NO_THREAD_SAFETY_ANALYSIS {\n}\n"
+     "void G() { (void)Best().status(); }  // advisory only, logged above\n"
+     "// lint-ok(naked-mutex): illustrative comment in a doc string\n"
+     "// std::mutex in prose is fine anyway\n",
+     set()),
+    ("src/good/seeded_datagen.cc",
+     "#include <random>\nstd::random_device rd;  // datagen path is exempt\n",
+     set()),
+]
+
+
+def self_test():
+    failures = []
+    with tempfile.TemporaryDirectory() as root:
+        for relpath, contents, _ in SELF_TEST_CASES:
+            path = os.path.join(root, relpath)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(contents)
+        found = lint_tree(root)
+        by_file = {}
+        for relpath, _, rule, _ in found:
+            by_file.setdefault(relpath, set()).add(rule)
+        for relpath, _, expected in SELF_TEST_CASES:
+            got = by_file.get(relpath, set())
+            if expected - got:
+                failures.append(
+                    f"{relpath}: expected {sorted(expected - got)} to fire,"
+                    f" got {sorted(got)}")
+            if not expected and got:
+                failures.append(
+                    f"{relpath}: expected clean, but {sorted(got)} fired")
+    if failures:
+        print("self-test FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"self-test passed: {len(SELF_TEST_CASES)} seeded cases behaved")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".", help="repo root to lint")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the linter catches seeded violations")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    violations = lint_tree(args.root)
+    if violations:
+        print(f"{len(violations)} convention violation(s):")
+        for relpath, line, rule, message in violations:
+            print(f"  {relpath}:{line}: [{rule}] {message}")
+        return 1
+    print("source conventions clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
